@@ -1,0 +1,49 @@
+// Command clomptm regenerates Figure 1: the CLOMP-TM characterization of
+// Intel TSX against atomics and lock-based critical sections, optionally
+// with cross-partition conflict wiring.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"tsxhpc/internal/clomp"
+	"tsxhpc/internal/harness"
+)
+
+func main() {
+	threads := flag.Int("threads", 4, "thread count (Figure 1 uses 4, Hyper-Threading off)")
+	scatters := flag.String("scatters", "1,2,3,4,6,8,12,16", "comma-separated scatter counts (X axis)")
+	cross := flag.Int("cross", 0, "percent of scatter targets wired cross-partition (conflict knob)")
+	zones := flag.Int("zones", 0, "zones per partition (0 = default)")
+	flag.Parse()
+
+	var xs []int
+	for _, f := range strings.Split(*scatters, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			fmt.Println("bad scatter count:", f)
+			return
+		}
+		xs = append(xs, n)
+	}
+	cfg := clomp.DefaultConfig()
+	cfg.CrossPartitionPct = *cross
+	if *zones > 0 {
+		cfg.ZonesPerPartition = *zones
+	}
+	res := clomp.Sweep(cfg, xs, *threads)
+	fig := &harness.Figure{
+		Title:  fmt.Sprintf("Figure 1 — CLOMP-TM, %d threads: speedup vs serial", *threads),
+		XLabel: "scatters",
+	}
+	for _, x := range xs {
+		fig.XTicks = append(fig.XTicks, fmt.Sprint(x))
+	}
+	for _, s := range clomp.Schemes {
+		fig.Series = append(fig.Series, harness.Series{Name: s.String(), Y: res[s]})
+	}
+	fmt.Print(fig.Render())
+}

@@ -1,0 +1,21 @@
+// Command netbench regenerates Figure 6: server-side read bandwidth of the
+// network-intensive workloads over the user-level TCP/IP stack, for the
+// five locking-module implementations.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"tsxhpc/internal/experiments"
+)
+
+func main() {
+	t, gain, err := experiments.Figure6()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Print(t.Render())
+	fmt.Printf("\ntsx.busywait average bandwidth gain over mutex: %.2fx (paper: 1.31x)\n", gain)
+}

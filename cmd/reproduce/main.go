@@ -1,0 +1,68 @@
+// Command reproduce regenerates every table and figure of the paper's
+// evaluation in one run, plus the ablation studies, printing each as a text
+// table (see EXPERIMENTS.md for the paper-vs-measured comparison).
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+)
+
+import "tsxhpc/internal/experiments"
+
+func main() {
+	start := time.Now()
+
+	section("E1", experiments.Figure1().Render())
+
+	f2, err := experiments.Figure2()
+	fail(err)
+	section("E2", f2.Render())
+
+	t1, err := experiments.Table1()
+	fail(err)
+	section("E3", t1.Render())
+
+	f3, err := experiments.Figure3()
+	fail(err)
+	section("E4", f3.Render())
+
+	f4, gain4, err := experiments.Figure4()
+	fail(err)
+	section("E5", f4.Render())
+	fmt.Printf("tsx.coarsen over baseline @8T (geomean): %.2fx (paper: 1.41x mean)\n", gain4)
+
+	f5a, err := experiments.Figure5a()
+	fail(err)
+	section("E6", f5a.Render())
+
+	f5b, err := experiments.Figure5b()
+	fail(err)
+	section("E7", f5b.Render())
+
+	f6, gain6, err := experiments.Figure6()
+	fail(err)
+	section("E8", f6.Render())
+	fmt.Printf("tsx.busywait average gain over mutex: %.2fx (paper: 1.31x)\n", gain6)
+
+	section("E9", experiments.RetrySweep([]int{1, 2, 3, 4, 5, 6, 8, 10}).Render())
+
+	section("ablation: HT capacity", experiments.HTCapacityAblation().Render())
+	section("ablation: conflict wiring", experiments.ConflictWiringAblation().Render())
+	section("ablation: lockset elision", experiments.LocksetAblation().Render())
+	section("ablation: adaptive coarsening", experiments.AdaptiveCoarseningAblation().Render())
+
+	fmt.Printf("\nreproduced all experiments in %.1fs (host time)\n", time.Since(start).Seconds())
+}
+
+func section(id, body string) {
+	fmt.Printf("\n--- %s ---\n%s", id, body)
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,20 @@
+// Command rmstm regenerates Figure 3: RMS-TM speedups under fine-grained
+// locks, a single global lock, and TSX elision — with native memory
+// management and file I/O inside critical sections.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"tsxhpc/internal/experiments"
+)
+
+func main() {
+	t, err := experiments.Figure3()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Print(t.Render())
+}

@@ -1,0 +1,63 @@
+// Command stamp regenerates the STAMP results: Figure 2 (normalized
+// execution times for sgl/tl2/tsx), Table 1 (-aborts), one-off workload
+// runs (-workload), and the retry-policy sweep of Section 3 (-retries).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tsxhpc/internal/experiments"
+	"tsxhpc/internal/htm"
+	"tsxhpc/internal/stamp"
+	"tsxhpc/internal/tm"
+)
+
+func main() {
+	aborts := flag.Bool("aborts", false, "print Table 1 (abort rates) instead of Figure 2")
+	causes := flag.Bool("causes", false, "print the tsx abort-cause breakdown (perf-style) at 4 threads")
+	retries := flag.Bool("retries", false, "print the Section 3 retry-budget sweep")
+	workload := flag.String("workload", "", "run a single workload across modes/threads")
+	flag.Parse()
+
+	switch {
+	case *causes:
+		fmt.Printf("%-10s %9s %9s %9s %9s %9s %9s\n",
+			"workload", "conflict", "capacity", "syscall", "explicit", "lockbusy", "fallback")
+		for _, name := range stamp.Names() {
+			r, err := stamp.Execute(name, tm.TSX, 4)
+			fail(err)
+			c := r.AbortCauses
+			fmt.Printf("%-10s %9d %9d %9d %9d %9d %9d\n",
+				name, c[htm.Conflict], c[htm.Capacity], c[htm.SyscallAbort],
+				c[htm.Explicit], c[htm.LockBusy], r.Fallbacks)
+		}
+	case *retries:
+		fmt.Print(experiments.RetrySweep([]int{1, 2, 3, 4, 5, 6, 8, 10}).Render())
+	case *aborts:
+		t, err := experiments.Table1()
+		fail(err)
+		fmt.Print(t.Render())
+	case *workload != "":
+		for _, mode := range []tm.Mode{tm.SGL, tm.TL2, tm.TSX} {
+			for _, th := range experiments.Threads {
+				r, err := stamp.Execute(*workload, mode, th)
+				fail(err)
+				fmt.Printf("%s %s %dT: %d cycles, %.0f%% aborts\n",
+					*workload, mode, th, r.Cycles, r.AbortRate)
+			}
+		}
+	default:
+		t, err := experiments.Figure2()
+		fail(err)
+		fmt.Print(t.Render())
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,19 @@
+// Package tsxhpc is a full reproduction, in pure Go, of "Performance
+// Evaluation of Intel Transactional Synchronization Extensions for
+// High-Performance Computing" (Yoo, Hughes, Lai, Rajwar — SC 2013).
+//
+// Since Go exposes no TSX intrinsics and the original results require
+// first-generation Haswell hardware, the repository substitutes a
+// deterministic discrete-event multicore simulator with a faithful model of
+// the first Intel TSX implementation (internal/sim, internal/htm) and
+// rebuilds every system the paper evaluates on top of it: the TL2 software
+// TM, the CLOMP-TM / STAMP / RMS-TM benchmark suites, the six real-world
+// Table 2 workloads, and a user-level TCP/IP stack with the five
+// locking-module implementations of Section 6.
+//
+// See README.md for the architecture overview, DESIGN.md for the system
+// inventory and per-experiment index, and EXPERIMENTS.md for the
+// paper-versus-measured comparison. The benchmarks in bench_test.go
+// regenerate every table and figure; `go run ./cmd/reproduce` prints them
+// all.
+package tsxhpc

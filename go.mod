@@ -1,0 +1,3 @@
+module tsxhpc
+
+go 1.22

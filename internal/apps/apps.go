@@ -1,0 +1,107 @@
+// Package apps implements the six real-world HPC workloads of Table 2 and
+// their synchronization variants, reproducing Figure 4 (baseline vs.
+// straightforward TSX port vs. transactionally coarsened TSX) and Figure 5
+// (conflict-free comparators: privatization for histogram, barrier-based
+// synchronization for physicsSolver, and transactional-granularity sweeps).
+//
+// Variant names follow the paper:
+//
+//	baseline    — the application's original locks / atomics / lock-free code
+//	tsx.init    — straightforward port to TSX-elided critical sections
+//	tsx.coarsen — plus lockset elision and static/dynamic transactional
+//	              coarsening (per-workload techniques listed in Table 2)
+//	privatize   — per-thread copies + reduction (histogram, Figure 5a)
+//	barrier     — pre-arranged conflict-free groups (physicsSolver, Fig. 5b)
+//	tsx.granN   — explicit dynamic-coarsening granularity N (Figure 5 sweeps)
+//
+// Every variant of a workload computes the same result, checked by
+// per-workload validation after each run.
+package apps
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one variant execution.
+type Result struct {
+	Cycles    uint64
+	AbortRate float64 // transactional abort percentage (0 for non-TSX variants)
+}
+
+// Workload is one Table 2 application.
+type Workload interface {
+	// Name is the workload name as in Table 2.
+	Name() string
+	// Variants lists the supported variant names (Figure 4 variants first).
+	Variants() []string
+	// Run executes the variant with the given thread count on a fresh
+	// machine, validates the result, and returns simulated cycles and
+	// speculation statistics.
+	Run(variant string, threads int) (Result, error)
+}
+
+// Registry maps workload names to constructors, Table 2 order.
+var Registry = map[string]func() Workload{
+	"graphCluster":  func() Workload { return newGraphCluster() },
+	"ua":            func() Workload { return newUA() },
+	"physicsSolver": func() Workload { return newPhysics() },
+	"nufft":         func() Workload { return newNUFFT() },
+	"histogram":     func() Workload { return newHistogram() },
+	"canneal":       func() Workload { return newCanneal() },
+}
+
+// Names returns the workload names in Table 2 order.
+func Names() []string {
+	return []string{"graphCluster", "ua", "physicsSolver", "nufft", "histogram", "canneal"}
+}
+
+// FigureVariants are the three bars of Figure 4.
+var FigureVariants = []string{"baseline", "tsx.init", "tsx.coarsen"}
+
+// Run executes one (workload, variant, threads) cell.
+func Run(name, variant string, threads int) (Result, error) {
+	ctor, ok := Registry[name]
+	if !ok {
+		return Result{}, fmt.Errorf("apps: unknown workload %q", name)
+	}
+	w := ctor()
+	found := false
+	for _, v := range w.Variants() {
+		if v == variant {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return Result{}, fmt.Errorf("apps: workload %s has no variant %q (have %v)", name, variant, w.Variants())
+	}
+	return w.Run(variant, threads)
+}
+
+// granOf parses a "tsx.granN" variant name, returning N (and true) or
+// (0, false) for other names.
+func granOf(variant string) (int, bool) {
+	if !strings.HasPrefix(variant, "tsx.gran") {
+		return 0, false
+	}
+	n, err := strconv.Atoi(strings.TrimPrefix(variant, "tsx.gran"))
+	if err != nil || n < 1 {
+		return 0, false
+	}
+	return n, true
+}
+
+// sortedUnique sorts xs and removes duplicates in place.
+func sortedUnique(xs []int) []int {
+	sort.Ints(xs)
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,179 @@
+package apps
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tsxhpc/internal/sim"
+	"tsxhpc/internal/ssync"
+	"tsxhpc/internal/tm"
+)
+
+// canneal is the PARSEC VLSI-routing workload of Table 2 (PThread,
+// lock-free): simulated annealing where each thread repeatedly tries to
+// swap the locations of two circuit elements atomically. The original
+// implements a sophisticated lock-free protocol — optimistic reads with
+// version checks, then a two-location compare-and-swap dance with rollback
+// on failure:
+//
+//	baseline    — the lock-free algorithm: versioned optimistic reads, CAS
+//	              on the first element, CAS on the second, roll the first
+//	              back if the second fails
+//	tsx.init    — Section 5.2's replacement: discard the atomic instructions
+//	              and version checks, swap the two words inside one
+//	              transactional region — simpler AND faster
+//	tsx.coarsen — identical to tsx.init (Table 2 marks no coarsening
+//	              technique for canneal), kept so Figure 4 has all bars
+type canneal struct {
+	elements int
+	swaps    int
+}
+
+func newCanneal() *canneal { return &canneal{elements: 8192, swaps: 6000} }
+
+func (w *canneal) Name() string { return "canneal" }
+
+func (w *canneal) Variants() []string {
+	return []string{"baseline", "tsx.init", "tsx.coarsen"}
+}
+
+// Element record layout: [0]=location, [8]=version (lock-free protocol's
+// odd/even stamp; unused by the transactional variants).
+const (
+	cnLoc  = 0
+	cnVer  = 8
+	cnSize = 16
+)
+
+func (w *canneal) Run(variant string, threads int) (Result, error) {
+	m := sim.New(sim.DefaultConfig())
+	elems := m.Mem.AllocArray(w.elements, cnSize)
+	eaddr := func(e int) sim.Addr { return elems + sim.Addr(e*cnSize) }
+	for e := 0; e < w.elements; e++ {
+		m.Mem.WriteRaw(eaddr(e)+cnLoc, uint64(e))
+	}
+	// Pre-draw the swap schedule so all variants attempt identical work.
+	rng := rand.New(rand.NewSource(157))
+	type swapTask struct{ a, b int }
+	tasks := make([]swapTask, w.swaps)
+	for i := range tasks {
+		a := rng.Intn(w.elements)
+		b := (a + 1 + rng.Intn(w.elements-1)) % w.elements
+		tasks[i] = swapTask{a, b}
+	}
+	// Each element connects to a few nets; evaluating a swap's routing-cost
+	// delta reads the locations of the net neighbors.
+	const nNets = 3
+	nets := make([][nNets]int, w.elements)
+	for e := range nets {
+		for k := 0; k < nNets; k++ {
+			nets[e][k] = (e + 1 + rng.Intn(64)) % w.elements
+		}
+	}
+
+	const deltaWork = 150 // routing-cost delta evaluation per swap attempt
+
+	var res sim.Result
+	rate := 0.0
+	switch variant {
+	case "baseline":
+		res = m.Run(threads, func(c *sim.Context) {
+			for i := c.ID(); i < len(tasks); i += threads {
+				t := tasks[i]
+				aa, ba := eaddr(t.a), eaddr(t.b)
+				for {
+					// Optimistic phase: sample versions, read locations.
+					va := ssync.AtomicLoad(c, aa+cnVer)
+					vb := ssync.AtomicLoad(c, ba+cnVer)
+					if va%2 == 1 || vb%2 == 1 {
+						c.Compute(20)
+						continue // someone mid-swap; retry
+					}
+					la := c.Load(aa + cnLoc)
+					lb := c.Load(ba + cnLoc)
+					// Cost delta: read every net neighbor's location with an
+					// atomic load, then re-read to validate ("atomic
+					// read-time checks") — the bookkeeping the transactional
+					// version removes.
+					for _, sets := range [2][nNets]int{nets[t.a], nets[t.b]} {
+						for _, n := range sets {
+							ssync.AtomicLoad(c, eaddr(n)+cnLoc)
+						}
+					}
+					c.Compute(deltaWork)
+					stale := false
+					for _, sets := range [2][nNets]int{nets[t.a], nets[t.b]} {
+						for _, n := range sets {
+							ssync.AtomicLoad(c, eaddr(n)+cnLoc)
+							if ssync.AtomicLoad(c, eaddr(n)+cnVer)%2 == 1 {
+								stale = true
+							}
+						}
+					}
+					if stale {
+						continue
+					}
+					// Re-check versions after computing the cost delta.
+					if ssync.AtomicLoad(c, aa+cnVer) != va || ssync.AtomicLoad(c, ba+cnVer) != vb {
+						continue
+					}
+					// Claim both elements by bumping versions to odd.
+					if !ssync.AtomicCAS(c, aa+cnVer, va, va+1) {
+						continue
+					}
+					if !ssync.AtomicCAS(c, ba+cnVer, vb, vb+1) {
+						// Roll the first claim back, back off, retry.
+						ssync.AtomicStoreSeqCst(c, aa+cnVer, va)
+						c.Compute(uint64(c.Rand.Int63n(120)) + 1)
+						continue
+					}
+					c.Store(aa+cnLoc, lb)
+					c.Store(ba+cnLoc, la)
+					ssync.AtomicStoreSeqCst(c, aa+cnVer, va+2)
+					ssync.AtomicStoreSeqCst(c, ba+cnVer, vb+2)
+					break
+				}
+			}
+		})
+	case "tsx.init", "tsx.coarsen":
+		sys := tm.NewSystem(m, tm.TSX)
+		res = m.Run(threads, func(c *sim.Context) {
+			for i := c.ID(); i < len(tasks); i += threads {
+				t := tasks[i]
+				aa, ba := eaddr(t.a), eaddr(t.b)
+				sys.Atomic(c, func(tx tm.Tx) {
+					// Net-neighbor locations are read once, transactionally;
+					// no re-validation is needed.
+					for _, sets := range [2][nNets]int{nets[t.a], nets[t.b]} {
+						for _, n := range sets {
+							tx.Load(eaddr(n) + cnLoc)
+						}
+					}
+					tx.Ctx().Compute(deltaWork)
+					la := tx.Load(aa + cnLoc)
+					lb := tx.Load(ba + cnLoc)
+					tx.Store(aa+cnLoc, lb)
+					tx.Store(ba+cnLoc, la)
+				})
+			}
+		})
+		rate = sys.AbortRate()
+	default:
+		return Result{}, fmt.Errorf("canneal: unhandled variant %q", variant)
+	}
+
+	// The locations must remain a permutation of 0..elements-1, and every
+	// version stamp must be even (no element left mid-swap).
+	seen := make([]bool, w.elements)
+	for e := 0; e < w.elements; e++ {
+		loc := m.Mem.ReadRaw(eaddr(e) + cnLoc)
+		if loc >= uint64(w.elements) || seen[loc] {
+			return Result{}, fmt.Errorf("canneal/%s: locations not a permutation (element %d -> %d)", variant, e, loc)
+		}
+		seen[loc] = true
+		if m.Mem.ReadRaw(eaddr(e)+cnVer)%2 == 1 {
+			return Result{}, fmt.Errorf("canneal/%s: element %d left mid-swap", variant, e)
+		}
+	}
+	return Result{Cycles: res.Cycles, AbortRate: rate}, nil
+}

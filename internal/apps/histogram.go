@@ -1,0 +1,143 @@
+package apps
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tsxhpc/internal/core"
+	"tsxhpc/internal/sim"
+	"tsxhpc/internal/ssync"
+	"tsxhpc/internal/tm"
+)
+
+// histogram is the parallel image-histogram construction workload of
+// Table 2 (PThread, atomics; dynamic coarsening). Multiple threads bin
+// pixels directly into a shared histogram:
+//
+//	baseline    — one LOCK-prefixed increment per pixel (Listing 3's
+//	              starting point)
+//	tsx.init    — one transactional region per pixel: slower than atomics,
+//	              as in Figure 1's Small TM vs Small Atomic
+//	tsx.coarsen — dynamic coarsening, TXN_GRAN pixels per region (Listing 3)
+//	privatize   — per-thread private histograms merged by a parallel
+//	              reduction (Figure 5a's conflict-free comparator; the bin
+//	              count is large relative to the pixel count, so the
+//	              reduction eventually dominates)
+//	tsx.granN   — explicit granularity sweep for Figure 5a
+type histogram struct {
+	pixels int
+	bins   int
+	gran   int // default dynamic-coarsening granularity for tsx.coarsen
+}
+
+func newHistogram() *histogram {
+	return &histogram{pixels: 49152, bins: 131072, gran: 8}
+}
+
+func (w *histogram) Name() string { return "histogram" }
+
+func (w *histogram) Variants() []string {
+	return []string{"baseline", "tsx.init", "tsx.coarsen", "privatize",
+		"tsx.gran1", "tsx.gran8", "tsx.gran32"}
+}
+
+// pixel returns the bin index of pixel i (deterministic synthetic image
+// with hot regions, so some bins are contended).
+func (w *histogram) pixel(rng *rand.Rand) int {
+	return rng.Intn(w.bins)
+}
+
+func (w *histogram) Run(variant string, threads int) (Result, error) {
+	m := sim.New(sim.DefaultConfig())
+	rng := rand.New(rand.NewSource(131))
+	img := make([]int, w.pixels)
+	expected := make([]uint64, w.bins)
+	for i := range img {
+		img[i] = w.pixel(rng)
+		expected[img[i]]++
+	}
+	hist := m.Mem.AllocLine(8 * w.bins)
+	binAddr := func(b int) sim.Addr { return hist + sim.Addr(b*8) }
+
+	const pixelWork = 14 // intensity-to-bin computation per pixel
+
+	gran := 0
+	if g, ok := granOf(variant); ok {
+		gran = g
+	} else if variant == "tsx.coarsen" {
+		gran = w.gran
+	}
+
+	var res sim.Result
+	rate := 0.0
+	switch {
+	case variant == "baseline":
+		res = m.Run(threads, func(c *sim.Context) {
+			for i := c.ID(); i < w.pixels; i += threads {
+				c.Compute(pixelWork)
+				ssync.AtomicAdd(c, binAddr(img[i]), 1)
+			}
+		})
+
+	case variant == "tsx.init" || gran > 0:
+		if gran == 0 {
+			gran = 1 // tsx.init: one region per update
+		}
+		sys := tm.NewSystem(m, tm.TSX)
+		res = m.Run(threads, func(c *sim.Context) {
+			// Dynamic coarsening over this thread's pixel stream
+			// (Listing 3: skip XBEGIN/XEND instances by loop index).
+			var mine []int
+			for i := c.ID(); i < w.pixels; i += threads {
+				mine = append(mine, i)
+			}
+			core.DoCoarsened(sys, c, len(mine), gran, func(tx tm.Tx, k int) {
+				c.Compute(pixelWork)
+				a := binAddr(img[mine[k]])
+				tx.Store(a, tx.Load(a)+1)
+			})
+		})
+		rate = sys.AbortRate()
+
+	case variant == "privatize":
+		// Per-thread private histograms, then a parallel reduction over
+		// bins (each thread reduces a contiguous bin range across all
+		// copies).
+		priv := make([]sim.Addr, threads)
+		for t := range priv {
+			priv[t] = m.Mem.AllocLine(8 * w.bins)
+		}
+		bar := ssync.NewBarrier(m.Mem, threads)
+		res = m.Run(threads, func(c *sim.Context) {
+			mine := priv[c.ID()]
+			for i := c.ID(); i < w.pixels; i += threads {
+				c.Compute(pixelWork)
+				a := mine + sim.Addr(img[i]*8)
+				c.Store(a, c.Load(a)+1)
+			}
+			bar.Arrive(c)
+			// Streaming reduction: accumulate copy by copy over this
+			// thread's contiguous bin range (sequential accesses, so the
+			// cache model sees one miss per line, like real bandwidth-bound
+			// reductions).
+			lo := w.bins * c.ID() / threads
+			hi := w.bins * (c.ID() + 1) / threads
+			for t := 0; t < threads; t++ {
+				for b := lo; b < hi; b++ {
+					a := binAddr(b)
+					c.Store(a, c.Load(a)+c.Load(priv[t]+sim.Addr(b*8)))
+				}
+			}
+		})
+
+	default:
+		return Result{}, fmt.Errorf("histogram: unhandled variant %q", variant)
+	}
+
+	for b := 0; b < w.bins; b++ {
+		if got := m.Mem.ReadRaw(binAddr(b)); got != expected[b] {
+			return Result{}, fmt.Errorf("histogram/%s: bin %d = %d, want %d", variant, b, got, expected[b])
+		}
+	}
+	return Result{Cycles: res.Cycles, AbortRate: rate}, nil
+}

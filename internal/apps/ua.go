@@ -1,0 +1,130 @@
+package apps
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tsxhpc/internal/sim"
+	"tsxhpc/internal/ssync"
+	"tsxhpc/internal/tm"
+)
+
+// ua is the Unstructured Adaptive workload from the NAS Parallel Benchmarks
+// (Table 2: OpenMP, atomics; static coarsening). The Mortar Element Method
+// gathers thread-local collocation-point values onto mortars of a dynamic
+// global grid; each mortar deposit is synchronized with '#pragma omp
+// atomic' in the original (Listing 2 shows four such updates per point):
+//
+//	baseline    — four separate atomic float adds per collocation point
+//	tsx.init    — each atomic mapped to its own transactional region
+//	              (slower than atomics, as Section 5.2.2 reports)
+//	tsx.coarsen — static coarsening: all four updates of a point merged
+//	              into one transactional region at the source level
+type ua struct {
+	points  int
+	mortars int
+}
+
+func newUA() *ua { return &ua{points: 8192, mortars: 16384} }
+
+func (w *ua) Name() string { return "ua" }
+
+func (w *ua) Variants() []string {
+	return []string{"baseline", "tsx.init", "tsx.coarsen"}
+}
+
+func (w *ua) Run(variant string, threads int) (Result, error) {
+	m := sim.New(sim.DefaultConfig())
+	rng := rand.New(rand.NewSource(137))
+	// Each collocation point is wired to four mortars (ig1..ig4) and
+	// carries an integer contribution (exactness across variants).
+	type point struct {
+		ig  [4]int
+		val [4]uint64
+	}
+	// Mesh locality: a collocation point's mortars lie in its own grid
+	// neighborhood, so a thread working a contiguous point range mostly
+	// touches its own mortar region (the adaptive refinement makes the
+	// boundary mortars shared, which is why synchronization is needed).
+	pts := make([]point, w.points)
+	expected := make([]uint64, w.mortars)
+	for i := range pts {
+		base := i * w.mortars / w.points
+		for k := 0; k < 4; k++ {
+			off := rng.Intn(96) - 48
+			g := ((base+off)%w.mortars + w.mortars) % w.mortars
+			pts[i].ig[k] = g
+			pts[i].val[k] = uint64(1 + rng.Intn(9))
+			expected[g] += pts[i].val[k]
+		}
+	}
+	tmor := m.Mem.AllocLine(8 * w.mortars)
+	mortarAddr := func(g int) sim.Addr { return tmor + sim.Addr(g*8) }
+
+	const pointWork = 90 // collocation-point index/value computation
+
+	var res sim.Result
+	rate := 0.0
+	switch variant {
+	case "baseline":
+		res = m.Run(threads, func(c *sim.Context) {
+			lo := w.points * c.ID() / threads
+			hi := w.points * (c.ID() + 1) / threads
+			for i := lo; i < hi; i++ {
+				p := &pts[i]
+				c.Compute(pointWork)
+				for k := 0; k < 4; k++ {
+					ssync.AtomicAdd(c, mortarAddr(p.ig[k]), p.val[k])
+				}
+			}
+		})
+	case "tsx.init":
+		sys := tm.NewSystem(m, tm.TSX)
+		res = m.Run(threads, func(c *sim.Context) {
+			lo := w.points * c.ID() / threads
+			hi := w.points * (c.ID() + 1) / threads
+			for i := lo; i < hi; i++ {
+				p := &pts[i]
+				c.Compute(pointWork)
+				// Straightforward port: each atomic pragma becomes its own
+				// transactional region.
+				for k := 0; k < 4; k++ {
+					k := k
+					sys.Atomic(c, func(tx tm.Tx) {
+						a := mortarAddr(p.ig[k])
+						tx.Store(a, tx.Load(a)+p.val[k])
+					})
+				}
+			}
+		})
+		rate = sys.AbortRate()
+	case "tsx.coarsen":
+		sys := tm.NewSystem(m, tm.TSX)
+		res = m.Run(threads, func(c *sim.Context) {
+			lo := w.points * c.ID() / threads
+			hi := w.points * (c.ID() + 1) / threads
+			for i := lo; i < hi; i++ {
+				p := &pts[i]
+				c.Compute(pointWork)
+				// Static coarsening: the four updates (and their index and
+				// value computation) merged into a single region.
+				sys.Atomic(c, func(tx tm.Tx) {
+					for k := 0; k < 4; k++ {
+						a := mortarAddr(p.ig[k])
+						tx.Store(a, tx.Load(a)+p.val[k])
+					}
+				})
+			}
+		})
+		rate = sys.AbortRate()
+	default:
+		return Result{}, fmt.Errorf("ua: unhandled variant %q", variant)
+	}
+
+	for g := 0; g < w.mortars; g++ {
+		if got := m.Mem.ReadRaw(mortarAddr(g)); got != expected[g] {
+			return Result{}, fmt.Errorf("ua/%s: mortar %d = %d, want %d", variant, g, got, expected[g])
+		}
+	}
+	return Result{Cycles: res.Cycles, AbortRate: rate}, nil
+}

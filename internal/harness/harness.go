@@ -1,0 +1,142 @@
+// Package harness provides the small amount of shared machinery the
+// experiment drivers use: geometric means, speedup math, and plain-text
+// rendering of the paper's tables and figures (as data series).
+package harness
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Speedup returns base/t as a float ratio (higher is better when base is the
+// reference execution time).
+func Speedup(base, t uint64) float64 {
+	if t == 0 {
+		return 0
+	}
+	return float64(base) / float64(t)
+}
+
+// Geomean returns the geometric mean of xs (0 for empty input; non-positive
+// entries are skipped).
+func Geomean(xs []float64) float64 {
+	var sum float64
+	n := 0
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Mean returns the arithmetic mean of xs.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Series is one line of a figure: a name and a Y value per X position.
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// Figure is a set of series over shared X labels, rendered as a text table
+// (one row per X, one column per series).
+type Figure struct {
+	Title   string
+	XLabel  string
+	XTicks  []string
+	YFormat string // e.g. "%.2f"
+	Series  []Series
+}
+
+// Render formats the figure as an aligned text table.
+func (f *Figure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", f.Title)
+	yf := f.YFormat
+	if yf == "" {
+		yf = "%.2f"
+	}
+	head := []string{f.XLabel}
+	for _, s := range f.Series {
+		head = append(head, s.Name)
+	}
+	rows := [][]string{head}
+	for i, x := range f.XTicks {
+		row := []string{x}
+		for _, s := range f.Series {
+			if i < len(s.Y) {
+				row = append(row, fmt.Sprintf(yf, s.Y[i]))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		rows = append(rows, row)
+	}
+	b.WriteString(alignRows(rows))
+	return b.String()
+}
+
+// Table is a generic titled text table.
+type Table struct {
+	Title string
+	Head  []string
+	Rows  [][]string
+}
+
+// Render formats the table with aligned columns.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	rows := [][]string{t.Head}
+	rows = append(rows, t.Rows...)
+	b.WriteString(alignRows(rows))
+	return b.String()
+}
+
+func alignRows(rows [][]string) string {
+	widths := map[int]int{}
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	for _, row := range rows {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// SortedKeys returns map keys in sorted order, for deterministic rendering.
+func SortedKeys[M ~map[string]V, V any](m M) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

@@ -1,0 +1,102 @@
+package harness
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSpeedup(t *testing.T) {
+	if Speedup(200, 100) != 2 {
+		t.Fatal("Speedup(200,100) != 2")
+	}
+	if Speedup(100, 0) != 0 {
+		t.Fatal("division by zero not guarded")
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if g := Geomean([]float64{2, 8}); math.Abs(g-4) > 1e-9 {
+		t.Fatalf("Geomean(2,8) = %v", g)
+	}
+	if Geomean(nil) != 0 {
+		t.Fatal("empty geomean should be 0")
+	}
+	if g := Geomean([]float64{-1, 0, 4}); g != 4 {
+		t.Fatalf("non-positive entries must be skipped, got %v", g)
+	}
+}
+
+func TestGeomeanProperty(t *testing.T) {
+	// Geomean of equal positive values is that value.
+	f := func(x float64, n uint8) bool {
+		if x <= 0 || math.IsInf(x, 0) || math.IsNaN(x) || x > 1e100 {
+			return true
+		}
+		xs := make([]float64, int(n%10)+1)
+		for i := range xs {
+			xs[i] = x
+		}
+		return math.Abs(Geomean(xs)-x) < 1e-6*x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("mean wrong")
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean should be 0")
+	}
+}
+
+func TestFigureRender(t *testing.T) {
+	fig := &Figure{
+		Title:  "T",
+		XLabel: "x",
+		XTicks: []string{"1", "2"},
+		Series: []Series{
+			{Name: "a", Y: []float64{1.5, 2.5}},
+			{Name: "b", Y: []float64{3}}, // short series: missing cell renders "-"
+		},
+	}
+	out := fig.Render()
+	for _, want := range []string{"== T ==", "x", "a", "b", "1.50", "2.50", "3.00", "-"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		Title: "Tbl",
+		Head:  []string{"k", "v"},
+		Rows:  [][]string{{"a", "1"}, {"long-key", "22"}},
+	}
+	out := tab.Render()
+	if !strings.Contains(out, "== Tbl ==") || !strings.Contains(out, "long-key") {
+		t.Fatalf("bad render:\n%s", out)
+	}
+	// Columns must align: every data line has the value column at the same
+	// byte offset.
+	lines := strings.Split(strings.TrimSpace(out), "\n")[1:]
+	idx := strings.Index(lines[0], "v")
+	for _, l := range lines[1:] {
+		if len(l) <= idx {
+			t.Fatalf("misaligned table:\n%s", out)
+		}
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	ks := SortedKeys(m)
+	if len(ks) != 3 || ks[0] != "a" || ks[2] != "c" {
+		t.Fatalf("SortedKeys = %v", ks)
+	}
+}

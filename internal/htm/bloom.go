@@ -1,0 +1,39 @@
+package htm
+
+import "tsxhpc/internal/sim"
+
+// bloom is the model of the "secondary structure" the first TSX
+// implementation moves evicted transactionally-read lines into (Section 2 of
+// the paper). It is a small Bloom filter: membership queries can return
+// false positives, so a transaction whose read set overflowed L1 may abort
+// on a conflict with a line it never actually read — an inherent behavior of
+// imprecise overflow tracking that the model deliberately preserves.
+type bloom struct {
+	bits [4]uint64 // 256 bits
+	n    int
+}
+
+func (b *bloom) add(line sim.Addr) {
+	h1, h2 := bloomHashes(line)
+	b.bits[h1>>6&3] |= 1 << (h1 & 63)
+	b.bits[h2>>6&3] |= 1 << (h2 & 63)
+	b.n++
+}
+
+func (b *bloom) has(line sim.Addr) bool {
+	if b.n == 0 {
+		return false
+	}
+	h1, h2 := bloomHashes(line)
+	return b.bits[h1>>6&3]&(1<<(h1&63)) != 0 &&
+		b.bits[h2>>6&3]&(1<<(h2&63)) != 0
+}
+
+// bloomHashes derives two 8-bit hashes from the line address using a
+// Fibonacci-style multiplicative mix.
+func bloomHashes(line sim.Addr) (uint64, uint64) {
+	x := uint64(line) >> 6
+	x *= 0x9e3779b97f4a7c15
+	x ^= x >> 29
+	return x & 255, (x >> 8) & 255
+}

@@ -1,0 +1,449 @@
+// Package htm emulates Intel Transactional Synchronization Extensions
+// (Intel TSX) as implemented in the 4th Generation Core microarchitecture,
+// on top of the sim machine model.
+//
+// The emulation follows Section 2 of the paper:
+//
+//   - RTM-style interface: a transaction begins (XBEGIN), performs
+//     transactional loads and stores, and either commits atomically (XEND)
+//     or aborts, discarding all transactional updates and reporting an
+//     abort cause with a may-retry hint.
+//   - Transactional state is tracked in the core's L1 data cache at
+//     cache-line granularity. Eviction of a transactionally *written* line
+//     aborts the transaction (capacity). Eviction of a transactionally
+//     *read* line does not abort immediately: the line moves into a
+//     secondary tracking structure — modeled as a Bloom filter, so it may
+//     cause an abort later, including false-positive aborts.
+//   - Conflict detection is eager and uses the coherence protocol: any
+//     other thread's store to a line in this transaction's read or write
+//     set, or load of a line in its write set, aborts the transaction at
+//     the time of access ("requester wins").
+//   - System calls and other abort-causing instructions abort immediately
+//     and set the no-retry hint.
+//
+// Aborted transactions unwind via a typed panic that Runtime.Try recovers;
+// transaction bodies must therefore be written as re-executable closures,
+// exactly like RTM fallback paths in real software.
+package htm
+
+import (
+	"fmt"
+	"math/bits"
+
+	"tsxhpc/internal/sim"
+)
+
+// AbortCause classifies why a transactional execution failed, mirroring the
+// RTM abort-status bits.
+type AbortCause int
+
+const (
+	// NoAbort means the transaction committed.
+	NoAbort AbortCause = iota
+	// Conflict: another thread accessed a line in the read/write set.
+	Conflict
+	// Capacity: a transactionally written line was evicted from L1, or the
+	// secondary read-tracking structure signaled an (possibly false)
+	// overflow conflict.
+	Capacity
+	// SyscallAbort: an instruction that always aborts (system call, I/O).
+	SyscallAbort
+	// Explicit: software executed XABORT.
+	Explicit
+	// LockBusy: the elided lock was observed held at transaction start
+	// (software convention used by lock-elision wrappers).
+	LockBusy
+	// NumCauses is the number of distinct abort causes.
+	NumCauses
+)
+
+// String returns the perf-style name of the cause.
+func (c AbortCause) String() string {
+	switch c {
+	case NoAbort:
+		return "none"
+	case Conflict:
+		return "conflict"
+	case Capacity:
+		return "capacity"
+	case SyscallAbort:
+		return "syscall"
+	case Explicit:
+		return "explicit"
+	case LockBusy:
+		return "lock-busy"
+	}
+	return fmt.Sprintf("cause(%d)", int(c))
+}
+
+// Stats aggregates transactional execution counters, the model's equivalent
+// of the Linux perf TSX event counts the paper collects for Table 1.
+type Stats struct {
+	Starts   uint64
+	Commits  uint64
+	Aborts   [NumCauses]uint64
+	Fallback uint64 // times the fallback lock was explicitly acquired
+}
+
+// TotalAborts sums aborts over all causes.
+func (s *Stats) TotalAborts() uint64 {
+	var t uint64
+	for _, v := range s.Aborts {
+		t += v
+	}
+	return t
+}
+
+// AbortRate returns aborted transactional executions as a percentage of all
+// transactional executions (the Table 1 metric).
+func (s *Stats) AbortRate() float64 {
+	t := s.TotalAborts()
+	if t+s.Commits == 0 {
+		return 0
+	}
+	return 100 * float64(t) / float64(t+s.Commits)
+}
+
+// Reset zeroes the counters.
+func (s *Stats) Reset() { *s = Stats{} }
+
+// lineTrack records which in-flight transactions (by thread id bit) hold a
+// line in their read set and write set. It is the model's stand-in for the
+// coherence directory state the hardware consults.
+type lineTrack struct {
+	readers uint16
+	writers uint16
+}
+
+// Runtime is the per-machine TSX emulation state. Creating a Runtime
+// installs the machine hooks; only one Runtime may be active per Machine.
+type Runtime struct {
+	m      *sim.Machine
+	active []*Txn // indexed by thread id
+	nTxns  int
+	lines  map[sim.Addr]*lineTrack
+	ovf    uint16 // bitmask of thread ids whose read set overflowed to Bloom
+	Stats  Stats
+}
+
+// New creates the TSX runtime for m and installs its conflict, eviction and
+// syscall hooks.
+func New(m *sim.Machine) *Runtime {
+	r := &Runtime{
+		m:      m,
+		active: make([]*Txn, 64),
+		lines:  make(map[sim.Addr]*lineTrack),
+	}
+	m.ConflictHook = r.conflictHook
+	m.EvictHook = r.evictHook
+	m.SyscallHook = r.syscallHook
+	return r
+}
+
+// Txn is one in-flight emulated hardware transaction.
+type Txn struct {
+	rt  *Runtime
+	ctx *sim.Context
+
+	readLines  map[sim.Addr]struct{}
+	writeLines map[sim.Addr]struct{}
+	writeBuf   map[sim.Addr]uint64 // word address -> speculative value
+	bloom      bloom
+	frees      []pendingFree // deferred until commit (TM_FREE discipline)
+
+	doomed  bool
+	cause   AbortCause
+	noRetry bool
+}
+
+type abortSignal struct{ cause AbortCause }
+
+// pendingFree is a memory release deferred to commit: freeing inside a
+// speculative region must not take effect if the region rolls back, and must
+// not expose still-reachable memory for reuse before the unlinking writes
+// become visible.
+type pendingFree struct {
+	addr sim.Addr
+	size int
+}
+
+// Begin starts a transaction on c (XBEGIN). Transactions do not nest; the
+// caller (package tm) flattens nested atomic regions.
+func (r *Runtime) Begin(c *sim.Context) *Txn {
+	if r.active[c.ID()] != nil {
+		panic("htm: nested hardware transaction")
+	}
+	c.Compute(r.m.Costs.XBegin)
+	t := &Txn{
+		rt:         r,
+		ctx:        c,
+		readLines:  make(map[sim.Addr]struct{}, 16),
+		writeLines: make(map[sim.Addr]struct{}, 8),
+		writeBuf:   make(map[sim.Addr]uint64, 8),
+	}
+	r.active[c.ID()] = t
+	r.nTxns++
+	c.InTxn = true
+	c.TxnData = t
+	r.Stats.Starts++
+	return t
+}
+
+// check aborts (unwinds) if the transaction has been doomed by a remote
+// access, an eviction, or a syscall since the last check.
+func (t *Txn) check() {
+	if t.doomed {
+		t.finishAbort()
+	}
+}
+
+func (t *Txn) finishAbort() {
+	t.ctx.Compute(t.rt.m.Costs.XAbort)
+	t.cleanup()
+	t.rt.Stats.Aborts[t.cause]++
+	panic(abortSignal{t.cause})
+}
+
+// Load performs a transactional read of the word at a.
+//
+// The line joins the transaction's tracked read set *before* the timed
+// access: the access may reschedule other threads, and a concurrent
+// conflicting write during that window must see this transaction as a
+// reader (in hardware the tracking and the access are one indivisible
+// event; registering first is the conservative equivalent).
+func (t *Txn) Load(a sim.Addr) uint64 {
+	t.check()
+	if v, ok := t.writeBuf[a]; ok {
+		// Store-to-load forwarding from the speculative buffer.
+		t.ctx.Compute(t.rt.m.Costs.TxAccess)
+		return v
+	}
+	line := sim.LineOf(a)
+	if _, ok := t.readLines[line]; !ok && !t.bloom.has(line) {
+		t.readLines[line] = struct{}{}
+		t.rt.track(line).readers |= 1 << uint(t.ctx.ID())
+	}
+	t.ctx.TxAccess(a, false)
+	t.check()
+	return t.rt.m.Mem.ReadRaw(a)
+}
+
+// Store performs a transactional write of the word at a. The value is
+// buffered in the L1-backed speculative state and only reaches memory at
+// commit. As with Load, write-set tracking precedes the timed access so no
+// unregistered window exists.
+func (t *Txn) Store(a sim.Addr, v uint64) {
+	t.check()
+	line := sim.LineOf(a)
+	if _, ok := t.writeLines[line]; !ok {
+		t.writeLines[line] = struct{}{}
+		t.rt.track(line).writers |= 1 << uint(t.ctx.ID())
+	}
+	t.ctx.TxAccess(a, true)
+	t.check()
+	t.writeBuf[a] = v
+}
+
+// Commit attempts to commit (XEND). On success all buffered writes become
+// architecturally visible at once. The commit latency is charged first and
+// the doom flag is re-checked after it, so a conflict arriving during the
+// commit window still aborts; past that final check the write-back is
+// indivisible (no scheduling points), making the commit a single atomic
+// instant exactly like XEND.
+func (t *Txn) Commit() {
+	t.check()
+	t.ctx.Compute(t.rt.m.Costs.XCommit)
+	t.check()
+	for a, v := range t.writeBuf {
+		t.rt.m.Mem.WriteRaw(a, v)
+	}
+	for _, f := range t.frees {
+		t.rt.m.Mem.Free(f.addr, f.size)
+	}
+	t.cleanup()
+	t.rt.Stats.Commits++
+}
+
+// Free releases a block of simulated memory at commit time. If the
+// transaction aborts, the block stays allocated (and, if the allocation also
+// happened inside the transaction, leaks — matching native memory
+// management inside transactional regions).
+func (t *Txn) Free(a sim.Addr, size int) {
+	t.frees = append(t.frees, pendingFree{a, size})
+}
+
+// Abort executes XABORT with the given software cause, unwinding to the
+// enclosing Try.
+func (t *Txn) Abort(cause AbortCause) {
+	t.doomed = true
+	t.cause = cause
+	t.noRetry = cause == Explicit || cause == SyscallAbort
+	t.finishAbort()
+}
+
+// Doomed reports whether the transaction has already been marked for abort
+// (it will unwind at the next transactional access or commit).
+func (t *Txn) Doomed() bool { return t.doomed }
+
+// Ctx returns the executing context.
+func (t *Txn) Ctx() *sim.Context { return t.ctx }
+
+// cleanup deregisters the transaction: clears the cache marks, the global
+// line tracking, and the per-thread active slot.
+func (t *Txn) cleanup() {
+	r := t.rt
+	id := t.ctx.ID()
+	bit := uint16(1) << uint(id)
+	for line := range t.readLines {
+		r.m.ClearTxMarks(t.ctx, line)
+		if lt := r.lines[line]; lt != nil {
+			lt.readers &^= bit
+			if lt.readers|lt.writers == 0 {
+				delete(r.lines, line)
+			}
+		}
+	}
+	for line := range t.writeLines {
+		r.m.ClearTxMarks(t.ctx, line)
+		if lt := r.lines[line]; lt != nil {
+			lt.writers &^= bit
+			if lt.readers|lt.writers == 0 {
+				delete(r.lines, line)
+			}
+		}
+	}
+	r.ovf &^= bit
+	r.active[id] = nil
+	r.nTxns--
+	t.ctx.InTxn = false
+	t.ctx.TxnData = nil
+}
+
+func (r *Runtime) track(line sim.Addr) *lineTrack {
+	lt := r.lines[line]
+	if lt == nil {
+		lt = &lineTrack{}
+		r.lines[line] = lt
+	}
+	return lt
+}
+
+// doom marks a transaction for abort; the victim unwinds when it next
+// executes a transactional access or attempts to commit.
+func (r *Runtime) doom(t *Txn, cause AbortCause, noRetry bool) {
+	if t.doomed {
+		return
+	}
+	t.doomed = true
+	t.cause = cause
+	t.noRetry = t.noRetry || noRetry
+}
+
+// conflictHook implements eager coherence-based conflict detection: it is
+// invoked on every timed access in the machine and aborts every *other*
+// in-flight transaction whose read/write set intersects the accessed line.
+func (r *Runtime) conflictHook(c *sim.Context, line sim.Addr, write bool) {
+	if r.nTxns == 0 || (r.nTxns == 1 && c.InTxn) {
+		return
+	}
+	self := uint16(1) << uint(c.ID())
+	if lt, ok := r.lines[line]; ok {
+		var victims uint16
+		if write {
+			victims = (lt.readers | lt.writers) &^ self
+		} else {
+			victims = lt.writers &^ self
+		}
+		for victims != 0 {
+			id := trailingZeros16(victims)
+			victims &^= 1 << uint(id)
+			if t := r.active[id]; t != nil {
+				r.doom(t, Conflict, false)
+			}
+		}
+	}
+	// Lines demoted to the secondary (Bloom) tracker are checked on writes
+	// only; reads cannot conflict with a read set.
+	if write && r.ovf != 0 {
+		ovf := r.ovf &^ self
+		for ovf != 0 {
+			id := trailingZeros16(ovf)
+			ovf &^= 1 << uint(id)
+			if t := r.active[id]; t != nil && !t.doomed && t.bloom.has(line) {
+				r.doom(t, Conflict, false)
+			}
+		}
+	}
+}
+
+// evictHook implements the L1-as-transactional-buffer rule: losing a written
+// line is fatal (capacity abort); a read line demotes to the Bloom-filter
+// secondary structure and may abort the transaction later.
+func (r *Runtime) evictHook(owner *sim.Context, line sim.Addr, wasWrite bool) {
+	t := r.active[owner.ID()]
+	if t == nil {
+		return // stale mark from an already-finished transaction
+	}
+	if wasWrite {
+		r.doom(t, Capacity, false)
+		return
+	}
+	// Demoting a read line to the secondary structure is usually clean, but
+	// the imprecise overflow tracking occasionally costs the transaction
+	// (see Costs.ReadEvictAbortPerMille).
+	if pm := r.m.Costs.ReadEvictAbortPerMille; pm > 0 && owner.Rand.Int63n(1000) < int64(pm) {
+		r.doom(t, Capacity, false)
+		return
+	}
+	if _, ok := t.readLines[line]; ok {
+		delete(t.readLines, line)
+		bit := uint16(1) << uint(owner.ID())
+		if lt := r.lines[line]; lt != nil {
+			lt.readers &^= bit
+			if lt.readers|lt.writers == 0 {
+				delete(r.lines, line)
+			}
+		}
+		t.bloom.add(line)
+		r.ovf |= bit
+	}
+}
+
+// syscallHook aborts the caller's in-flight transaction with the no-retry
+// hint: system calls can never succeed transactionally, so the elision
+// wrapper should acquire the lock without further retries.
+func (r *Runtime) syscallHook(c *sim.Context) {
+	if t := r.active[c.ID()]; t != nil {
+		r.doom(t, SyscallAbort, true)
+	}
+}
+
+// Try executes body transactionally once. It returns (NoAbort, false) on
+// commit; otherwise the abort cause and whether the hardware hinted that a
+// retry cannot succeed. Body must be a re-executable closure with no
+// non-transactional side effects before its first transactional operation.
+func (r *Runtime) Try(c *sim.Context, body func(*Txn)) (cause AbortCause, noRetry bool) {
+	t := r.Begin(c)
+	defer func() {
+		if p := recover(); p != nil {
+			sig, ok := p.(abortSignal)
+			if !ok {
+				// A genuine program error: drop the txn and re-panic.
+				if r.active[c.ID()] == t {
+					t.cleanup()
+				}
+				panic(p)
+			}
+			cause = sig.cause
+			noRetry = t.noRetry
+		}
+	}()
+	body(t)
+	t.Commit()
+	return NoAbort, false
+}
+
+// Active returns c's in-flight transaction, or nil.
+func (r *Runtime) Active(c *sim.Context) *Txn { return r.active[c.ID()] }
+
+func trailingZeros16(v uint16) int { return bits.TrailingZeros16(v) }

@@ -1,0 +1,382 @@
+package htm
+
+import (
+	"testing"
+
+	"tsxhpc/internal/sim"
+)
+
+func mach() (*sim.Machine, *Runtime) {
+	m := sim.New(sim.DefaultConfig())
+	return m, New(m)
+}
+
+func TestCommitPublishesWrites(t *testing.T) {
+	m, r := mach()
+	a := m.Mem.AllocLine(16)
+	m.Run(1, func(c *sim.Context) {
+		cause, _ := r.Try(c, func(tx *Txn) {
+			tx.Store(a, 7)
+			tx.Store(a+8, 9)
+		})
+		if cause != NoAbort {
+			t.Errorf("cause = %v", cause)
+		}
+	})
+	if m.Mem.ReadRaw(a) != 7 || m.Mem.ReadRaw(a+8) != 9 {
+		t.Fatal("committed writes not visible")
+	}
+	if r.Stats.Commits != 1 || r.Stats.TotalAborts() != 0 {
+		t.Fatalf("stats = %+v", r.Stats)
+	}
+}
+
+func TestWritesInvisibleUntilCommit(t *testing.T) {
+	m, r := mach()
+	a := m.Mem.AllocLine(8)
+	m.Run(1, func(c *sim.Context) {
+		r.Try(c, func(tx *Txn) {
+			tx.Store(a, 42)
+			if m.Mem.ReadRaw(a) != 0 {
+				t.Error("speculative write reached memory before commit")
+			}
+		})
+	})
+}
+
+func TestExplicitAbortDiscards(t *testing.T) {
+	m, r := mach()
+	a := m.Mem.AllocLine(8)
+	m.Run(1, func(c *sim.Context) {
+		cause, noRetry := r.Try(c, func(tx *Txn) {
+			tx.Store(a, 42)
+			tx.Abort(Explicit)
+		})
+		if cause != Explicit || !noRetry {
+			t.Errorf("cause=%v noRetry=%v", cause, noRetry)
+		}
+	})
+	if m.Mem.ReadRaw(a) != 0 {
+		t.Fatal("aborted write leaked to memory")
+	}
+	if r.Stats.Aborts[Explicit] != 1 {
+		t.Fatalf("stats = %+v", r.Stats)
+	}
+}
+
+func TestReadOwnWrite(t *testing.T) {
+	m, r := mach()
+	a := m.Mem.AllocLine(8)
+	m.Mem.WriteRaw(a, 5)
+	m.Run(1, func(c *sim.Context) {
+		r.Try(c, func(tx *Txn) {
+			if v := tx.Load(a); v != 5 {
+				t.Errorf("initial load = %d", v)
+			}
+			tx.Store(a, 11)
+			if v := tx.Load(a); v != 11 {
+				t.Errorf("read-own-write = %d, want 11", v)
+			}
+		})
+	})
+	if m.Mem.ReadRaw(a) != 11 {
+		t.Fatal("final value wrong")
+	}
+}
+
+func TestWriteWriteConflictAborts(t *testing.T) {
+	m, r := mach()
+	a := m.Mem.AllocLine(8)
+	sawConflict := false
+	m.Run(2, func(c *sim.Context) {
+		if c.ID() == 0 {
+			cause, _ := r.Try(c, func(tx *Txn) {
+				tx.Store(a, 1)
+				tx.Ctx().Compute(5000) // hold the line while thread 1 writes
+				tx.Load(a)             // doom noticed here
+			})
+			if cause == Conflict {
+				sawConflict = true
+			}
+			return
+		}
+		c.Compute(1000)
+		r.Try(c, func(tx *Txn) { tx.Store(a, 2) })
+	})
+	if !sawConflict {
+		t.Fatal("expected a conflict abort")
+	}
+	if m.Mem.ReadRaw(a) != 2 {
+		t.Fatalf("memory = %d, want only thread 1's committed value", m.Mem.ReadRaw(a))
+	}
+}
+
+func TestReadWriteConflictAborts(t *testing.T) {
+	m, r := mach()
+	a := m.Mem.AllocLine(8)
+	var cause0 AbortCause
+	m.Run(2, func(c *sim.Context) {
+		if c.ID() == 0 {
+			cause0, _ = r.Try(c, func(tx *Txn) {
+				tx.Load(a)
+				tx.Ctx().Compute(5000)
+				tx.Load(a)
+			})
+			return
+		}
+		c.Compute(1000)
+		c.Store(a, 9) // non-transactional remote store into the read set
+	})
+	if cause0 != Conflict {
+		t.Fatalf("cause = %v, want Conflict (remote plain store must abort readers)", cause0)
+	}
+}
+
+func TestRemoteReadOfWriteSetAborts(t *testing.T) {
+	m, r := mach()
+	a := m.Mem.AllocLine(8)
+	var cause0 AbortCause
+	m.Run(2, func(c *sim.Context) {
+		if c.ID() == 0 {
+			cause0, _ = r.Try(c, func(tx *Txn) {
+				tx.Store(a, 3)
+				tx.Ctx().Compute(5000)
+				tx.Load(a)
+			})
+			return
+		}
+		c.Compute(1000)
+		c.Load(a) // a plain read of a speculatively written line
+	})
+	if cause0 != Conflict {
+		t.Fatalf("cause = %v, want Conflict", cause0)
+	}
+}
+
+func TestConcurrentReadersDoNotConflict(t *testing.T) {
+	m, r := mach()
+	a := m.Mem.AllocLine(8)
+	aborts := 0
+	m.Run(4, func(c *sim.Context) {
+		cause, _ := r.Try(c, func(tx *Txn) {
+			tx.Load(a)
+			tx.Ctx().Compute(1000)
+			tx.Load(a)
+		})
+		if cause != NoAbort {
+			aborts++
+		}
+	})
+	if aborts != 0 {
+		t.Fatalf("read-sharing transactions aborted %d times", aborts)
+	}
+}
+
+func TestCapacityAbortOnWriteSetOverflow(t *testing.T) {
+	m, r := mach()
+	// 9 distinct lines mapping to one cache set (stride 64 sets * 64 B).
+	base := m.Mem.AllocLine(16 * 4096)
+	var cause AbortCause
+	m.Run(1, func(c *sim.Context) {
+		cause, _ = r.Try(c, func(tx *Txn) {
+			for i := 0; i < 9; i++ {
+				tx.Store(base+sim.Addr(i*4096), uint64(i))
+			}
+		})
+	})
+	if cause != Capacity {
+		t.Fatalf("cause = %v, want Capacity", cause)
+	}
+	for i := 0; i < 9; i++ {
+		if m.Mem.ReadRaw(base+sim.Addr(i*4096)) != 0 {
+			t.Fatal("speculative write survived a capacity abort")
+		}
+	}
+}
+
+func TestReadSetOverflowDemotesToBloom(t *testing.T) {
+	m, r := mach()
+	base := m.Mem.AllocLine(16 * 4096)
+	var cause AbortCause
+	m.Run(1, func(c *sim.Context) {
+		cause, _ = r.Try(c, func(tx *Txn) {
+			// Reads overflowing one set must NOT abort: evicted read lines
+			// move to the secondary structure.
+			for i := 0; i < 12; i++ {
+				tx.Load(base + sim.Addr(i*4096))
+			}
+		})
+	})
+	if cause != NoAbort {
+		t.Fatalf("cause = %v, want NoAbort (read overflow is tracked, not fatal)", cause)
+	}
+}
+
+func TestBloomTrackedReadStillConflicts(t *testing.T) {
+	m, r := mach()
+	base := m.Mem.AllocLine(16 * 4096)
+	var cause0 AbortCause
+	m.Run(2, func(c *sim.Context) {
+		if c.ID() == 0 {
+			cause0, _ = r.Try(c, func(tx *Txn) {
+				for i := 0; i < 12; i++ {
+					tx.Load(base + sim.Addr(i*4096)) // overflow the set
+				}
+				tx.Ctx().Compute(8000)
+				tx.Load(base) // notice the doom
+			})
+			return
+		}
+		c.Compute(3000)
+		c.Store(base, 1) // line 0 was demoted to the Bloom filter
+	})
+	if cause0 != Conflict {
+		t.Fatalf("cause = %v, want Conflict via secondary tracking", cause0)
+	}
+}
+
+func TestSyscallAbortsWithNoRetry(t *testing.T) {
+	m, r := mach()
+	var cause AbortCause
+	var noRetry bool
+	m.Run(1, func(c *sim.Context) {
+		cause, noRetry = r.Try(c, func(tx *Txn) {
+			tx.Ctx().Syscall(100)
+			tx.Load(1024) // reach a transactional op to notice the doom
+		})
+	})
+	if cause != SyscallAbort || !noRetry {
+		t.Fatalf("cause=%v noRetry=%v, want SyscallAbort/no-retry", cause, noRetry)
+	}
+}
+
+func TestCommitNoticesPendingDoom(t *testing.T) {
+	m, r := mach()
+	a := m.Mem.AllocLine(8)
+	var cause0 AbortCause
+	m.Run(2, func(c *sim.Context) {
+		if c.ID() == 0 {
+			cause0, _ = r.Try(c, func(tx *Txn) {
+				tx.Store(a, 1)
+				tx.Ctx().Compute(5000)
+				// No more accesses: the doom must be caught by Commit.
+			})
+			return
+		}
+		c.Compute(1000)
+		c.Store(a, 2)
+	})
+	if cause0 != Conflict {
+		t.Fatalf("cause = %v, want Conflict detected at commit", cause0)
+	}
+	if m.Mem.ReadRaw(a) != 2 {
+		t.Fatal("aborted transaction's write leaked")
+	}
+}
+
+func TestMarksClearedAfterCommit(t *testing.T) {
+	m, r := mach()
+	a := m.Mem.AllocLine(8)
+	m.Run(2, func(c *sim.Context) {
+		if c.ID() == 0 {
+			r.Try(c, func(tx *Txn) { tx.Store(a, 1) })
+			c.Compute(10000)
+			return
+		}
+		c.Compute(5000)
+		// By now thread 0's transaction committed; a plain write must not
+		// find any stale transactional state.
+		c.Store(a, 2)
+		cause, _ := r.Try(c, func(tx *Txn) { tx.Store(a, 3) })
+		if cause != NoAbort {
+			t.Errorf("stale marks caused abort: %v", cause)
+		}
+	})
+	if r.Stats.Commits != 2 {
+		t.Fatalf("commits = %d, want 2", r.Stats.Commits)
+	}
+}
+
+func TestNestedBeginPanics(t *testing.T) {
+	m, r := mach()
+	m.Run(1, func(c *sim.Context) {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic on nested Begin")
+			}
+			// Leave the context clean for the outer Try recovery.
+			if tx := r.Active(c); tx != nil {
+				c.InTxn = false
+				c.TxnData = nil
+			}
+		}()
+		r.Begin(c)
+		r.Begin(c)
+	})
+}
+
+func TestRetryLoopCounterCorrectness(t *testing.T) {
+	m, r := mach()
+	a := m.Mem.AllocLine(8)
+	const perThread = 300
+	m.Run(8, func(c *sim.Context) {
+		for i := 0; i < perThread; i++ {
+			for {
+				cause, _ := r.Try(c, func(tx *Txn) {
+					tx.Store(a, tx.Load(a)+1)
+				})
+				if cause == NoAbort {
+					break
+				}
+				c.Compute(uint64(c.Rand.Int63n(100)) + 1)
+			}
+		}
+	})
+	if got := m.Mem.ReadRaw(a); got != 8*perThread {
+		t.Fatalf("counter = %d, want %d (atomicity violated)", got, 8*perThread)
+	}
+	if r.Stats.Aborts[Conflict] == 0 {
+		t.Fatal("expected some conflict aborts under this much contention")
+	}
+}
+
+func TestAbortRateMetric(t *testing.T) {
+	var s Stats
+	if s.AbortRate() != 0 {
+		t.Fatal("empty stats should report 0")
+	}
+	s.Commits = 3
+	s.Aborts[Conflict] = 1
+	if got := s.AbortRate(); got != 25 {
+		t.Fatalf("AbortRate = %v, want 25", got)
+	}
+}
+
+func TestAbortCauseStrings(t *testing.T) {
+	names := map[AbortCause]string{
+		NoAbort: "none", Conflict: "conflict", Capacity: "capacity",
+		SyscallAbort: "syscall", Explicit: "explicit", LockBusy: "lock-busy",
+	}
+	for c, want := range names {
+		if c.String() != want {
+			t.Errorf("%d.String() = %q, want %q", c, c.String(), want)
+		}
+	}
+}
+
+func TestBloomProperties(t *testing.T) {
+	var b bloom
+	lines := []sim.Addr{0, 64, 128, 4096, 65536}
+	for _, l := range lines {
+		b.add(l)
+	}
+	for _, l := range lines {
+		if !b.has(l) {
+			t.Fatalf("bloom lost line %#x", l)
+		}
+	}
+	var empty bloom
+	if empty.has(64) {
+		t.Fatal("empty bloom claims membership")
+	}
+}

@@ -1,0 +1,185 @@
+// Package netapps implements the three network-intensive PARSEC workloads
+// the paper runs over the user-level TCP/IP stack (Section 6, Figure 6).
+// Each is organized client-server: clients send input data over the
+// network, servers compress or analyze it. The reported metric is the
+// server-side read bandwidth, "since it lies on the critical path of the
+// execution"; for the pipelined workloads (netferret, netdedup) the input
+// stage executes in full before the rest of the pipeline, as in the paper's
+// measurement methodology.
+package netapps
+
+import (
+	"fmt"
+
+	"tsxhpc/internal/core"
+	"tsxhpc/internal/netstack"
+	"tsxhpc/internal/sim"
+)
+
+// Result is one (app, locking-mode) execution.
+type Result struct {
+	App   string
+	Mode  core.LockMode
+	Bytes uint64 // server-side payload bytes received
+	// ReadCycles is the virtual time at which the last server thread
+	// finished reading its input (the denominator of read bandwidth).
+	ReadCycles uint64
+	Cycles     uint64
+}
+
+// Bandwidth returns server-side read bandwidth in bytes per kilocycle.
+func (r Result) Bandwidth() float64 {
+	if r.ReadCycles == 0 {
+		return 0
+	}
+	return 1000 * float64(r.Bytes) / float64(r.ReadCycles)
+}
+
+// Modes lists the Figure 6 locking-module implementations in figure order.
+var Modes = []core.LockMode{
+	core.ModeMutex, core.ModeTSXAbort, core.ModeTSXCond,
+	core.ModeMutexBusyWait, core.ModeTSXBusyWait,
+}
+
+// app describes one workload's traffic and compute pattern.
+type app struct {
+	name       string
+	packets    int // client packets per connection
+	packetSize int // bytes per client packet
+	serverWork uint64
+	// requestResponse makes every packet a query the server answers with a
+	// small response the client waits for (netferret's many small packets).
+	requestResponse bool
+	respSize        int
+	// staged buffers the whole input before the compute stage (netdedup).
+	staged     bool
+	stagedWork uint64
+}
+
+var apps = map[string]app{
+	"netstreamcluster": {
+		name: "netstreamcluster", packets: 192, packetSize: 1024, serverWork: 900,
+	},
+	"netferret": {
+		name: "netferret", packets: 160, packetSize: 96, serverWork: 1200,
+		requestResponse: true, respSize: 160,
+	},
+	"netdedup": {
+		name: "netdedup", packets: 192, packetSize: 1024, serverWork: 400,
+		staged: true, stagedWork: 1300,
+	},
+}
+
+// Names returns the workload names in Figure 6 order.
+func Names() []string { return []string{"netstreamcluster", "netferret", "netdedup"} }
+
+const (
+	conns   = 4  // one connection per core pair
+	ringCap = 48 // socket ring capacity in packets
+)
+
+// Run executes one workload over a fresh stack with the given locking
+// module, validates stream integrity, and returns the bandwidth result.
+func Run(name string, mode core.LockMode) (Result, error) {
+	a, ok := apps[name]
+	if !ok {
+		return Result{}, fmt.Errorf("netapps: unknown workload %q", name)
+	}
+	m := sim.New(sim.DefaultConfig())
+	st := netstack.New(m, mode)
+	cs := make([]*netstack.Conn, conns)
+	for i := range cs {
+		cs[i] = st.NewConn(ringCap)
+	}
+	errs := make([]error, 2*conns)
+	readDone := make([]uint64, conns)
+	bytesRead := make([]uint64, conns)
+
+	res := m.Run(2*conns, func(c *sim.Context) {
+		if c.ID() < conns {
+			errs[c.ID()] = server(c, a, cs[c.ID()], &readDone[c.ID()], &bytesRead[c.ID()])
+		} else {
+			errs[c.ID()] = client(c, a, cs[c.ID()-conns])
+		}
+	})
+
+	out := Result{App: name, Mode: mode, Cycles: res.Cycles}
+	for i := 0; i < conns; i++ {
+		out.Bytes += bytesRead[i]
+		if readDone[i] > out.ReadCycles {
+			out.ReadCycles = readDone[i]
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return Result{}, fmt.Errorf("netapps: %s/%v: %w", name, mode, err)
+		}
+	}
+	// Stream integrity: all bytes arrived, rings drained.
+	want := uint64(conns * a.packets * a.packetSize)
+	if out.Bytes != want {
+		return Result{}, fmt.Errorf("netapps: %s/%v: received %d of %d bytes", name, mode, out.Bytes, want)
+	}
+	for i, cn := range cs {
+		if err := cn.C2S.CheckDrained(); err != nil {
+			return Result{}, fmt.Errorf("netapps: %s/%v conn %d c2s: %w", name, mode, i, err)
+		}
+	}
+	return out, nil
+}
+
+func client(c *sim.Context, a app, cn *netstack.Conn) error {
+	for i := 0; i < a.packets; i++ {
+		c.Compute(300) // input generation / file read
+		cn.C2S.Send(c, a.packetSize, uint64(i))
+		if a.requestResponse {
+			n, seq, ok := cn.S2C.Recv(c)
+			if !ok || seq != uint64(i) || n != a.respSize {
+				return fmt.Errorf("client: bad response %d/%d/%v for query %d", n, seq, ok, i)
+			}
+		}
+	}
+	cn.C2S.Close(c)
+	return nil
+}
+
+func server(c *sim.Context, a app, cn *netstack.Conn, readDone *uint64, bytes *uint64) error {
+	next := uint64(0)
+	var sizes []int
+	for {
+		n, seq, ok := cn.C2S.Recv(c)
+		if !ok {
+			break
+		}
+		if seq != next {
+			return fmt.Errorf("server: packet %d arrived out of order (want %d)", seq, next)
+		}
+		next++
+		*bytes += uint64(n)
+		if a.staged {
+			// Input stage only: buffer the chunk; the pipeline's compute
+			// stages run after all input is read.
+			c.Compute(a.serverWork)
+			sizes = append(sizes, n)
+			continue
+		}
+		c.Compute(a.serverWork)
+		if a.requestResponse {
+			cn.S2C.Send(c, a.respSize, seq)
+		}
+	}
+	*readDone = c.Now()
+	if a.requestResponse {
+		cn.S2C.Close(c)
+	}
+	if a.staged {
+		// Rest of the pipeline: chunk hashing and compression.
+		for range sizes {
+			c.Compute(a.stagedWork)
+		}
+	}
+	if int(next) != a.packets {
+		return fmt.Errorf("server: received %d of %d packets", next, a.packets)
+	}
+	return nil
+}

@@ -1,0 +1,115 @@
+package netstack
+
+import (
+	"tsxhpc/internal/core"
+	"tsxhpc/internal/sim"
+)
+
+// Listener is the stack's passive-open path: a bounded accept queue (the
+// BSD syncache/accept queue) living in simulated memory, synchronized —
+// like everything else — through the stack's global lock domain and a
+// monitor condition. Dial enqueues a fresh connection (the three-way
+// handshake condensed to its bookkeeping cost); Accept blocks until one is
+// available.
+type Listener struct {
+	st       *Stack
+	notEmpty *core.CondVar
+	base     sim.Addr // [0]=head, [8]=tail, [16]=count, [24]=closed, ring after
+	backlog  int
+	conns    []*Conn // host-side connection objects referenced by ring slots
+}
+
+const (
+	lqHead   = 0
+	lqTail   = 8
+	lqCount  = 16
+	lqClosed = 24
+	lqRing   = 64
+)
+
+// handshakeCost models SYN/SYN-ACK/ACK processing.
+const handshakeCost = 3 * headerCost
+
+// Listen creates a listener with the given backlog.
+func (st *Stack) Listen(backlog int) *Listener {
+	if backlog < 1 {
+		backlog = 1
+	}
+	return &Listener{
+		st:       st,
+		notEmpty: st.LM.NewCond(),
+		base:     st.M.Mem.AllocLine(lqRing + 8*backlog),
+		backlog:  backlog,
+	}
+}
+
+// Dial performs an active open against the listener: it allocates a
+// connected socket pair, runs the handshake, and places the server end on
+// the accept queue. It returns the client end, or nil if the listener is
+// closed or its backlog is full (ECONNREFUSED).
+func (l *Listener) Dial(c *sim.Context, capacity int) *Conn {
+	cn := l.st.NewConn(capacity)
+	c.Compute(handshakeCost)
+	accepted := false
+	l.st.region.Do(c, func(cs core.CS) {
+		accepted = false
+		if cs.Load(l.base+lqClosed) != 0 {
+			return
+		}
+		count := cs.Load(l.base + lqCount)
+		if count >= uint64(l.backlog) {
+			return // backlog full: refuse
+		}
+		tail := cs.Load(l.base + lqTail)
+		// Ring slots store 1-based indices into the host-side conns table;
+		// the table is append-only, so an aborted registration only leaks
+		// the (re-created) entry.
+		l.conns = append(l.conns, cn)
+		cs.Store(l.base+lqRing+sim.Addr((tail%uint64(l.backlog))*8), uint64(len(l.conns)))
+		cs.Store(l.base+lqTail, tail+1)
+		cs.Store(l.base+lqCount, count+1)
+		accepted = true
+		if cs.Waiters(l.notEmpty) > 0 {
+			cs.Signal(l.notEmpty)
+		}
+	})
+	if !accepted {
+		return nil
+	}
+	return cn
+}
+
+// Accept blocks until a connection is pending and returns its server end,
+// or nil once the listener is closed and drained.
+func (l *Listener) Accept(c *sim.Context) *Conn {
+	var cn *Conn
+	l.st.region.Do(c, func(cs core.CS) {
+		cn = nil
+		for cs.Load(l.base+lqCount) == 0 {
+			if cs.Load(l.base+lqClosed) != 0 {
+				return
+			}
+			cs.Wait(l.notEmpty)
+		}
+		head := cs.Load(l.base + lqHead)
+		idx := cs.Load(l.base + lqRing + sim.Addr((head%uint64(l.backlog))*8))
+		cs.Store(l.base+lqHead, head+1)
+		cs.Store(l.base+lqCount, cs.Load(l.base+lqCount)-1)
+		cn = l.conns[idx-1]
+	})
+	if cn != nil {
+		c.Compute(handshakeCost)
+	}
+	return cn
+}
+
+// Close shuts the listener: pending Dials fail and blocked Accepts drain
+// the queue and then return nil.
+func (l *Listener) Close(c *sim.Context) {
+	l.st.region.Do(c, func(cs core.CS) {
+		cs.Store(l.base+lqClosed, 1)
+		if cs.Waiters(l.notEmpty) > 0 {
+			cs.Broadcast(l.notEmpty)
+		}
+	})
+}

@@ -1,0 +1,124 @@
+package netstack
+
+import (
+	"testing"
+
+	"tsxhpc/internal/core"
+	"tsxhpc/internal/sim"
+)
+
+// TestListenerAcceptAllModes runs a full listen/dial/accept/transfer cycle
+// under every locking-module mode: 3 clients dial in, 2 server threads
+// accept and read, every byte must arrive.
+func TestListenerAcceptAllModes(t *testing.T) {
+	for _, mode := range allModes() {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			m := sim.New(sim.DefaultConfig())
+			st := New(m, mode)
+			ln := st.Listen(8)
+			const clients = 3
+			const packets = 40
+			received := make([]int, 2)
+			m.Run(2+clients, func(c *sim.Context) {
+				if c.ID() < 2 { // acceptors/readers
+					for {
+						cn := ln.Accept(c)
+						if cn == nil {
+							return
+						}
+						for {
+							_, _, ok := cn.C2S.Recv(c)
+							if !ok {
+								break
+							}
+							received[c.ID()]++
+						}
+					}
+				}
+				// Clients.
+				cn := ln.Dial(c, 8)
+				if cn == nil {
+					t.Errorf("%v: dial refused", mode)
+					return
+				}
+				for i := 0; i < packets; i++ {
+					cn.C2S.Send(c, 128, uint64(i))
+				}
+				cn.C2S.Close(c)
+				if c.ID() == 2+clients-1 {
+					// Last client closes the listener once everyone dialed;
+					// clients dial first thing, so by the time the last
+					// client finishes sending, all connections exist.
+					ln.Close(c)
+				}
+			})
+			total := received[0] + received[1]
+			if total != clients*packets {
+				t.Fatalf("%v: received %d of %d packets", mode, total, clients*packets)
+			}
+		})
+	}
+}
+
+func TestListenerBacklogRefusal(t *testing.T) {
+	m := sim.New(sim.DefaultConfig())
+	st := New(m, core.ModeMutex)
+	ln := st.Listen(2)
+	refused := 0
+	m.Run(1, func(c *sim.Context) {
+		for i := 0; i < 4; i++ {
+			if ln.Dial(c, 4) == nil {
+				refused++
+			}
+		}
+	})
+	if refused != 2 {
+		t.Fatalf("refused = %d, want 2 (backlog 2, 4 dials, no acceptor)", refused)
+	}
+}
+
+func TestListenerCloseUnblocksAccept(t *testing.T) {
+	m := sim.New(sim.DefaultConfig())
+	st := New(m, core.ModeTSXCond)
+	ln := st.Listen(4)
+	var got *Conn = &Conn{} // sentinel non-nil
+	m.Run(2, func(c *sim.Context) {
+		if c.ID() == 0 {
+			got = ln.Accept(c)
+			return
+		}
+		c.Compute(30000)
+		ln.Close(c)
+	})
+	if got != nil {
+		t.Fatal("Accept should return nil after Close")
+	}
+	m2 := sim.New(sim.DefaultConfig())
+	st2 := New(m2, core.ModeMutex)
+	ln2 := st2.Listen(4)
+	m2.Run(1, func(c *sim.Context) {
+		ln2.Close(c)
+		if ln2.Dial(c, 4) != nil {
+			t.Error("Dial to a closed listener should be refused")
+		}
+	})
+}
+
+func TestListenerDrainsQueueAfterClose(t *testing.T) {
+	m := sim.New(sim.DefaultConfig())
+	st := New(m, core.ModeMutex)
+	ln := st.Listen(4)
+	accepted := 0
+	m.Run(1, func(c *sim.Context) {
+		ln.Dial(c, 4)
+		ln.Dial(c, 4)
+		ln.Close(c)
+		for ln.Accept(c) != nil {
+			accepted++
+		}
+	})
+	if accepted != 2 {
+		t.Fatalf("accepted = %d, want 2 (queued before close must drain)", accepted)
+	}
+}

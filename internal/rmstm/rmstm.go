@@ -1,0 +1,169 @@
+// Package rmstm reimplements the RMS-TM benchmark subset used in Section 4.3
+// of the paper (Figure 3): real recognition/mining/synthesis applications
+// adapted to transactional memory. In contrast to STAMP, these workloads
+// come with mature fine-grained locking, have moderate critical-section
+// footprints, and perform native memory management and file I/O *inside*
+// critical sections (the paper disables TM-MEM and TM-FILE) — system calls
+// that unconditionally abort a hardware transaction.
+//
+// Three synchronization schemes are compared, as in Figure 3:
+//
+//   - fgl — the application's original fine-grained locks;
+//   - sgl — every critical-section macro mapped to one global lock;
+//   - tsx — the same single global lock, transactionally elided.
+//
+// Five of the suite's workloads are implemented: the two the paper singles
+// out (fluidanimate, whose many tiny critical sections make sgl collapse;
+// utilitymine, which spends >30% of its execution in critical sections),
+// apriori and hmmsearch as the representative I/O-inside-transaction cases,
+// and scalparc for the classification branch of the suite.
+package rmstm
+
+import (
+	"fmt"
+	"sort"
+
+	"tsxhpc/internal/htm"
+	"tsxhpc/internal/sim"
+	"tsxhpc/internal/ssync"
+	"tsxhpc/internal/tm"
+)
+
+// Scheme selects the synchronization scheme of Figure 3.
+type Scheme int
+
+const (
+	// FGL uses the workload's original fine-grained locks.
+	FGL Scheme = iota
+	// SGLScheme maps every critical section to one global lock.
+	SGLScheme
+	// TSXScheme transactionally elides that single global lock.
+	TSXScheme
+)
+
+// String names the scheme as in Figure 3.
+func (s Scheme) String() string {
+	switch s {
+	case FGL:
+		return "fgl"
+	case SGLScheme:
+		return "sgl"
+	case TSXScheme:
+		return "tsx"
+	}
+	return fmt.Sprintf("Scheme(%d)", int(s))
+}
+
+// Schemes lists the Figure 3 schemes.
+var Schemes = []Scheme{FGL, SGLScheme, TSXScheme}
+
+// Env is the per-run synchronization environment handed to workloads.
+type Env struct {
+	M      *sim.Machine
+	Scheme Scheme
+	Sys    *tm.System     // SGL or TSX system (nil for FGL)
+	Locks  []*ssync.Mutex // the workload's fine-grained lock array (FGL)
+}
+
+// Critical executes body as one critical section. Under FGL it acquires the
+// listed fine-grained locks in sorted order; under sgl/tsx the body runs as
+// a region of the single-global-lock system (elided for tsx). The guarded
+// code section is identical across schemes, as the paper requires.
+func (e *Env) Critical(c *sim.Context, lockIdx []int, body func(tx tm.Tx)) {
+	if e.Scheme == FGL {
+		idx := append([]int(nil), lockIdx...)
+		sort.Ints(idx)
+		for i, l := range idx {
+			if i > 0 && l == idx[i-1] {
+				continue
+			}
+			e.Locks[l].Lock(c)
+		}
+		body(tm.PlainTx(c))
+		for i := len(idx) - 1; i >= 0; i-- {
+			if i > 0 && idx[i] == idx[i-1] {
+				continue
+			}
+			e.Locks[idx[i]].Unlock(c)
+		}
+		return
+	}
+	e.Sys.Atomic(c, body)
+}
+
+// Workload is one RMS-TM benchmark instance (single-use).
+type Workload interface {
+	Name() string
+	Setup(e *Env, threads int)
+	Thread(c *sim.Context, e *Env)
+	Validate(m *sim.Machine) error
+}
+
+// Registry maps workload names to constructors.
+var Registry = map[string]func() Workload{
+	"apriori":      func() Workload { return newApriori() },
+	"fluidanimate": func() Workload { return newFluidanimate() },
+	"utilitymine":  func() Workload { return newUtilitymine() },
+}
+
+// Names returns the workload names in a stable order.
+func Names() []string {
+	ns := make([]string, 0, len(Registry))
+	for n := range Registry {
+		ns = append(ns, n)
+	}
+	sort.Strings(ns)
+	return ns
+}
+
+// Result is one (workload, scheme, threads) execution.
+type Result struct {
+	Workload  string
+	Scheme    Scheme
+	Threads   int
+	Cycles    uint64
+	AbortRate float64
+	Syscalls  uint64 // syscall-caused transactional aborts observed
+}
+
+// Execute runs one workload under one scheme and thread count on a fresh
+// machine and validates the result.
+func Execute(name string, scheme Scheme, threads, nLocks int) (Result, error) {
+	ctor, ok := Registry[name]
+	if !ok {
+		return Result{}, fmt.Errorf("rmstm: unknown workload %q", name)
+	}
+	m := sim.New(sim.DefaultConfig())
+	e := &Env{M: m, Scheme: scheme}
+	switch scheme {
+	case SGLScheme:
+		e.Sys = tm.NewSystem(m, tm.SGL)
+	case TSXScheme:
+		e.Sys = tm.NewSystem(m, tm.TSX)
+	default:
+		e.Locks = make([]*ssync.Mutex, nLocks)
+		for i := range e.Locks {
+			e.Locks[i] = ssync.NewMutex(m.Mem)
+		}
+	}
+	w := ctor()
+	w.Setup(e, threads)
+	if e.Sys != nil {
+		e.Sys.ResetStats()
+	}
+	res := m.Run(threads, func(c *sim.Context) { w.Thread(c, e) })
+	if err := w.Validate(m); err != nil {
+		return Result{}, fmt.Errorf("rmstm: %s/%v/%dT: %w", name, scheme, threads, err)
+	}
+	out := Result{Workload: name, Scheme: scheme, Threads: threads, Cycles: res.Cycles}
+	if e.Sys != nil {
+		out.AbortRate = e.Sys.AbortRate()
+		if e.Sys.HTM != nil {
+			out.Syscalls = e.Sys.HTM.Stats.Aborts[htm.SyscallAbort]
+		}
+	}
+	return out, nil
+}
+
+// DefaultLocks is the fine-grained lock pool size workloads use.
+const DefaultLocks = 64

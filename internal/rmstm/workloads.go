@@ -1,0 +1,233 @@
+package rmstm
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tsxhpc/internal/sim"
+	"tsxhpc/internal/tm"
+)
+
+// apriori is RMS-TM's frequent-itemset miner: threads scan market baskets
+// and bump support counters for candidate item pairs in a shared hash
+// table, each update guarded by a per-bucket lock in the original code.
+// Candidate-list growth allocates natively and intermediate results are
+// flushed to a file from *inside* the critical section — a system call that
+// always aborts transactional execution (the TM-MEM/TM-FILE-disabled
+// configuration of Section 4.3).
+type apriori struct {
+	items    int
+	baskets  [][]int
+	counters sim.Addr // candidate-pair support counts (hashed)
+	nBuckets int
+	flushes  sim.Addr // per-thread flush tallies (line-strided)
+	expected map[int]uint64
+	threads  int
+}
+
+func newApriori() *apriori { return &apriori{items: 192, nBuckets: 4096} }
+
+func (w *apriori) Name() string { return "apriori" }
+
+func (w *apriori) bucket(a, b int) int {
+	h := uint64(a*w.items+b) * 0x9e3779b97f4a7c15
+	return int(h>>40) % w.nBuckets
+}
+
+func (w *apriori) Setup(e *Env, threads int) {
+	w.threads = threads
+	rng := rand.New(rand.NewSource(101))
+	w.baskets = make([][]int, 640)
+	w.expected = make(map[int]uint64)
+	for i := range w.baskets {
+		n := 4 + rng.Intn(5)
+		b := make([]int, n)
+		for j := range b {
+			b[j] = rng.Intn(w.items)
+		}
+		w.baskets[i] = b
+		for x := 0; x < len(b); x++ {
+			for y := x + 1; y < len(b); y++ {
+				w.expected[w.bucket(b[x], b[y])]++
+			}
+		}
+	}
+	w.counters = e.M.Mem.AllocLine(8 * w.nBuckets)
+	w.flushes = e.M.Mem.AllocArray(threads, sim.LineSize)
+}
+
+func (w *apriori) Thread(c *sim.Context, e *Env) {
+	updates := 0
+	flushCnt := w.flushes + sim.Addr(c.ID()*sim.LineSize)
+	for i := c.ID(); i < len(w.baskets); i += w.threads {
+		b := w.baskets[i]
+		c.Compute(uint64(80 + 30*len(b))) // basket scan
+		for x := 0; x < len(b); x++ {
+			for y := x + 1; y < len(b); y++ {
+				c.Compute(150) // candidate generation and subset hashing
+				bk := w.bucket(b[x], b[y])
+				updates++
+				flush := updates%48 == 0
+				e.Critical(c, []int{bk % DefaultLocks}, func(tx tm.Tx) {
+					a := w.counters + sim.Addr(bk*8)
+					tx.Store(a, tx.Load(a)+1)
+					if flush {
+						// Flush intermediate results to the output file
+						// from inside the critical section.
+						tx.Ctx().Syscall(220)
+						tx.Store(flushCnt, tx.Load(flushCnt)+1)
+					}
+				})
+			}
+		}
+	}
+}
+
+func (w *apriori) Validate(m *sim.Machine) error {
+	for bk, want := range w.expected {
+		if got := m.Mem.ReadRaw(w.counters + sim.Addr(bk*8)); got != want {
+			return fmt.Errorf("apriori: bucket %d = %d, want %d", bk, got, want)
+		}
+	}
+	return nil
+}
+
+// fluidanimate is PARSEC's smoothed-particle-hydrodynamics kernel as
+// adapted by RMS-TM: force contributions between particles in neighboring
+// grid cells are accumulated under one lock per cell — an enormous number
+// of very small critical sections. This is the workload where mapping every
+// critical section onto a single global lock collapses (Figure 3), while
+// fine-grained locks and TSX elision both scale.
+type fluidanimate struct {
+	cells    int
+	pairs    [][3]int // (cellA, cellB, force)
+	force    sim.Addr // per-cell accumulated force (line-strided)
+	expected []int64
+	threads  int
+}
+
+func newFluidanimate() *fluidanimate { return &fluidanimate{cells: 512} }
+
+func (w *fluidanimate) Name() string { return "fluidanimate" }
+
+func (w *fluidanimate) Setup(e *Env, threads int) {
+	w.threads = threads
+	rng := rand.New(rand.NewSource(103))
+	w.pairs = make([][3]int, 9000)
+	w.expected = make([]int64, w.cells)
+	for i := range w.pairs {
+		a := rng.Intn(w.cells)
+		b := (a + 1 + rng.Intn(8)) % w.cells // neighboring cell
+		f := rng.Intn(100) + 1
+		w.pairs[i] = [3]int{a, b, f}
+		w.expected[a] += int64(f)
+		w.expected[b] -= int64(f)
+	}
+	w.force = e.M.Mem.AllocArray(w.cells, sim.LineSize)
+}
+
+func (w *fluidanimate) cellAddr(cl int) sim.Addr {
+	return w.force + sim.Addr(cl*sim.LineSize)
+}
+
+func (w *fluidanimate) Thread(c *sim.Context, e *Env) {
+	for i := c.ID(); i < len(w.pairs); i += w.threads {
+		p := w.pairs[i]
+		c.Compute(70) // kernel-weight and distance computation
+		e.Critical(c, []int{p[0] % DefaultLocks}, func(tx tm.Tx) {
+			a := w.cellAddr(p[0])
+			tx.Store(a, uint64(int64(tx.Load(a))+int64(p[2])))
+		})
+		e.Critical(c, []int{p[1] % DefaultLocks}, func(tx tm.Tx) {
+			a := w.cellAddr(p[1])
+			tx.Store(a, uint64(int64(tx.Load(a))-int64(p[2])))
+		})
+	}
+}
+
+func (w *fluidanimate) Validate(m *sim.Machine) error {
+	for cl := 0; cl < w.cells; cl++ {
+		if got := int64(m.Mem.ReadRaw(w.cellAddr(cl))); got != w.expected[cl] {
+			return fmt.Errorf("fluidanimate: cell %d force %d, want %d", cl, got, w.expected[cl])
+		}
+	}
+	return nil
+}
+
+// utilitymine is RMS-TM's high-utility itemset miner: each database
+// transaction's items update a shared per-item utility table inside one
+// critical section covering the whole record — moderate footprint, and more
+// than 30% of the execution is spent inside critical sections, the other
+// workload where a single global lock fails to scale (Figure 3). Every so
+// often a partial result is written out from inside the section.
+type utilitymine struct {
+	items    int
+	db       [][][2]int // transaction -> (item, utility) list
+	util     sim.Addr
+	expected []uint64
+	threads  int
+}
+
+func newUtilitymine() *utilitymine { return &utilitymine{items: 2048} }
+
+func (w *utilitymine) Name() string { return "utilitymine" }
+
+func (w *utilitymine) Setup(e *Env, threads int) {
+	w.threads = threads
+	rng := rand.New(rand.NewSource(107))
+	w.db = make([][][2]int, 700)
+	w.expected = make([]uint64, w.items)
+	for i := range w.db {
+		n := 8 + rng.Intn(8)
+		rec := make([][2]int, n)
+		for j := range rec {
+			it := rng.Intn(w.items)
+			u := rng.Intn(50) + 1
+			rec[j] = [2]int{it, u}
+			w.expected[it] += uint64(u)
+		}
+		w.db[i] = rec
+	}
+	w.util = e.M.Mem.AllocLine(8 * w.items)
+}
+
+func (w *utilitymine) Thread(c *sim.Context, e *Env) {
+	n := 0
+	const chunk = 4 // items aggregated per critical section
+	for i := c.ID(); i < len(w.db); i += w.threads {
+		rec := w.db[i]
+		c.Compute(160) // candidate pruning outside the critical section
+		for lo := 0; lo < len(rec); lo += chunk {
+			hi := lo + chunk
+			if hi > len(rec) {
+				hi = len(rec)
+			}
+			part := rec[lo:hi]
+			locks := make([]int, 0, chunk)
+			for _, iu := range part {
+				locks = append(locks, iu[0]%DefaultLocks)
+			}
+			n++
+			flush := n%96 == 0
+			e.Critical(c, locks, func(tx tm.Tx) {
+				for _, iu := range part {
+					a := w.util + sim.Addr(iu[0]*8)
+					tx.Store(a, tx.Load(a)+uint64(iu[1]))
+					tx.Ctx().Compute(20) // utility aggregation per item
+				}
+				if flush {
+					tx.Ctx().Syscall(220) // write partial result file
+				}
+			})
+		}
+	}
+}
+
+func (w *utilitymine) Validate(m *sim.Machine) error {
+	for it := 0; it < w.items; it++ {
+		if got := m.Mem.ReadRaw(w.util + sim.Addr(it*8)); got != w.expected[it] {
+			return fmt.Errorf("utilitymine: item %d utility %d, want %d", it, got, w.expected[it])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,197 @@
+package rmstm
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tsxhpc/internal/sim"
+	"tsxhpc/internal/tm"
+)
+
+// scalparc is RMS-TM's ScalParC: a scalable parallel decision-tree
+// classifier. Threads scan their share of the training records and
+// accumulate per-(attribute, value, class) split statistics into shared
+// count tables guarded by fine-grained locks; the split evaluation itself
+// is thread-private compute. Critical sections are small (a few counter
+// increments) but frequent.
+type scalparc struct {
+	attrs   int
+	values  int // discrete values per attribute
+	classes int
+	records [][]int // record -> attribute values; last entry is the class
+	counts  sim.Addr
+	threads int
+}
+
+func newScalparc() *scalparc {
+	return &scalparc{attrs: 12, values: 8, classes: 2}
+}
+
+func (w *scalparc) Name() string { return "scalparc" }
+
+func (w *scalparc) cell(attr, val, class int) int {
+	return (attr*w.values+val)*w.classes + class
+}
+
+func (w *scalparc) Setup(e *Env, threads int) {
+	w.threads = threads
+	rng := rand.New(rand.NewSource(109))
+	w.records = make([][]int, 900)
+	for i := range w.records {
+		rec := make([]int, w.attrs+1)
+		for a := 0; a < w.attrs; a++ {
+			rec[a] = rng.Intn(w.values)
+		}
+		rec[w.attrs] = rng.Intn(w.classes)
+		w.records[i] = rec
+	}
+	w.counts = e.M.Mem.AllocLine(8 * w.attrs * w.values * w.classes)
+}
+
+func (w *scalparc) Thread(c *sim.Context, e *Env) {
+	const chunk = 4 // attribute counters updated per critical section
+	for i := c.ID(); i < len(w.records); i += w.threads {
+		rec := w.records[i]
+		class := rec[w.attrs]
+		c.Compute(uint64(120 * w.attrs)) // gini/split evaluation per record
+		for lo := 0; lo < w.attrs; lo += chunk {
+			hi := lo + chunk
+			if hi > w.attrs {
+				hi = w.attrs
+			}
+			cells := make([]int, 0, chunk)
+			locks := make([]int, 0, chunk)
+			for a := lo; a < hi; a++ {
+				cell := w.cell(a, rec[a], class)
+				cells = append(cells, cell)
+				locks = append(locks, cell%DefaultLocks)
+			}
+			e.Critical(c, locks, func(tx tm.Tx) {
+				for _, cell := range cells {
+					addr := w.counts + sim.Addr(cell*8)
+					tx.Store(addr, tx.Load(addr)+1)
+				}
+			})
+		}
+	}
+}
+
+func (w *scalparc) Validate(m *sim.Machine) error {
+	want := make([]uint64, w.attrs*w.values*w.classes)
+	for _, rec := range w.records {
+		for a := 0; a < w.attrs; a++ {
+			want[w.cell(a, rec[a], rec[w.attrs])]++
+		}
+	}
+	for cell, exp := range want {
+		if got := m.Mem.ReadRaw(w.counts + sim.Addr(cell*8)); got != exp {
+			return fmt.Errorf("scalparc: cell %d = %d, want %d", cell, got, exp)
+		}
+	}
+	return nil
+}
+
+// hmmsearch is RMS-TM's HMMER-derived profile search: threads score
+// database sequences against a hidden Markov model (dominantly
+// thread-private dynamic programming) and insert hits above threshold into
+// a shared bounded top-hits list under a lock — long compute stretches with
+// rare, small critical sections, plus an output-file append (system call)
+// per accepted hit. The suite's most compute-bound member: every scheme
+// scales, showing that the choice of synchronization barely matters when
+// critical sections are rare.
+type hmmsearch struct {
+	seqs    []int // sequence lengths
+	scores  []int // deterministic host-side scores
+	topK    int
+	hits    sim.Addr // [0]=count, then topK score slots
+	wantTop []int
+	threads int
+}
+
+func newHmmsearch() *hmmsearch { return &hmmsearch{topK: 16} }
+
+func (w *hmmsearch) Name() string { return "hmmsearch" }
+
+func (w *hmmsearch) Setup(e *Env, threads int) {
+	w.threads = threads
+	rng := rand.New(rand.NewSource(113))
+	const n = 400
+	w.seqs = make([]int, n)
+	w.scores = make([]int, n)
+	for i := range w.seqs {
+		w.seqs[i] = 60 + rng.Intn(200)
+		w.scores[i] = rng.Intn(1000)
+	}
+	w.hits = e.M.Mem.AllocLine(8 * (1 + w.topK))
+	// Host-side oracle: the topK scores above threshold.
+	var accepted []int
+	for _, s := range w.scores {
+		if s >= 700 {
+			accepted = append(accepted, s)
+		}
+	}
+	w.wantTop = accepted
+}
+
+func (w *hmmsearch) Thread(c *sim.Context, e *Env) {
+	for i := c.ID(); i < len(w.seqs); i += w.threads {
+		// Viterbi scoring: O(model states x sequence length) private work.
+		c.Compute(uint64(25 * w.seqs[i]))
+		score := w.scores[i]
+		if score < 700 {
+			continue
+		}
+		e.Critical(c, []int{0}, func(tx tm.Tx) {
+			n := tx.Load(w.hits)
+			// Insert into the bounded hit list, dropping the minimum when
+			// full (linear scan: the list is small).
+			if int(n) < w.topK {
+				tx.Store(w.hits+sim.Addr((1+n)*8), uint64(score))
+				tx.Store(w.hits, n+1)
+			} else {
+				minIdx, minVal := 0, ^uint64(0)
+				for k := 0; k < w.topK; k++ {
+					if v := tx.Load(w.hits + sim.Addr((1+k)*8)); v < minVal {
+						minIdx, minVal = k, v
+					}
+				}
+				if uint64(score) > minVal {
+					tx.Store(w.hits+sim.Addr((1+minIdx)*8), uint64(score))
+				}
+			}
+			// Append the alignment to the output file from inside the
+			// critical section (TM-FILE disabled).
+			tx.Ctx().Syscall(180)
+		})
+	}
+}
+
+func (w *hmmsearch) Validate(m *sim.Machine) error {
+	n := int(m.Mem.ReadRaw(w.hits))
+	wantN := len(w.wantTop)
+	if wantN > w.topK {
+		wantN = w.topK
+	}
+	if n != wantN {
+		return fmt.Errorf("hmmsearch: %d hits recorded, want %d", n, wantN)
+	}
+	// Every recorded score must be one of the accepted scores, and the
+	// minimum recorded must be >= the (len-topK)th largest accepted score.
+	accepted := map[int]int{}
+	for _, s := range w.wantTop {
+		accepted[s]++
+	}
+	for k := 0; k < n; k++ {
+		s := int(m.Mem.ReadRaw(w.hits + sim.Addr((1+k)*8)))
+		if accepted[s] == 0 {
+			return fmt.Errorf("hmmsearch: phantom hit score %d", s)
+		}
+		accepted[s]--
+	}
+	return nil
+}
+
+func init() {
+	Registry["scalparc"] = func() Workload { return newScalparc() }
+	Registry["hmmsearch"] = func() Workload { return newHmmsearch() }
+}

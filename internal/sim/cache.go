@@ -1,0 +1,213 @@
+package sim
+
+// Cache models one core's L1 data cache: 32 KB, 8-way set associative,
+// 64-byte lines, LRU replacement — the structure the first Intel TSX
+// implementation uses to track transactional state. Transactionally read
+// and written lines carry per-HyperThread marks; evicting a marked line
+// fires the machine's EvictHook, which is how capacity aborts (written
+// lines) and secondary read-set tracking (read lines) arise in the model.
+//
+// Both HyperThreads of a core share the cache, so an 8-thread run halves the
+// effective transactional capacity available to each thread — reproducing
+// the paper's observation that Hyper-Threading compounds the capacity issue
+// (Table 1).
+
+const (
+	cacheSets = 64
+	cacheWays = 8
+)
+
+type cline struct {
+	tag   Addr // line base address
+	lru   uint64
+	valid bool
+	rmask uint8 // per-HT-slot transactional-read marks
+	wmask uint8 // per-HT-slot transactional-write marks
+}
+
+// CacheStats aggregates cache-model event counts (useful for analyzing why
+// a synchronization scheme behaves as it does — e.g. lock-line ping-pong
+// shows up as transfers).
+type CacheStats struct {
+	Hits      uint64
+	Misses    uint64
+	Transfers uint64 // cache-to-cache services and write invalidations
+	Evictions uint64 // lines displaced by capacity/associativity
+}
+
+// Cache is one core's L1 data cache model.
+type Cache struct {
+	m     *Machine
+	id    int
+	sets  [cacheSets][cacheWays]cline
+	ticks uint64
+	stats CacheStats
+}
+
+func newCache(m *Machine, id int) *Cache { return &Cache{m: m, id: id} }
+
+func setOf(line Addr) int { return int((line >> 6) % cacheSets) }
+
+// lookup returns the way index holding line, or -1.
+func (c *Cache) lookup(line Addr) int {
+	s := &c.sets[setOf(line)]
+	for w := range s {
+		if s[w].valid && s[w].tag == line {
+			return w
+		}
+	}
+	return -1
+}
+
+// invalidate drops line if present. Transactional marks are dropped
+// silently: the corresponding transaction is aborted through the conflict
+// hook (this is an invalidation due to a remote write), not the evict hook.
+func (c *Cache) invalidate(line Addr) bool {
+	if w := c.lookup(line); w >= 0 {
+		c.sets[setOf(line)][w] = cline{}
+		return true
+	}
+	return false
+}
+
+// ctxFor maps a HyperThread slot of this cache's core to its context, if a
+// thread is running there in the current region.
+func (m *Machine) ctxFor(core, slot int) *Context {
+	id := slot*m.Cfg.Cores + core
+	if id < len(m.ctxs) {
+		return m.ctxs[id]
+	}
+	return nil
+}
+
+// access services one memory access by context ctx to the given line and
+// returns its cycle cost. It maintains inclusion of the access in the local
+// L1 (evicting as needed), invalidates remote copies on writes, and applies
+// transactional read/write marks when tx is set.
+func (c *Cache) access(ctx *Context, line Addr, write, tx bool) uint64 {
+	m := c.m
+	c.ticks++
+	w := c.lookup(line)
+
+	var cost uint64
+	remote := false
+	if write || w < 0 {
+		// A write needs exclusive ownership; a read miss may be served by a
+		// cache-to-cache transfer. Either way, probe the other cores.
+		for coreID, other := range m.caches {
+			if other == c {
+				continue
+			}
+			if write {
+				if other.invalidate(line) {
+					remote = true
+				}
+			} else if other.lookup(line) >= 0 {
+				remote = true
+			}
+			_ = coreID
+		}
+	}
+	switch {
+	case w >= 0 && !remote:
+		if tx {
+			cost = m.Costs.TxAccess
+		} else {
+			cost = m.Costs.L1Hit
+		}
+		c.stats.Hits++
+	case remote:
+		cost = m.Costs.Transfer
+		c.stats.Transfers++
+	default:
+		cost = m.Costs.Miss
+		c.stats.Misses++
+	}
+
+	if w < 0 {
+		w = c.install(line)
+	}
+	ln := &c.sets[setOf(line)][w]
+	ln.lru = c.ticks
+	if tx {
+		bit := uint8(1) << uint(ctx.slot)
+		if write {
+			ln.wmask |= bit
+		} else {
+			ln.rmask |= bit
+		}
+	}
+	return cost
+}
+
+// install brings line into the cache, evicting the LRU way of its set.
+// Evicted transactional marks fire the EvictHook per marked HyperThread:
+// written lines cause capacity aborts; read lines demote to the secondary
+// tracking structure.
+func (c *Cache) install(line Addr) int {
+	s := &c.sets[setOf(line)]
+	victim := 0
+	for w := range s {
+		if !s[w].valid {
+			victim = w
+			goto place
+		}
+		if s[w].lru < s[victim].lru {
+			victim = w
+		}
+	}
+	if s[victim].valid {
+		c.stats.Evictions++
+	}
+	if v := &s[victim]; v.rmask|v.wmask != 0 && c.m.EvictHook != nil {
+		coreID := c.id
+		for slot := 0; slot < 8; slot++ {
+			bit := uint8(1) << uint(slot)
+			if v.wmask&bit != 0 {
+				if owner := c.m.ctxFor(coreID, slot); owner != nil {
+					c.m.EvictHook(owner, v.tag, true)
+				}
+			} else if v.rmask&bit != 0 {
+				if owner := c.m.ctxFor(coreID, slot); owner != nil {
+					c.m.EvictHook(owner, v.tag, false)
+				}
+			}
+		}
+	}
+place:
+	s[victim] = cline{tag: line, valid: true}
+	return victim
+}
+
+// ClearTxMarks removes the transactional marks context ctx holds on line in
+// its core's cache; package htm calls it when a transaction commits or
+// aborts. The line itself stays cached (commit does not flush data).
+func (m *Machine) ClearTxMarks(ctx *Context, line Addr) {
+	c := m.caches[ctx.core]
+	if w := c.lookup(line); w >= 0 {
+		ln := &c.sets[setOf(line)][w]
+		bit := uint8(1) << uint(ctx.slot)
+		ln.rmask &^= bit
+		ln.wmask &^= bit
+	}
+}
+
+// FlushCaches invalidates every line in every cache (used between
+// experiment repetitions for independence).
+func (m *Machine) FlushCaches() {
+	for _, c := range m.caches {
+		c.sets = [cacheSets][cacheWays]cline{}
+	}
+}
+
+// CacheStats returns the machine-wide aggregate of cache events.
+func (m *Machine) CacheStats() CacheStats {
+	var out CacheStats
+	for _, c := range m.caches {
+		out.Hits += c.stats.Hits
+		out.Misses += c.stats.Misses
+		out.Transfers += c.stats.Transfers
+		out.Evictions += c.stats.Evictions
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+package sim
+
+// Costs is the cycle-cost profile of the simulated machine. The default
+// values are Haswell-flavored and were calibrated once against the published
+// CLOMP-TM crossover in Figure 1 of the paper (transactional batching beats
+// LOCK-prefixed atomics once 3–4 scatter updates are batched); they are then
+// held fixed for every other experiment in this repository.
+type Costs struct {
+	// L1Hit is the cost of a load/store that hits the local L1.
+	L1Hit uint64
+	// Miss is the cost of a miss served from the outer hierarchy (L2/L3/
+	// memory blended) when no other core holds the line.
+	Miss uint64
+	// Transfer is the cost of a cache-to-cache transfer (the line is dirty
+	// or shared in another core's L1), including the invalidation on a
+	// write. This is the dominant cost of communicating through shared data.
+	Transfer uint64
+
+	// Atomic is the extra cost of a LOCK-prefixed read-modify-write beyond
+	// the plain access (full fence + RMW latency).
+	Atomic uint64
+
+	// MutexLock / MutexUnlock are the uncontended fast-path costs of a
+	// pthread-style mutex (CAS + function call overheads).
+	MutexLock   uint64
+	MutexUnlock uint64
+	// MutexSpin is the cost of one spin-poll iteration while waiting.
+	MutexSpin uint64
+	// MutexSpinTries is how many times a mutex spins before futex-parking.
+	MutexSpinTries int
+	// FutexBlock is the cost charged to a thread for parking in the kernel
+	// (syscall entry, scheduling out).
+	FutexBlock uint64
+	// FutexWake is the latency from a wake request until the woken thread
+	// resumes running (the "certain delay to putting a thread to sleep and
+	// waking it up" the paper identifies on the network stack's critical
+	// path).
+	FutexWake uint64
+	// FutexWakeCall is the cost charged to the thread issuing the wake.
+	FutexWakeCall uint64
+
+	// XBegin is the cost of starting a hardware transaction (register
+	// checkpoint + mode switch).
+	XBegin uint64
+	// XCommit is the cost of committing a hardware transaction.
+	XCommit uint64
+	// XAbort is the rollback penalty charged to an aborted transaction
+	// (discarding speculative state and restoring the checkpoint), in
+	// addition to the inherently wasted work of the attempt.
+	XAbort uint64
+	// TxAccess is the cost of a transactional load/store that hits L1 —
+	// identical to L1Hit on real TSX hardware; kept separate so the model
+	// can be stressed in tests.
+	TxAccess uint64
+	// ReadEvictAbortPerMille is the probability (in 1/1000) that evicting a
+	// transactionally read line aborts the transaction instead of demoting
+	// cleanly to the secondary tracking structure. The first TSX
+	// implementation's overflow tracking is imprecise and eviction "may
+	// result in an abort at some later time" (paper, Section 2); measured
+	// Haswell read-set capacity degrades probabilistically well before its
+	// nominal limit. This reproduces the nonzero single-thread abort rates
+	// of large-footprint STAMP transactions (Table 1).
+	ReadEvictAbortPerMille int
+
+	// TL2 instrumentation costs (per the TL2 algorithm's software
+	// bookkeeping: version-clock sampling, orec probing, read/write set
+	// maintenance, commit-time locking and validation).
+	TL2Start     uint64
+	TL2Read      uint64
+	TL2Write     uint64
+	TL2Commit    uint64
+	TL2PerOrec   uint64 // per write-set orec lock/update at commit
+	TL2PerRead   uint64 // per read-set entry validation at commit
+	TL2AbortCost uint64
+
+	// Syscall is the base cost of a system call (kernel entry/exit).
+	Syscall uint64
+
+	// PollGap is the delay between busy-wait polls of a monitor predicate
+	// (PAUSE-loop backoff through the locking-module wrapper). Too-tight
+	// polling makes a transactional poller overlap — and mutually abort —
+	// the critical sections it is waiting on.
+	PollGap uint64
+
+	// HTFactorNum/HTFactorDen scale per-cycle costs when both HyperThreads
+	// of a core are actively consuming it (default 8/5 = 1.6x).
+	HTFactorNum int
+	HTFactorDen int
+}
+
+// DefaultCosts returns the calibrated Haswell-flavored profile.
+func DefaultCosts() Costs {
+	return Costs{
+		L1Hit:    1,
+		Miss:     24,
+		Transfer: 48,
+
+		Atomic: 19,
+
+		MutexLock:      42,
+		MutexUnlock:    14,
+		MutexSpin:      6,
+		MutexSpinTries: 600,
+		FutexBlock:     900,
+		FutexWake:      2600,
+		FutexWakeCall:  400,
+
+		XBegin:                 39,
+		XCommit:                13,
+		XAbort:                 150,
+		TxAccess:               1,
+		ReadEvictAbortPerMille: 2,
+
+		TL2Start:     26,
+		TL2Read:      13,
+		TL2Write:     17,
+		TL2Commit:    38,
+		TL2PerOrec:   16,
+		TL2PerRead:   3,
+		TL2AbortCost: 120,
+
+		Syscall: 420,
+		PollGap: 256,
+
+		HTFactorNum: 8,
+		HTFactorDen: 5,
+	}
+}

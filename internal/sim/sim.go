@@ -1,0 +1,512 @@
+// Package sim implements a deterministic discrete-event multicore simulator.
+//
+// The simulator is the hardware substitute for the Intel 4th Generation Core
+// processor used in the SC'13 Intel TSX evaluation (Yoo, Hughes, Lai, Rajwar).
+// It models a small chip-multiprocessor — by default 4 cores with 2
+// HyperThreads per core — with per-thread virtual cycle clocks, a 32 KB 8-way
+// L1 data cache per core, and cache-line-granularity sharing costs.
+//
+// Simulated threads are goroutines, but exactly one runs at a time: the
+// scheduler always resumes the runnable context with the smallest virtual
+// clock, so every execution is deterministic and race-free by construction
+// while still exhibiting genuine fine-grained interleaving of memory
+// accesses. All timing is expressed in virtual cycles; wall-clock time is
+// never used for results.
+//
+// Higher layers build the machine model on top of the hooks exposed here:
+// package htm installs the transactional conflict/eviction/syscall hooks to
+// emulate Intel TSX, package ssync builds locks, condition variables and
+// barriers from Block/Wake, and package stm implements the TL2 software
+// transactional memory baseline.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Addr is a simulated byte address. Shared mutable state that participates
+// in synchronization lives in the simulated Memory and is addressed by Addr.
+type Addr uint64
+
+// LineSize is the cache line size in bytes, matching the evaluation hardware.
+const LineSize = 64
+
+// LineOf returns the cache line base address containing a.
+func LineOf(a Addr) Addr { return a &^ (LineSize - 1) }
+
+// Config describes the simulated machine.
+type Config struct {
+	// Cores is the number of physical cores (paper: 4).
+	Cores int
+	// ThreadsPerCore is the number of hardware threads per core (paper: 2).
+	ThreadsPerCore int
+	// Costs is the cycle-cost profile. Zero value means DefaultCosts().
+	Costs Costs
+	// Seed seeds the deterministic per-context RNGs.
+	Seed int64
+	// DisableHT, when true, restricts placement to one thread per core even
+	// if ThreadsPerCore is 2 (used by the CLOMP-TM experiment, which the
+	// paper runs with Hyper-Threading disabled).
+	DisableHT bool
+}
+
+// DefaultConfig returns the machine used throughout the paper: 4 cores x
+// 2 HyperThreads, 32 KB 8-way L1D.
+func DefaultConfig() Config {
+	return Config{Cores: 4, ThreadsPerCore: 2, Costs: DefaultCosts(), Seed: 1}
+}
+
+type ctxState uint8
+
+const (
+	ctxRunnable ctxState = iota
+	ctxRunning
+	ctxBlocked
+	ctxDone
+)
+
+// Machine is one simulated chip-multiprocessor plus its memory.
+// A Machine is not safe for use by multiple host goroutines except through
+// Run, which serializes all simulated threads internally.
+type Machine struct {
+	Cfg   Config
+	Mem   *Memory
+	Costs *Costs
+
+	caches []*Cache // one per core
+	ctxs   []*Context
+	heap   ctxHeap  // runnable contexts, min virtual clock first
+	nLive  int      // contexts that have not finished their body
+	done   chan any // nil on completion; a panic value on fatal error
+	events uint64   // total timed events, for throughput diagnostics
+
+	// ConflictHook, when non-nil, is invoked on every timed memory access
+	// (transactional or not) with the accessed line. Package htm installs it
+	// to perform eager, coherence-style conflict detection against all
+	// in-flight transactions.
+	ConflictHook func(c *Context, line Addr, write bool)
+	// EvictHook is invoked when a line carrying transactional state is
+	// evicted from an L1. Package htm installs it to generate capacity
+	// aborts (transactionally written lines) and to demote transactionally
+	// read lines into the secondary tracking structure.
+	EvictHook func(owner *Context, line Addr, wasWrite bool)
+	// SyscallHook is invoked when a context executes a system call.
+	// Package htm installs it to abort in-flight transactions, modeling
+	// instructions that always abort transactional execution.
+	SyscallHook func(c *Context)
+}
+
+// New creates a machine with the given configuration.
+func New(cfg Config) *Machine {
+	if cfg.Cores <= 0 {
+		cfg.Cores = 4
+	}
+	if cfg.ThreadsPerCore <= 0 {
+		cfg.ThreadsPerCore = 2
+	}
+	if cfg.Costs == (Costs{}) {
+		cfg.Costs = DefaultCosts()
+	}
+	m := &Machine{Cfg: cfg, Mem: NewMemory(), done: make(chan any, 1)}
+	m.Costs = &m.Cfg.Costs
+	m.caches = make([]*Cache, cfg.Cores)
+	for i := range m.caches {
+		m.caches[i] = newCache(m, i)
+	}
+	return m
+}
+
+// MaxThreads reports the number of hardware threads the machine exposes.
+func (m *Machine) MaxThreads() int {
+	if m.Cfg.DisableHT {
+		return m.Cfg.Cores
+	}
+	return m.Cfg.Cores * m.Cfg.ThreadsPerCore
+}
+
+// Context is one simulated hardware thread executing a workload body.
+type Context struct {
+	m       *Machine
+	id      int
+	core    int
+	slot    int // hardware-thread slot within the core (0 or 1)
+	sibling *Context
+	clock   uint64
+	state   ctxState
+	resume  chan struct{}
+	hpos    int // index in the runnable heap, -1 if absent
+
+	// Rand is a deterministic per-thread random source.
+	Rand *rand.Rand
+
+	// TxnData is an opaque per-thread slot used by package htm to attach the
+	// in-flight hardware transaction without a map lookup.
+	TxnData any
+	// InTxn reports whether an emulated hardware transaction is active.
+	InTxn bool
+	// STMData is the analogous slot for the TL2 software TM.
+	STMData any
+
+	// wakePending records a Wake that arrived while the context was not yet
+	// parked (the futex "don't sleep if a wake raced ahead" rule).
+	wakePending bool
+	wakeAt      uint64
+}
+
+// ID returns the simulated thread id (0-based, dense).
+func (c *Context) ID() int { return c.id }
+
+// CoreID returns the physical core this thread is pinned to.
+func (c *Context) CoreID() int { return c.core }
+
+// Machine returns the machine this context executes on.
+func (c *Context) Machine() *Machine { return c.m }
+
+// Now returns the context's virtual clock in cycles.
+func (c *Context) Now() uint64 { return c.clock }
+
+// Result summarizes one Run.
+type Result struct {
+	// Cycles is the makespan: the largest virtual clock at which any thread
+	// finished. This is the simulated execution time of the parallel region.
+	Cycles uint64
+	// PerThread holds each thread's finishing clock.
+	PerThread []uint64
+	// Events is the total number of timed simulator events processed.
+	Events uint64
+}
+
+// Run executes body on n simulated threads and returns the simulated
+// execution time. Threads are pinned breadth-first across cores, matching
+// the paper's affinity policy: a 4-thread run uses one thread on each of the
+// 4 cores; an 8-thread run adds the second HyperThread on each core.
+// Run may be called repeatedly; each call is a fresh parallel region over
+// the same simulated memory.
+func (m *Machine) Run(n int, body func(*Context)) Result {
+	if n <= 0 || n > m.MaxThreads() {
+		panic(fmt.Sprintf("sim: thread count %d out of range 1..%d", n, m.MaxThreads()))
+	}
+	m.ctxs = make([]*Context, n)
+	m.heap = m.heap[:0]
+	m.nLive = n
+	for i := 0; i < n; i++ {
+		c := &Context{
+			m:      m,
+			id:     i,
+			core:   i % m.Cfg.Cores,
+			slot:   i / m.Cfg.Cores,
+			resume: make(chan struct{}, 1),
+			hpos:   -1,
+			Rand:   rand.New(rand.NewSource(m.Cfg.Seed + int64(i)*7919)),
+			state:  ctxRunnable,
+		}
+		m.ctxs[i] = c
+	}
+	for _, c := range m.ctxs {
+		if c.slot > 0 {
+			c.sibling = m.ctxs[c.id-m.Cfg.Cores]
+			c.sibling.sibling = c
+		}
+	}
+	for _, c := range m.ctxs {
+		m.heapPush(c)
+		go func(c *Context) {
+			// Panics inside a simulated thread (including deadlock
+			// diagnostics) are forwarded to the Run caller's goroutine.
+			defer func() {
+				if p := recover(); p != nil {
+					m.done <- p
+				}
+			}()
+			<-c.resume
+			body(c)
+			m.finish(c)
+		}(c)
+	}
+	// Kick the first context and wait for the region to drain.
+	first := m.heapPop()
+	first.state = ctxRunning
+	first.resume <- struct{}{}
+	if p := <-m.done; p != nil {
+		panic(p)
+	}
+
+	res := Result{PerThread: make([]uint64, n), Events: m.events}
+	for i, c := range m.ctxs {
+		res.PerThread[i] = c.clock
+		if c.clock > res.Cycles {
+			res.Cycles = c.clock
+		}
+	}
+	return res
+}
+
+// finish retires a context whose body returned and hands the core to the
+// next runnable context, or completes the region.
+func (m *Machine) finish(c *Context) {
+	c.state = ctxDone
+	m.nLive--
+	if len(m.heap) > 0 {
+		next := m.heapPop()
+		next.state = ctxRunning
+		next.resume <- struct{}{}
+		return
+	}
+	if m.nLive == 0 {
+		m.done <- nil
+		return
+	}
+	m.deadlock(c)
+}
+
+// deadlock reports an unrecoverable situation: no runnable context remains
+// but unfinished (blocked) contexts exist.
+func (m *Machine) deadlock(c *Context) {
+	states := make([]string, 0, len(m.ctxs))
+	for _, x := range m.ctxs {
+		states = append(states, fmt.Sprintf("t%d(core %d): state=%d clock=%d", x.id, x.core, x.state, x.clock))
+	}
+	sort.Strings(states)
+	panic(fmt.Sprintf("sim: deadlock — no runnable contexts (last running t%d)\n%v", c.id, states))
+}
+
+// maybeYield hands the core over if some other runnable context is at or
+// behind the current virtual time (ties break toward the lower thread id,
+// giving strict round-robin among equal clocks). Keeping the current context
+// running while it strictly holds the minimum clock batches events and keeps
+// the simulation fast without changing the deterministic interleaving.
+func (c *Context) maybeYield() {
+	m := c.m
+	if len(m.heap) == 0 {
+		return
+	}
+	if min := m.heap[0]; c.clock < min.clock || (c.clock == min.clock && c.id < min.id) {
+		return
+	}
+	c.state = ctxRunnable
+	m.heapPush(c)
+	next := m.heapPop()
+	if next == c {
+		c.state = ctxRunning
+		return
+	}
+	next.state = ctxRunning
+	next.resume <- struct{}{}
+	<-c.resume
+	c.state = ctxRunning
+}
+
+// Block parks the context until another context calls Wake on it.
+// If a Wake already raced ahead (between the caller enqueueing itself on a
+// wait list and parking), Block consumes it and returns immediately.
+// The caller must arrange for a future Wake; otherwise the machine panics
+// with a deadlock diagnostic.
+func (c *Context) Block() {
+	m := c.m
+	if c.wakePending {
+		c.wakePending = false
+		if c.clock < c.wakeAt {
+			c.clock = c.wakeAt
+		}
+		c.maybeYield()
+		return
+	}
+	c.state = ctxBlocked
+	if len(m.heap) == 0 {
+		m.deadlock(c)
+	}
+	next := m.heapPop()
+	next.state = ctxRunning
+	next.resume <- struct{}{}
+	<-c.resume
+	c.state = ctxRunning
+}
+
+// Wake makes a blocked context runnable no earlier than virtual time at.
+// If the target has not parked yet (it is between enqueueing itself and
+// calling Block), the wake is recorded and consumed by its Block call.
+// It must be called from the currently running context.
+func (c *Context) Wake(target *Context, at uint64) {
+	if target.state != ctxBlocked {
+		target.wakePending = true
+		if target.wakeAt < at {
+			target.wakeAt = at
+		}
+		return
+	}
+	if target.clock < at {
+		target.clock = at
+	}
+	target.state = ctxRunnable
+	c.m.heapPush(target)
+}
+
+// consumesCore reports whether the context currently occupies execution
+// resources on its core. Blocked (futex-parked) and finished threads release
+// the core to their HyperThread sibling; runnable and spinning threads do not.
+func (c *Context) consumesCore() bool {
+	return c.state == ctxRunnable || c.state == ctxRunning
+}
+
+// charge advances the virtual clock by cyc cycles, applying the HyperThread
+// co-residency penalty when the sibling hardware thread is actively
+// consuming the core.
+func (c *Context) charge(cyc uint64) {
+	if c.sibling != nil && c.sibling.consumesCore() {
+		cyc = cyc * uint64(c.m.Costs.HTFactorNum) / uint64(c.m.Costs.HTFactorDen)
+	}
+	c.clock += cyc
+	c.m.events++
+}
+
+// computeQuantum bounds how many cycles one Compute call charges between
+// scheduling points, so that long private-computation stretches sample the
+// HyperThread co-residency state at a reasonable granularity and interleave
+// with other threads' memory traffic.
+const computeQuantum = 160
+
+// Compute models cyc cycles of thread-private computation (no shared-memory
+// side effects).
+func (c *Context) Compute(cyc uint64) {
+	for cyc > computeQuantum {
+		c.charge(computeQuantum)
+		c.maybeYield()
+		cyc -= computeQuantum
+	}
+	c.charge(cyc)
+	c.maybeYield()
+}
+
+// Syscall models a system call: it aborts any in-flight hardware transaction
+// (via the installed SyscallHook) and costs the kernel-entry overhead plus
+// extra cycles of in-kernel work.
+func (c *Context) Syscall(extra uint64) {
+	if c.m.SyscallHook != nil {
+		c.m.SyscallHook(c)
+	}
+	c.charge(c.m.Costs.Syscall + extra)
+	c.maybeYield()
+}
+
+// access performs one timed memory access to address a: it charges the cache
+// hierarchy cost, maintains the L1 models, and triggers conflict detection.
+// When tx is true the line is marked as transactional state in the L1
+// (read or write set member according to write).
+//
+// Ordering is load-bearing: the conflict hook runs AFTER the scheduling
+// point, immediately before the caller applies the access's architectural
+// effect (the memory write in Store/RMW, the buffered read/write in a
+// transaction). If the hook ran before the yield, a transaction could
+// subscribe to the line during the yield window and miss the conflict —
+// e.g. read a lock word as free while a fallback acquisition's CAS is
+// mid-flight, breaking lock elision's mutual exclusion.
+func (c *Context) access(a Addr, write, tx bool) {
+	line := LineOf(a)
+	cost := c.m.caches[c.core].access(c, line, write, tx)
+	c.charge(cost)
+	c.maybeYield()
+	if c.m.ConflictHook != nil {
+		c.m.ConflictHook(c, line, write)
+	}
+}
+
+// Load performs a timed non-transactional read of the word at a.
+func (c *Context) Load(a Addr) uint64 {
+	c.access(a, false, false)
+	return c.m.Mem.read(a)
+}
+
+// Store performs a timed non-transactional write of the word at a.
+// Like a real store, it invalidates other caches' copies and — through the
+// conflict hook — aborts any transaction holding the line in its read or
+// write set (this is exactly how a non-transactional lock acquisition aborts
+// the transactions that elided that lock).
+func (c *Context) Store(a Addr, v uint64) {
+	c.access(a, true, false)
+	c.m.Mem.write(a, v)
+}
+
+// RMW performs a timed atomic read-modify-write of the word at a: the timed
+// access may reschedule, but f is applied and the result stored with no
+// intervening scheduling point, making the operation indivisible exactly
+// like a LOCK-prefixed instruction. It returns the old and new values.
+func (c *Context) RMW(a Addr, f func(uint64) uint64) (old, new uint64) {
+	c.access(a, true, false)
+	old = c.m.Mem.read(a)
+	new = f(old)
+	c.m.Mem.write(a, new)
+	return old, new
+}
+
+// TxAccess performs the timing/cache/conflict part of a transactional access
+// without touching memory contents; package htm uses it and manages the
+// write buffer itself.
+func (c *Context) TxAccess(a Addr, write bool) {
+	c.access(a, write, true)
+}
+
+// ctxHeap is a binary min-heap of runnable contexts ordered by virtual
+// clock, with thread id as the deterministic tie-break.
+type ctxHeap []*Context
+
+func (m *Machine) heapLess(a, b *Context) bool {
+	if a.clock != b.clock {
+		return a.clock < b.clock
+	}
+	return a.id < b.id
+}
+
+func (m *Machine) heapPush(c *Context) {
+	m.heap = append(m.heap, c)
+	i := len(m.heap) - 1
+	c.hpos = i
+	for i > 0 {
+		p := (i - 1) / 2
+		if !m.heapLess(m.heap[i], m.heap[p]) {
+			break
+		}
+		m.heapSwap(i, p)
+		i = p
+	}
+}
+
+func (m *Machine) heapPop() *Context {
+	h := m.heap
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h[0].hpos = 0
+	m.heap = h[:last]
+	top.hpos = -1
+	m.heapDown(0)
+	return top
+}
+
+func (m *Machine) heapSwap(i, j int) {
+	h := m.heap
+	h[i], h[j] = h[j], h[i]
+	h[i].hpos = i
+	h[j].hpos = j
+}
+
+func (m *Machine) heapDown(i int) {
+	h := m.heap
+	n := len(h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && m.heapLess(h[l], h[small]) {
+			small = l
+		}
+		if r < n && m.heapLess(h[r], h[small]) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		m.heapSwap(i, small)
+		i = small
+	}
+}

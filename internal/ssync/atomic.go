@@ -1,0 +1,66 @@
+package ssync
+
+import "tsxhpc/internal/sim"
+
+// Atomic operations model LOCK-prefixed instructions on the Intel 64
+// architecture: a full-fence read-modify-write on one memory word. They cost
+// the plain access (including any cache-to-cache transfer of the line) plus
+// the Costs.Atomic RMW/fence premium — the "Small Atomic" cost the CLOMP-TM
+// experiment (Figure 1) compares transactional execution against. The
+// read-modify-write itself is indivisible (sim.Context.RMW).
+
+// AtomicAdd atomically adds delta to the word at a and returns the new value.
+func AtomicAdd(c *sim.Context, a sim.Addr, delta uint64) uint64 {
+	c.Compute(c.Machine().Costs.Atomic)
+	_, v := c.RMW(a, func(v uint64) uint64 { return v + delta })
+	return v
+}
+
+// AtomicAddI is AtomicAdd for signed deltas.
+func AtomicAddI(c *sim.Context, a sim.Addr, delta int64) int64 {
+	return int64(AtomicAdd(c, a, uint64(delta)))
+}
+
+// AtomicAddF atomically adds delta to the float64 stored (as bits) at a;
+// this models the CAS-loop float accumulation HPC codes use under
+// '#pragma omp atomic'.
+func AtomicAddF(c *sim.Context, a sim.Addr, delta float64) float64 {
+	c.Compute(c.Machine().Costs.Atomic)
+	_, v := c.RMW(a, func(v uint64) uint64 { return sim.F2B(sim.B2F(v) + delta) })
+	return sim.B2F(v)
+}
+
+// AtomicCAS atomically compares the word at a with old and, if equal, stores
+// new. It reports whether the swap happened.
+func AtomicCAS(c *sim.Context, a sim.Addr, old, new uint64) bool {
+	c.Compute(c.Machine().Costs.Atomic)
+	prev, _ := c.RMW(a, func(v uint64) uint64 {
+		if v == old {
+			return new
+		}
+		return v
+	})
+	return prev == old
+}
+
+// AtomicExchange atomically stores new at a and returns the previous value.
+func AtomicExchange(c *sim.Context, a sim.Addr, new uint64) uint64 {
+	c.Compute(c.Machine().Costs.Atomic)
+	prev, _ := c.RMW(a, func(uint64) uint64 { return new })
+	return prev
+}
+
+// AtomicLoad is an acquire load (plain timed load on x86).
+func AtomicLoad(c *sim.Context, a sim.Addr) uint64 { return c.Load(a) }
+
+// AtomicStore is a release store (plain timed store on x86).
+func AtomicStore(c *sim.Context, a sim.Addr, v uint64) { c.Store(a, v) }
+
+// AtomicStoreSeqCst is a sequentially-consistent store, which on x86
+// compiles to XCHG — a full-fence read-modify-write with LOCK semantics
+// (the default for C++ std::atomic stores, as used by PARSEC's lock-free
+// canneal).
+func AtomicStoreSeqCst(c *sim.Context, a sim.Addr, v uint64) {
+	c.Compute(c.Machine().Costs.Atomic)
+	c.RMW(a, func(uint64) uint64 { return v })
+}

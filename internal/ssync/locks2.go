@@ -1,0 +1,102 @@
+package ssync
+
+import "tsxhpc/internal/sim"
+
+// TicketLock is a FIFO-fair spinlock: acquisition takes a ticket with one
+// atomic fetch-and-add and spins until the grant counter reaches it. HPC
+// runtimes use it where fairness matters; under contention every handoff
+// still migrates the grant line between cores.
+type TicketLock struct {
+	next  sim.Addr // ticket dispenser
+	grant sim.Addr // now-serving counter
+}
+
+// NewTicketLock allocates a ticket lock (dispenser and grant on separate
+// lines to avoid false sharing between takers and the releaser).
+func NewTicketLock(mem *sim.Memory) *TicketLock {
+	return &TicketLock{next: mem.AllocLine(8), grant: mem.AllocLine(8)}
+}
+
+// Lock takes a ticket and spins until served.
+func (l *TicketLock) Lock(c *sim.Context) {
+	costs := c.Machine().Costs
+	ticket := AtomicAdd(c, l.next, 1) - 1
+	for c.Load(l.grant) != ticket {
+		c.Compute(costs.MutexSpin)
+	}
+}
+
+// Unlock serves the next ticket.
+func (l *TicketLock) Unlock(c *sim.Context) {
+	c.Compute(c.Machine().Costs.MutexUnlock)
+	c.RMW(l.grant, func(v uint64) uint64 { return v + 1 })
+}
+
+// RWLock is a writer-preferring reader/writer spinlock in one word:
+// the low bits count active readers; a high bit marks a writer holding or
+// waiting. Readers spin while a writer is in (or wants in); a writer spins
+// until it has set its bit and the reader count drains.
+type RWLock struct {
+	word sim.Addr
+}
+
+const rwWriterBit = uint64(1) << 62
+
+// NewRWLock allocates a reader/writer lock on a private line.
+func NewRWLock(mem *sim.Memory) *RWLock {
+	return &RWLock{word: mem.AllocLine(8)}
+}
+
+// RLock acquires the lock shared.
+func (l *RWLock) RLock(c *sim.Context) {
+	costs := c.Machine().Costs
+	for {
+		if c.Load(l.word)&rwWriterBit == 0 {
+			c.Compute(costs.Atomic)
+			old, _ := c.RMW(l.word, func(v uint64) uint64 {
+				if v&rwWriterBit != 0 {
+					return v
+				}
+				return v + 1
+			})
+			if old&rwWriterBit == 0 {
+				return
+			}
+		}
+		c.Compute(costs.MutexSpin)
+	}
+}
+
+// RUnlock releases a shared hold.
+func (l *RWLock) RUnlock(c *sim.Context) {
+	c.Compute(c.Machine().Costs.Atomic)
+	c.RMW(l.word, func(v uint64) uint64 { return v - 1 })
+}
+
+// Lock acquires the lock exclusive: claim the writer bit, then wait for
+// readers to drain.
+func (l *RWLock) Lock(c *sim.Context) {
+	costs := c.Machine().Costs
+	for {
+		c.Compute(costs.Atomic)
+		old, _ := c.RMW(l.word, func(v uint64) uint64 {
+			if v&rwWriterBit != 0 {
+				return v
+			}
+			return v | rwWriterBit
+		})
+		if old&rwWriterBit == 0 {
+			break
+		}
+		c.Compute(costs.MutexSpin)
+	}
+	for c.Load(l.word) != rwWriterBit {
+		c.Compute(costs.MutexSpin)
+	}
+}
+
+// Unlock releases an exclusive hold.
+func (l *RWLock) Unlock(c *sim.Context) {
+	c.Compute(c.Machine().Costs.MutexUnlock)
+	c.RMW(l.word, func(v uint64) uint64 { return v &^ rwWriterBit })
+}

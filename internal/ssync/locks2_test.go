@@ -1,0 +1,125 @@
+package ssync
+
+import (
+	"testing"
+
+	"tsxhpc/internal/sim"
+)
+
+func TestTicketLockExclusionAndFIFO(t *testing.T) {
+	m := mach()
+	l := NewTicketLock(m.Mem)
+	a := m.Mem.AllocLine(8)
+	var order []int
+	m.Run(4, func(c *sim.Context) {
+		if c.ID() == 0 {
+			l.Lock(c)
+			c.Compute(50000) // others queue up in id order (staggered below)
+			l.Unlock(c)
+		} else {
+			c.Compute(uint64(100 * c.ID()))
+			l.Lock(c)
+			order = append(order, c.ID())
+			l.Unlock(c)
+		}
+		for i := 0; i < 200; i++ {
+			l.Lock(c)
+			c.Store(a, c.Load(a)+1)
+			l.Unlock(c)
+		}
+	})
+	if got := m.Mem.ReadRaw(a); got != 800 {
+		t.Fatalf("counter = %d, want 800", got)
+	}
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			t.Fatalf("ticket order not FIFO: %v", order)
+		}
+	}
+}
+
+func TestRWLockWriterExclusion(t *testing.T) {
+	m := mach()
+	l := NewRWLock(m.Mem)
+	a := m.Mem.AllocLine(8)
+	m.Run(8, func(c *sim.Context) {
+		for i := 0; i < 150; i++ {
+			l.Lock(c)
+			v := c.Load(a)
+			c.Compute(5)
+			c.Store(a, v+1)
+			l.Unlock(c)
+		}
+	})
+	if got := m.Mem.ReadRaw(a); got != 8*150 {
+		t.Fatalf("counter = %d, want %d", got, 8*150)
+	}
+}
+
+func TestRWLockReadersShareWritersExclude(t *testing.T) {
+	m := mach()
+	l := NewRWLock(m.Mem)
+	data := m.Mem.AllocLine(16)
+	m.Mem.WriteRaw(data, 1)
+	m.Mem.WriteRaw(data+8, 1)
+	readers := m.Mem.AllocLine(8) // concurrent-reader high-water mark probe
+	var maxConcurrent uint64
+	m.Run(8, func(c *sim.Context) {
+		if c.ID() < 2 { // writers keep the invariant data[0] == data[1]
+			for i := 0; i < 80; i++ {
+				l.Lock(c)
+				v := c.Load(data)
+				c.Compute(10)
+				c.Store(data, v+1)
+				c.Store(data+8, v+1)
+				l.Unlock(c)
+				c.Compute(60)
+			}
+			return
+		}
+		for i := 0; i < 150; i++ {
+			l.RLock(c)
+			n := c.Load(readers) + 1
+			c.Store(readers, n)
+			if n > maxConcurrent {
+				maxConcurrent = n
+			}
+			if c.Load(data) != c.Load(data+8) {
+				t.Errorf("reader observed torn write")
+			}
+			c.Compute(25)
+			c.Store(readers, c.Load(readers)-1)
+			l.RUnlock(c)
+		}
+	})
+	if maxConcurrent < 2 {
+		t.Fatalf("max concurrent readers = %d, expected sharing", maxConcurrent)
+	}
+	if m.Mem.ReadRaw(data) != m.Mem.ReadRaw(data+8) {
+		t.Fatal("final data torn")
+	}
+}
+
+func TestRWLockReaderThenWriterInterleave(t *testing.T) {
+	m := mach()
+	l := NewRWLock(m.Mem)
+	done := false
+	m.Run(2, func(c *sim.Context) {
+		if c.ID() == 0 {
+			l.RLock(c)
+			c.Compute(20000)
+			l.RUnlock(c)
+			return
+		}
+		c.Compute(100)
+		l.Lock(c) // must wait for the reader to drain
+		done = true
+		if c.Now() < 20000 {
+			t.Errorf("writer entered at %d while reader held the lock", c.Now())
+		}
+		l.Unlock(c)
+	})
+	if !done {
+		t.Fatal("writer never acquired")
+	}
+}

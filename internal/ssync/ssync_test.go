@@ -1,0 +1,256 @@
+package ssync
+
+import (
+	"testing"
+
+	"tsxhpc/internal/sim"
+)
+
+func mach() *sim.Machine { return sim.New(sim.DefaultConfig()) }
+
+func TestMutexMutualExclusion(t *testing.T) {
+	m := mach()
+	l := NewMutex(m.Mem)
+	a := m.Mem.AllocLine(8)
+	const iters = 500
+	m.Run(8, func(c *sim.Context) {
+		for i := 0; i < iters; i++ {
+			l.Lock(c)
+			v := c.Load(a)
+			c.Compute(5)
+			c.Store(a, v+1)
+			l.Unlock(c)
+		}
+	})
+	if got := m.Mem.ReadRaw(a); got != 8*iters {
+		t.Fatalf("counter = %d, want %d", got, 8*iters)
+	}
+}
+
+func TestMutexBlocksAndHandsOff(t *testing.T) {
+	m := mach()
+	l := NewMutex(m.Mem)
+	var t1Acquired uint64
+	m.Run(2, func(c *sim.Context) {
+		if c.ID() == 0 {
+			l.Lock(c)
+			c.Compute(100000) // force thread 1 past its spin budget
+			l.Unlock(c)
+			return
+		}
+		c.Compute(10)
+		l.Lock(c)
+		t1Acquired = c.Now()
+		l.Unlock(c)
+	})
+	if t1Acquired < 100000 {
+		t.Fatalf("thread 1 acquired at %d, before the holder released", t1Acquired)
+	}
+	if m.Mem.ReadRaw(l.Addr) != 0 {
+		t.Fatal("lock word not released")
+	}
+}
+
+func TestMutexTryLock(t *testing.T) {
+	m := mach()
+	l := NewMutex(m.Mem)
+	results := make([]bool, 2)
+	m.Run(2, func(c *sim.Context) {
+		if c.ID() == 0 {
+			results[0] = l.TryLock(c)
+			c.Compute(1000)
+			l.Unlock(c)
+			return
+		}
+		c.Compute(100)
+		results[1] = l.TryLock(c) // held by thread 0: must fail, not block
+	})
+	if !results[0] || results[1] {
+		t.Fatalf("TryLock results = %v, want [true false]", results)
+	}
+}
+
+func TestSpinLockExclusionAndBurn(t *testing.T) {
+	m := mach()
+	l := NewSpinLock(m.Mem)
+	a := m.Mem.AllocLine(8)
+	m.Run(4, func(c *sim.Context) {
+		for i := 0; i < 200; i++ {
+			l.Lock(c)
+			c.Store(a, c.Load(a)+1)
+			l.Unlock(c)
+		}
+	})
+	if got := m.Mem.ReadRaw(a); got != 800 {
+		t.Fatalf("counter = %d, want 800", got)
+	}
+}
+
+func TestCondVarSignal(t *testing.T) {
+	m := mach()
+	l := NewMutex(m.Mem)
+	cv := NewCond()
+	flag := m.Mem.AllocLine(8)
+	var wakeTime uint64
+	m.Run(2, func(c *sim.Context) {
+		if c.ID() == 0 {
+			l.Lock(c)
+			for c.Load(flag) == 0 {
+				cv.Wait(c, l)
+			}
+			wakeTime = c.Now()
+			l.Unlock(c)
+			return
+		}
+		c.Compute(5000)
+		l.Lock(c)
+		c.Store(flag, 1)
+		cv.Signal(c)
+		l.Unlock(c)
+	})
+	if wakeTime < 5000 {
+		t.Fatalf("waiter woke at %d, before the signal", wakeTime)
+	}
+	if wakeTime < 5000+m.Costs.FutexWake {
+		t.Fatalf("waiter woke at %d: futex wake latency not applied", wakeTime)
+	}
+}
+
+func TestCondVarBroadcast(t *testing.T) {
+	m := mach()
+	l := NewMutex(m.Mem)
+	cv := NewCond()
+	flag := m.Mem.AllocLine(8)
+	woken := 0
+	m.Run(4, func(c *sim.Context) {
+		if c.ID() != 3 {
+			l.Lock(c)
+			for c.Load(flag) == 0 {
+				cv.Wait(c, l)
+			}
+			woken++
+			l.Unlock(c)
+			return
+		}
+		c.Compute(20000)
+		l.Lock(c)
+		c.Store(flag, 1)
+		cv.Broadcast(c)
+		l.Unlock(c)
+	})
+	if woken != 3 {
+		t.Fatalf("woken = %d, want 3", woken)
+	}
+}
+
+func TestCondSignalNoWaitersIsSafe(t *testing.T) {
+	m := mach()
+	cv := NewCond()
+	m.Run(1, func(c *sim.Context) { cv.Signal(c) })
+}
+
+func TestBarrier(t *testing.T) {
+	m := mach()
+	b := NewBarrier(m.Mem, 4)
+	phase := make([]int, 4)
+	m.Run(4, func(c *sim.Context) {
+		c.Compute(uint64(1000 * (c.ID() + 1)))
+		b.Arrive(c)
+		// After the barrier, every thread's clock must be >= the slowest
+		// arriver's (4000 cycles).
+		if c.Now() < 4000 {
+			t.Errorf("thread %d passed barrier at %d", c.ID(), c.Now())
+		}
+		phase[c.ID()] = 1
+		b.Arrive(c)
+		for i, p := range phase {
+			if p != 1 {
+				t.Errorf("thread %d saw phase[%d]=%d after second barrier", c.ID(), i, p)
+			}
+		}
+	})
+}
+
+func TestBarrierReusable(t *testing.T) {
+	m := mach()
+	b := NewBarrier(m.Mem, 3)
+	count := m.Mem.AllocLine(8)
+	m.Run(3, func(c *sim.Context) {
+		for round := 0; round < 5; round++ {
+			AtomicAdd(c, count, 1)
+			b.Arrive(c)
+			if v := c.Load(count); v != uint64(3*(round+1)) {
+				t.Errorf("round %d: count=%d", round, v)
+			}
+			b.Arrive(c)
+		}
+	})
+}
+
+func TestAtomicAdd(t *testing.T) {
+	m := mach()
+	a := m.Mem.AllocLine(8)
+	m.Run(8, func(c *sim.Context) {
+		for i := 0; i < 300; i++ {
+			AtomicAdd(c, a, 2)
+		}
+	})
+	if got := m.Mem.ReadRaw(a); got != 8*300*2 {
+		t.Fatalf("sum = %d, want %d", got, 8*300*2)
+	}
+}
+
+func TestAtomicAddF(t *testing.T) {
+	m := mach()
+	a := m.Mem.AllocLine(8)
+	m.Run(4, func(c *sim.Context) {
+		for i := 0; i < 100; i++ {
+			AtomicAddF(c, a, 0.5)
+		}
+	})
+	if got := sim.B2F(m.Mem.ReadRaw(a)); got != 200 {
+		t.Fatalf("sum = %v, want 200", got)
+	}
+}
+
+func TestAtomicCASAndExchange(t *testing.T) {
+	m := mach()
+	a := m.Mem.AllocLine(8)
+	m.Run(1, func(c *sim.Context) {
+		if !AtomicCAS(c, a, 0, 5) {
+			t.Error("CAS(0->5) failed")
+		}
+		if AtomicCAS(c, a, 0, 9) {
+			t.Error("CAS(0->9) should fail, value is 5")
+		}
+		if old := AtomicExchange(c, a, 7); old != 5 {
+			t.Errorf("Exchange returned %d, want 5", old)
+		}
+		if AtomicLoad(c, a) != 7 {
+			t.Error("final value wrong")
+		}
+	})
+}
+
+func TestMutexFairnessFIFO(t *testing.T) {
+	m := mach()
+	l := NewMutex(m.Mem)
+	var order []int
+	m.Run(4, func(c *sim.Context) {
+		if c.ID() == 0 {
+			l.Lock(c)
+			c.Compute(200000) // everyone else parks, in id order
+			l.Unlock(c)
+			return
+		}
+		c.Compute(uint64(100 * c.ID()))
+		l.Lock(c)
+		order = append(order, c.ID())
+		l.Unlock(c)
+	})
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			t.Fatalf("wake order not FIFO: %v", order)
+		}
+	}
+}

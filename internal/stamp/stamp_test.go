@@ -1,0 +1,250 @@
+package stamp
+
+import (
+	"testing"
+
+	"tsxhpc/internal/htm"
+	"tsxhpc/internal/tm"
+)
+
+// TestAllWorkloadsValidateUnderAllModes is the suite's core correctness
+// gate: every workload must produce a valid result under every execution
+// scheme at a contended thread count. Execute returns an error whenever a
+// workload's own invariants fail.
+func TestAllWorkloadsValidateUnderAllModes(t *testing.T) {
+	for _, name := range Names() {
+		for _, mode := range []tm.Mode{tm.SGL, tm.TL2, tm.TSX} {
+			name, mode := name, mode
+			t.Run(name+"/"+mode.String(), func(t *testing.T) {
+				if _, err := Execute(name, mode, 4); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+func TestAllWorkloadsValidateAt8Threads(t *testing.T) {
+	for _, name := range Names() {
+		if _, err := Execute(name, tm.TSX, 8); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSingleThreadAllModes(t *testing.T) {
+	for _, name := range Names() {
+		for _, mode := range []tm.Mode{tm.SGL, tm.TL2, tm.TSX} {
+			if _, err := Execute(name, mode, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestExecuteUnknownWorkload(t *testing.T) {
+	if _, err := Execute("nope", tm.SGL, 1); err == nil {
+		t.Fatal("expected error for unknown workload")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := Execute("intruder", tm.TSX, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Execute("intruder", tm.TSX, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.AbortRate != b.AbortRate {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+// TestFigure2SingleThreadOverheads pins the paper's headline single-thread
+// contrast: tsx executes at near-sgl speed while tl2 pays instrumentation.
+func TestFigure2SingleThreadOverheads(t *testing.T) {
+	for _, name := range []string{"genome", "vacation", "ssca2"} {
+		sgl, err := Execute(name, tm.SGL, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tsx, err := Execute(name, tm.TSX, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tl2, err := Execute(name, tm.TL2, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r := float64(tsx.Cycles) / float64(sgl.Cycles); r > 1.25 {
+			t.Errorf("%s: tsx 1T %.2fx sgl, want near parity", name, r)
+		}
+		if r := float64(tl2.Cycles) / float64(sgl.Cycles); r < 1.5 {
+			t.Errorf("%s: tl2 1T only %.2fx sgl, instrumentation overhead missing", name, r)
+		}
+	}
+}
+
+// TestTable1Shapes pins the characteristic abort-rate entries of Table 1.
+func TestTable1Shapes(t *testing.T) {
+	// ssca2: tiny transactions, ~0% aborts at every thread count.
+	r, err := Execute("ssca2", tm.TSX, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.AbortRate > 10 {
+		t.Errorf("ssca2 tsx 8T abort rate %.0f%%, want ~0", r.AbortRate)
+	}
+	// labyrinth: the unannotated grid snapshot blows the L1 read set; very
+	// high aborts even at one thread.
+	r, err = Execute("labyrinth", tm.TSX, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.AbortRate < 60 {
+		t.Errorf("labyrinth tsx 1T abort rate %.0f%%, want high (capacity)", r.AbortRate)
+	}
+	// labyrinth under TL2 skips the unannotated copy: low aborts.
+	r, err = Execute("labyrinth", tm.TL2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.AbortRate > 30 {
+		t.Errorf("labyrinth tl2 4T abort rate %.0f%%, want low", r.AbortRate)
+	}
+	// bayes: large ADtree read footprint, high aborts at one thread.
+	r, err = Execute("bayes", tm.TSX, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.AbortRate < 30 {
+		t.Errorf("bayes tsx 1T abort rate %.0f%%, want substantial (capacity)", r.AbortRate)
+	}
+}
+
+// TestHyperThreadingCompoundsCapacity pins the Table 1 observation that 8
+// threads (2 per core, shared L1) abort much more than 4.
+func TestHyperThreadingCompoundsCapacity(t *testing.T) {
+	r4, err := Execute("vacation", tm.TSX, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := Execute("vacation", tm.TSX, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r8.AbortRate < r4.AbortRate+20 {
+		t.Errorf("vacation abort rate 4T=%.0f%% 8T=%.0f%%: HyperThreading should compound capacity pressure", r4.AbortRate, r8.AbortRate)
+	}
+}
+
+// TestLabyrinthAnnotationAsymmetry pins Figure 2's labyrinth story: the STM
+// exploits the unannotated snapshot and scales; hardware TM cannot and
+// stays near (or above) sgl.
+func TestLabyrinthAnnotationAsymmetry(t *testing.T) {
+	tl2, err := Execute("labyrinth", tm.TL2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsx, err := Execute("labyrinth", tm.TSX, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl2.Cycles >= tsx.Cycles {
+		t.Errorf("labyrinth 4T: tl2 (%d) should beat tsx (%d)", tl2.Cycles, tsx.Cycles)
+	}
+}
+
+// TestTSXBeatsSTMWhereCapacityAllows pins the inverse: workloads with
+// reasonable footprints favor the hardware TM (Section 4.2's conclusion).
+func TestTSXBeatsSTMWhereCapacityAllows(t *testing.T) {
+	for _, name := range []string{"ssca2", "vacation"} {
+		tl2, err := Execute(name, tm.TL2, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tsx, err := Execute(name, tm.TSX, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tsx.Cycles >= tl2.Cycles {
+			t.Errorf("%s 4T: tsx (%d) should beat tl2 (%d)", name, tsx.Cycles, tl2.Cycles)
+		}
+	}
+}
+
+func TestNamesSortedAndComplete(t *testing.T) {
+	ns := Names()
+	if len(ns) != 8 {
+		t.Fatalf("expected 8 STAMP workloads, got %d", len(ns))
+	}
+	want := []string{"bayes", "genome", "intruder", "kmeans", "labyrinth", "ssca2", "vacation", "yada"}
+	for i, n := range want {
+		if ns[i] != n {
+			t.Fatalf("Names() = %v", ns)
+		}
+	}
+}
+
+// TestLowContentionReducesAborts checks the suite's contention knob: the
+// low-contention inputs of kmeans and vacation must produce clearly lower
+// tsx abort rates than the paper's high-contention default.
+func TestLowContentionReducesAborts(t *testing.T) {
+	for _, name := range []string{"kmeans", "vacation"} {
+		high, err := ExecuteContention(name, tm.TSX, 4, HighContention)
+		if err != nil {
+			t.Fatal(err)
+		}
+		low, err := ExecuteContention(name, tm.TSX, 4, LowContention)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if low.AbortRate >= high.AbortRate {
+			t.Errorf("%s: low-contention aborts %.0f%% >= high-contention %.0f%%",
+				name, low.AbortRate, high.AbortRate)
+		}
+	}
+}
+
+// TestContentionDefaultMatchesHigh ensures Execute keeps the paper's
+// configuration.
+func TestContentionDefaultMatchesHigh(t *testing.T) {
+	a, err := Execute("kmeans", tm.TSX, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ExecuteContention("kmeans", tm.TSX, 2, HighContention)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles {
+		t.Fatalf("default (%d) != high contention (%d)", a.Cycles, b.Cycles)
+	}
+}
+
+// TestAbortCauseAttribution checks the perf-style breakdown: labyrinth's
+// aborts are dominated by capacity (the unannotated grid snapshot), while
+// intruder's are dominated by conflicts (the contended queues).
+func TestAbortCauseAttribution(t *testing.T) {
+	lab, err := Execute("labyrinth", tm.TSX, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lab.AbortCauses[htm.Capacity] == 0 {
+		t.Errorf("labyrinth: no capacity aborts recorded: %v", lab.AbortCauses)
+	}
+	if lab.AbortCauses[htm.Capacity] < lab.AbortCauses[htm.Conflict] {
+		t.Errorf("labyrinth 1T: capacity (%d) should dominate conflicts (%d)",
+			lab.AbortCauses[htm.Capacity], lab.AbortCauses[htm.Conflict])
+	}
+	intr, err := Execute("intruder", tm.TSX, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if intr.AbortCauses[htm.Conflict] < intr.AbortCauses[htm.Capacity] {
+		t.Errorf("intruder 8T: conflicts (%d) should dominate capacity (%d)",
+			intr.AbortCauses[htm.Conflict], intr.AbortCauses[htm.Capacity])
+	}
+}

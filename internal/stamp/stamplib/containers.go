@@ -1,0 +1,290 @@
+package stamplib
+
+import (
+	"tsxhpc/internal/sim"
+	"tsxhpc/internal/tm"
+)
+
+// Queue is a growable circular FIFO (STAMP's queue_t), used by intruder for
+// its shared packet and decoded-flow queues. Header layout:
+// [0]=pop index, [8]=push index, [16]=capacity, [24]=array base address.
+type Queue struct {
+	mem *sim.Memory
+	hdr sim.Addr
+}
+
+const (
+	qPop  = 0
+	qPush = 8
+	qCap  = 16
+	qArr  = 24
+	qHdr  = 32
+)
+
+// NewQueue allocates a queue with the given initial capacity.
+func NewQueue(mem *sim.Memory, capacity int) *Queue {
+	if capacity < 2 {
+		capacity = 2
+	}
+	q := &Queue{mem: mem, hdr: mem.AllocLine(qHdr)}
+	arr := mem.Alloc(8 * capacity)
+	mem.WriteRaw(q.hdr+qCap, uint64(capacity))
+	mem.WriteRaw(q.hdr+qArr, uint64(arr))
+	return q
+}
+
+// Push appends v, growing the ring if full.
+func (q *Queue) Push(tx tm.Tx, v uint64) {
+	pop := tx.Load(q.hdr + qPop)
+	push := tx.Load(q.hdr + qPush)
+	capacity := tx.Load(q.hdr + qCap)
+	arr := sim.Addr(tx.Load(q.hdr + qArr))
+	if push-pop == capacity {
+		// Grow: allocate a doubled ring and copy (all transactional).
+		newCap := capacity * 2
+		newArr := q.mem.Alloc(8 * int(newCap))
+		for i := uint64(0); i < capacity; i++ {
+			v := tx.Load(arr + sim.Addr(((pop+i)%capacity)*8))
+			tx.Store(newArr+sim.Addr(i*8), v)
+		}
+		tx.Free(arr, 8*int(capacity))
+		tx.Store(q.hdr+qArr, uint64(newArr))
+		tx.Store(q.hdr+qPop, 0)
+		tx.Store(q.hdr+qPush, capacity)
+		tx.Store(q.hdr+qCap, newCap)
+		arr, pop, push, capacity = newArr, 0, capacity, newCap
+	}
+	tx.Store(arr+sim.Addr((push%capacity)*8), v)
+	tx.Store(q.hdr+qPush, push+1)
+}
+
+// Pop removes and returns the oldest element.
+func (q *Queue) Pop(tx tm.Tx) (uint64, bool) {
+	pop := tx.Load(q.hdr + qPop)
+	push := tx.Load(q.hdr + qPush)
+	if pop == push {
+		return 0, false
+	}
+	capacity := tx.Load(q.hdr + qCap)
+	arr := sim.Addr(tx.Load(q.hdr + qArr))
+	v := tx.Load(arr + sim.Addr((pop%capacity)*8))
+	tx.Store(q.hdr+qPop, pop+1)
+	return v, true
+}
+
+// Empty reports whether the queue has no elements.
+func (q *Queue) Empty(tx tm.Tx) bool {
+	return tx.Load(q.hdr+qPop) == tx.Load(q.hdr+qPush)
+}
+
+// Len returns the element count.
+func (q *Queue) Len(tx tm.Tx) int {
+	return int(tx.Load(q.hdr+qPush) - tx.Load(q.hdr+qPop))
+}
+
+// Heap is a transactional binary min-heap keyed by uint64 (STAMP's heap.c,
+// used by yada's bad-triangle work queue). Header layout:
+// [0]=size, [8]=capacity, [16]=array base.
+type Heap struct {
+	mem *sim.Memory
+	hdr sim.Addr
+}
+
+const (
+	hSize = 0
+	hCap  = 8
+	hArr  = 16
+	hHdr  = 24
+)
+
+// NewHeap allocates a heap with the given initial capacity.
+func NewHeap(mem *sim.Memory, capacity int) *Heap {
+	if capacity < 4 {
+		capacity = 4
+	}
+	h := &Heap{mem: mem, hdr: mem.AllocLine(hHdr)}
+	mem.WriteRaw(h.hdr+hCap, uint64(capacity))
+	mem.WriteRaw(h.hdr+hArr, uint64(mem.Alloc(8*capacity)))
+	return h
+}
+
+// Push inserts v (its numeric value is its priority; smallest pops first).
+func (h *Heap) Push(tx tm.Tx, v uint64) {
+	size := tx.Load(h.hdr + hSize)
+	capacity := tx.Load(h.hdr + hCap)
+	arr := sim.Addr(tx.Load(h.hdr + hArr))
+	if size == capacity {
+		newCap := capacity * 2
+		newArr := h.mem.Alloc(8 * int(newCap))
+		for i := uint64(0); i < size; i++ {
+			tx.Store(newArr+sim.Addr(i*8), tx.Load(arr+sim.Addr(i*8)))
+		}
+		tx.Free(arr, 8*int(capacity))
+		tx.Store(h.hdr+hArr, uint64(newArr))
+		tx.Store(h.hdr+hCap, newCap)
+		arr = newArr
+	}
+	i := size
+	tx.Store(h.hdr+hSize, size+1)
+	tx.Store(arr+sim.Addr(i*8), v)
+	for i > 0 {
+		p := (i - 1) / 2
+		pv := tx.Load(arr + sim.Addr(p*8))
+		iv := tx.Load(arr + sim.Addr(i*8))
+		if pv <= iv {
+			break
+		}
+		tx.Store(arr+sim.Addr(p*8), iv)
+		tx.Store(arr+sim.Addr(i*8), pv)
+		i = p
+	}
+}
+
+// Pop removes and returns the minimum element.
+func (h *Heap) Pop(tx tm.Tx) (uint64, bool) {
+	size := tx.Load(h.hdr + hSize)
+	if size == 0 {
+		return 0, false
+	}
+	arr := sim.Addr(tx.Load(h.hdr + hArr))
+	top := tx.Load(arr)
+	last := tx.Load(arr + sim.Addr((size-1)*8))
+	size--
+	tx.Store(h.hdr+hSize, size)
+	if size == 0 {
+		return top, true
+	}
+	tx.Store(arr, last)
+	var i uint64
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		sv := tx.Load(arr + sim.Addr(small*8))
+		if l < size {
+			if lv := tx.Load(arr + sim.Addr(l*8)); lv < sv {
+				small, sv = l, lv
+			}
+		}
+		if r < size {
+			if rv := tx.Load(arr + sim.Addr(r*8)); rv < sv {
+				small, sv = r, rv
+			}
+		}
+		if small == i {
+			break
+		}
+		iv := tx.Load(arr + sim.Addr(i*8))
+		tx.Store(arr+sim.Addr(i*8), sv)
+		tx.Store(arr+sim.Addr(small*8), iv)
+		i = small
+	}
+	return top, true
+}
+
+// Len returns the element count.
+func (h *Heap) Len(tx tm.Tx) int { return int(tx.Load(h.hdr + hSize)) }
+
+// Vector is a growable array of words (STAMP's vector.c). Header layout:
+// [0]=size, [8]=capacity, [16]=array base.
+type Vector struct {
+	mem *sim.Memory
+	hdr sim.Addr
+}
+
+// NewVector allocates a vector with the given initial capacity.
+func NewVector(mem *sim.Memory, capacity int) *Vector {
+	if capacity < 4 {
+		capacity = 4
+	}
+	v := &Vector{mem: mem, hdr: mem.AllocLine(hHdr)}
+	mem.WriteRaw(v.hdr+hCap, uint64(capacity))
+	mem.WriteRaw(v.hdr+hArr, uint64(mem.Alloc(8*capacity)))
+	return v
+}
+
+// Append adds x at the end.
+func (v *Vector) Append(tx tm.Tx, x uint64) {
+	size := tx.Load(v.hdr + hSize)
+	capacity := tx.Load(v.hdr + hCap)
+	arr := sim.Addr(tx.Load(v.hdr + hArr))
+	if size == capacity {
+		newCap := capacity * 2
+		newArr := v.mem.Alloc(8 * int(newCap))
+		for i := uint64(0); i < size; i++ {
+			tx.Store(newArr+sim.Addr(i*8), tx.Load(arr+sim.Addr(i*8)))
+		}
+		tx.Free(arr, 8*int(capacity))
+		tx.Store(v.hdr+hArr, uint64(newArr))
+		tx.Store(v.hdr+hCap, newCap)
+		arr = newArr
+	}
+	tx.Store(arr+sim.Addr(size*8), x)
+	tx.Store(v.hdr+hSize, size+1)
+}
+
+// At returns element i.
+func (v *Vector) At(tx tm.Tx, i int) uint64 {
+	arr := sim.Addr(tx.Load(v.hdr + hArr))
+	return tx.Load(arr + sim.Addr(i*8))
+}
+
+// Set overwrites element i.
+func (v *Vector) Set(tx tm.Tx, i int, x uint64) {
+	arr := sim.Addr(tx.Load(v.hdr + hArr))
+	tx.Store(arr+sim.Addr(i*8), x)
+}
+
+// Len returns the element count.
+func (v *Vector) Len(tx tm.Tx) int { return int(tx.Load(v.hdr + hSize)) }
+
+// Bitmap is a fixed-size transactional bit set (STAMP's bitmap.c).
+type Bitmap struct {
+	base  sim.Addr
+	nbits int
+}
+
+// NewBitmap allocates a bitmap of nbits bits, all clear.
+func NewBitmap(mem *sim.Memory, nbits int) *Bitmap {
+	words := (nbits + 63) / 64
+	return &Bitmap{base: mem.AllocLine(8 * words), nbits: nbits}
+}
+
+// Set sets bit i, reporting whether it was previously clear.
+func (b *Bitmap) Set(tx tm.Tx, i int) bool {
+	a := b.base + sim.Addr((i/64)*8)
+	w := tx.Load(a)
+	bit := uint64(1) << uint(i%64)
+	if w&bit != 0 {
+		return false
+	}
+	tx.Store(a, w|bit)
+	return true
+}
+
+// Clear clears bit i.
+func (b *Bitmap) Clear(tx tm.Tx, i int) {
+	a := b.base + sim.Addr((i/64)*8)
+	tx.Store(a, tx.Load(a)&^(uint64(1)<<uint(i%64)))
+}
+
+// IsSet reports bit i.
+func (b *Bitmap) IsSet(tx tm.Tx, i int) bool {
+	return tx.Load(b.base+sim.Addr((i/64)*8))&(uint64(1)<<uint(i%64)) != 0
+}
+
+// Count returns the number of set bits.
+func (b *Bitmap) Count(tx tm.Tx) int {
+	n := 0
+	words := (b.nbits + 63) / 64
+	for w := 0; w < words; w++ {
+		v := tx.Load(b.base + sim.Addr(w*8))
+		for v != 0 {
+			v &= v - 1
+			n++
+		}
+	}
+	return n
+}
+
+// Bits returns the bitmap's capacity in bits.
+func (b *Bitmap) Bits() int { return b.nbits }

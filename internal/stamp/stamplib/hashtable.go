@@ -1,0 +1,147 @@
+package stamplib
+
+import (
+	"tsxhpc/internal/sim"
+	"tsxhpc/internal/tm"
+)
+
+// Hashtable is a fixed-bucket chained hash table (STAMP's hashtable.c):
+// an array of bucket head pointers in simulated memory, each bucket a
+// sorted list. Bucket count is fixed at construction (STAMP's genome sizes
+// its tables up front), so operations on different buckets never conflict.
+type Hashtable struct {
+	mem     *sim.Memory
+	buckets sim.Addr
+	nBucket int
+}
+
+// NewHashtable allocates a table with nBucket chains.
+func NewHashtable(mem *sim.Memory, nBucket int) *Hashtable {
+	if nBucket < 1 {
+		nBucket = 1
+	}
+	return &Hashtable{
+		mem:     mem,
+		buckets: mem.AllocLine(8 * nBucket),
+		nBucket: nBucket,
+	}
+}
+
+func (h *Hashtable) bucket(k uint64) sim.Addr {
+	x := k * 0x9e3779b97f4a7c15
+	return h.buckets + sim.Addr(int(x>>40)%h.nBucket)*8
+}
+
+// PutIfAbsent inserts k->v unless k is present; it reports whether an
+// insert happened.
+func (h *Hashtable) PutIfAbsent(tx tm.Tx, k, v uint64) bool {
+	b := h.bucket(k)
+	prev := sim.Addr(0)
+	curr := sim.Addr(tx.Load(b))
+	for curr != 0 {
+		ck := tx.Load(curr + listKey)
+		if ck == k {
+			return false
+		}
+		if ck > k {
+			break
+		}
+		prev = curr
+		curr = sim.Addr(tx.Load(curr + listNext))
+	}
+	n := h.mem.Alloc(listSize)
+	tx.Store(n+listKey, k)
+	tx.Store(n+listVal, v)
+	tx.Store(n+listNext, uint64(curr))
+	if prev == 0 {
+		tx.Store(b, uint64(n))
+	} else {
+		tx.Store(prev+listNext, uint64(n))
+	}
+	return true
+}
+
+// Get returns the value under k.
+func (h *Hashtable) Get(tx tm.Tx, k uint64) (uint64, bool) {
+	curr := sim.Addr(tx.Load(h.bucket(k)))
+	for curr != 0 {
+		ck := tx.Load(curr + listKey)
+		if ck == k {
+			return tx.Load(curr + listVal), true
+		}
+		if ck > k {
+			return 0, false
+		}
+		curr = sim.Addr(tx.Load(curr + listNext))
+	}
+	return 0, false
+}
+
+// Update stores v under existing key k, reporting presence.
+func (h *Hashtable) Update(tx tm.Tx, k, v uint64) bool {
+	curr := sim.Addr(tx.Load(h.bucket(k)))
+	for curr != 0 {
+		ck := tx.Load(curr + listKey)
+		if ck == k {
+			tx.Store(curr+listVal, v)
+			return true
+		}
+		if ck > k {
+			return false
+		}
+		curr = sim.Addr(tx.Load(curr + listNext))
+	}
+	return false
+}
+
+// Remove deletes k, reporting whether it was present.
+func (h *Hashtable) Remove(tx tm.Tx, k uint64) bool {
+	b := h.bucket(k)
+	prev := sim.Addr(0)
+	curr := sim.Addr(tx.Load(b))
+	for curr != 0 {
+		ck := tx.Load(curr + listKey)
+		if ck == k {
+			next := tx.Load(curr + listNext)
+			if prev == 0 {
+				tx.Store(b, next)
+			} else {
+				tx.Store(prev+listNext, next)
+			}
+			tx.Free(curr, listSize)
+			return true
+		}
+		if ck > k {
+			return false
+		}
+		prev = curr
+		curr = sim.Addr(tx.Load(curr + listNext))
+	}
+	return false
+}
+
+// Len counts all elements (O(n), used by validation).
+func (h *Hashtable) Len(tx tm.Tx) int {
+	n := 0
+	for i := 0; i < h.nBucket; i++ {
+		curr := sim.Addr(tx.Load(h.buckets + sim.Addr(i*8)))
+		for curr != 0 {
+			n++
+			curr = sim.Addr(tx.Load(curr + listNext))
+		}
+	}
+	return n
+}
+
+// Iterate calls f for every (key, val) until f returns false.
+func (h *Hashtable) Iterate(tx tm.Tx, f func(k, v uint64) bool) {
+	for i := 0; i < h.nBucket; i++ {
+		curr := sim.Addr(tx.Load(h.buckets + sim.Addr(i*8)))
+		for curr != 0 {
+			if !f(tx.Load(curr+listKey), tx.Load(curr+listVal)) {
+				return
+			}
+			curr = sim.Addr(tx.Load(curr + listNext))
+		}
+	}
+}

@@ -1,0 +1,117 @@
+// Package stamplib provides the transactional data structures the STAMP
+// benchmark suite is built from — sorted linked lists, red-black trees,
+// hash tables, queues, heaps, vectors and bitmaps — implemented over the
+// simulator's shared memory and accessed through tm.Tx, so that every
+// structural read and write participates in conflict detection, buffering
+// and rollback exactly like the C originals do under a TM runtime.
+//
+// Layout conventions: all structures are records of 8-byte words in
+// simulated memory; address 0 is the nil pointer. Structure headers (root
+// pointers, sizes) live in memory too, so structural modifications conflict
+// where they should.
+package stamplib
+
+import (
+	"tsxhpc/internal/sim"
+	"tsxhpc/internal/tm"
+)
+
+// List node layout.
+const (
+	listNext = 0
+	listKey  = 8
+	listVal  = 16
+	listSize = 24
+)
+
+// List is a sorted singly linked list with unique keys (STAMP's list_t),
+// with a sentinel head node.
+type List struct {
+	mem  *sim.Memory
+	head sim.Addr // sentinel; head.next is the first element
+}
+
+// NewList allocates an empty list.
+func NewList(mem *sim.Memory) *List {
+	return &List{mem: mem, head: mem.Alloc(listSize)}
+}
+
+// find returns (prev, curr) such that curr is the first node with
+// node.key >= key (curr may be 0).
+func (l *List) find(tx tm.Tx, key uint64) (prev, curr sim.Addr) {
+	prev = l.head
+	curr = sim.Addr(tx.Load(l.head + listNext))
+	for curr != 0 {
+		k := tx.Load(curr + listKey)
+		if k >= key {
+			return prev, curr
+		}
+		prev = curr
+		curr = sim.Addr(tx.Load(curr + listNext))
+	}
+	return prev, 0
+}
+
+// Insert adds key->val if key is absent; it reports whether an insert
+// happened.
+func (l *List) Insert(tx tm.Tx, key, val uint64) bool {
+	prev, curr := l.find(tx, key)
+	if curr != 0 && tx.Load(curr+listKey) == key {
+		return false
+	}
+	n := l.mem.Alloc(listSize)
+	tx.Store(n+listKey, key)
+	tx.Store(n+listVal, val)
+	tx.Store(n+listNext, uint64(curr))
+	tx.Store(prev+listNext, uint64(n))
+	return true
+}
+
+// Remove deletes key, reporting whether it was present.
+func (l *List) Remove(tx tm.Tx, key uint64) bool {
+	prev, curr := l.find(tx, key)
+	if curr == 0 || tx.Load(curr+listKey) != key {
+		return false
+	}
+	tx.Store(prev+listNext, tx.Load(curr+listNext))
+	tx.Free(curr, listSize)
+	return true
+}
+
+// Get returns the value stored under key.
+func (l *List) Get(tx tm.Tx, key uint64) (uint64, bool) {
+	_, curr := l.find(tx, key)
+	if curr == 0 || tx.Load(curr+listKey) != key {
+		return 0, false
+	}
+	return tx.Load(curr + listVal), true
+}
+
+// Update stores val under an existing key, reporting presence.
+func (l *List) Update(tx tm.Tx, key, val uint64) bool {
+	_, curr := l.find(tx, key)
+	if curr == 0 || tx.Load(curr+listKey) != key {
+		return false
+	}
+	tx.Store(curr+listVal, val)
+	return true
+}
+
+// Len counts the elements (O(n), transactional reads).
+func (l *List) Len(tx tm.Tx) int {
+	n := 0
+	for curr := sim.Addr(tx.Load(l.head + listNext)); curr != 0; curr = sim.Addr(tx.Load(curr + listNext)) {
+		n++
+	}
+	return n
+}
+
+// Iterate calls f for each (key, val) in ascending key order until f
+// returns false.
+func (l *List) Iterate(tx tm.Tx, f func(key, val uint64) bool) {
+	for curr := sim.Addr(tx.Load(l.head + listNext)); curr != 0; curr = sim.Addr(tx.Load(curr + listNext)) {
+		if !f(tx.Load(curr+listKey), tx.Load(curr+listVal)) {
+			return
+		}
+	}
+}

@@ -1,0 +1,419 @@
+package stamplib
+
+import (
+	"tsxhpc/internal/sim"
+	"tsxhpc/internal/tm"
+)
+
+// Red-black tree node layout (STAMP's rbtree.c, used by vacation).
+const (
+	rbKey    = 0
+	rbVal    = 8
+	rbParent = 16
+	rbLeft   = 24
+	rbRight  = 32
+	rbColor  = 40 // 0 = black, 1 = red
+	rbSize   = 48
+)
+
+const (
+	black = 0
+	red   = 1
+)
+
+// RBTree is a transactional red-black tree with unique uint64 keys.
+// The root pointer lives in simulated memory so structural rebalances
+// conflict with concurrent operations exactly as in the C original.
+type RBTree struct {
+	mem  *sim.Memory
+	root sim.Addr // one word holding the root node address
+}
+
+// NewRBTree allocates an empty tree.
+func NewRBTree(mem *sim.Memory) *RBTree {
+	return &RBTree{mem: mem, root: mem.Alloc(8)}
+}
+
+func (t *RBTree) getRoot(tx tm.Tx) sim.Addr    { return sim.Addr(tx.Load(t.root)) }
+func (t *RBTree) setRoot(tx tm.Tx, n sim.Addr) { tx.Store(t.root, uint64(n)) }
+func key(tx tm.Tx, n sim.Addr) uint64          { return tx.Load(n + rbKey) }
+func left(tx tm.Tx, n sim.Addr) sim.Addr       { return sim.Addr(tx.Load(n + rbLeft)) }
+func right(tx tm.Tx, n sim.Addr) sim.Addr      { return sim.Addr(tx.Load(n + rbRight)) }
+func parent(tx tm.Tx, n sim.Addr) sim.Addr     { return sim.Addr(tx.Load(n + rbParent)) }
+func color(tx tm.Tx, n sim.Addr) uint64 {
+	if n == 0 {
+		return black // nil leaves are black
+	}
+	return tx.Load(n + rbColor)
+}
+func setColor(tx tm.Tx, n sim.Addr, c uint64) {
+	if n != 0 {
+		tx.Store(n+rbColor, c)
+	}
+}
+
+// Get returns the value stored under k.
+func (t *RBTree) Get(tx tm.Tx, k uint64) (uint64, bool) {
+	n := t.lookup(tx, k)
+	if n == 0 {
+		return 0, false
+	}
+	return tx.Load(n + rbVal), true
+}
+
+// Contains reports whether k is present.
+func (t *RBTree) Contains(tx tm.Tx, k uint64) bool { return t.lookup(tx, k) != 0 }
+
+func (t *RBTree) lookup(tx tm.Tx, k uint64) sim.Addr {
+	n := t.getRoot(tx)
+	for n != 0 {
+		nk := key(tx, n)
+		switch {
+		case k < nk:
+			n = left(tx, n)
+		case k > nk:
+			n = right(tx, n)
+		default:
+			return n
+		}
+	}
+	return 0
+}
+
+// Update stores v under an existing key k, reporting presence.
+func (t *RBTree) Update(tx tm.Tx, k, v uint64) bool {
+	n := t.lookup(tx, k)
+	if n == 0 {
+		return false
+	}
+	tx.Store(n+rbVal, v)
+	return true
+}
+
+// Insert adds k->v if absent, reporting whether an insert happened.
+func (t *RBTree) Insert(tx tm.Tx, k, v uint64) bool {
+	var p sim.Addr
+	n := t.getRoot(tx)
+	for n != 0 {
+		p = n
+		nk := key(tx, n)
+		switch {
+		case k < nk:
+			n = left(tx, n)
+		case k > nk:
+			n = right(tx, n)
+		default:
+			return false
+		}
+	}
+	z := t.mem.Alloc(rbSize)
+	tx.Store(z+rbKey, k)
+	tx.Store(z+rbVal, v)
+	tx.Store(z+rbParent, uint64(p))
+	tx.Store(z+rbLeft, 0)
+	tx.Store(z+rbRight, 0)
+	tx.Store(z+rbColor, red)
+	if p == 0 {
+		t.setRoot(tx, z)
+	} else if k < key(tx, p) {
+		tx.Store(p+rbLeft, uint64(z))
+	} else {
+		tx.Store(p+rbRight, uint64(z))
+	}
+	t.insertFixup(tx, z)
+	return true
+}
+
+func (t *RBTree) rotateLeft(tx tm.Tx, x sim.Addr) {
+	y := right(tx, x)
+	yl := left(tx, y)
+	tx.Store(x+rbRight, uint64(yl))
+	if yl != 0 {
+		tx.Store(yl+rbParent, uint64(x))
+	}
+	xp := parent(tx, x)
+	tx.Store(y+rbParent, uint64(xp))
+	if xp == 0 {
+		t.setRoot(tx, y)
+	} else if x == left(tx, xp) {
+		tx.Store(xp+rbLeft, uint64(y))
+	} else {
+		tx.Store(xp+rbRight, uint64(y))
+	}
+	tx.Store(y+rbLeft, uint64(x))
+	tx.Store(x+rbParent, uint64(y))
+}
+
+func (t *RBTree) rotateRight(tx tm.Tx, x sim.Addr) {
+	y := left(tx, x)
+	yr := right(tx, y)
+	tx.Store(x+rbLeft, uint64(yr))
+	if yr != 0 {
+		tx.Store(yr+rbParent, uint64(x))
+	}
+	xp := parent(tx, x)
+	tx.Store(y+rbParent, uint64(xp))
+	if xp == 0 {
+		t.setRoot(tx, y)
+	} else if x == right(tx, xp) {
+		tx.Store(xp+rbRight, uint64(y))
+	} else {
+		tx.Store(xp+rbLeft, uint64(y))
+	}
+	tx.Store(y+rbRight, uint64(x))
+	tx.Store(x+rbParent, uint64(y))
+}
+
+func (t *RBTree) insertFixup(tx tm.Tx, z sim.Addr) {
+	for {
+		p := parent(tx, z)
+		if p == 0 || color(tx, p) == black {
+			break
+		}
+		g := parent(tx, p)
+		if p == left(tx, g) {
+			u := right(tx, g)
+			if color(tx, u) == red {
+				setColor(tx, p, black)
+				setColor(tx, u, black)
+				setColor(tx, g, red)
+				z = g
+				continue
+			}
+			if z == right(tx, p) {
+				z = p
+				t.rotateLeft(tx, z)
+				p = parent(tx, z)
+				g = parent(tx, p)
+			}
+			setColor(tx, p, black)
+			setColor(tx, g, red)
+			t.rotateRight(tx, g)
+		} else {
+			u := left(tx, g)
+			if color(tx, u) == red {
+				setColor(tx, p, black)
+				setColor(tx, u, black)
+				setColor(tx, g, red)
+				z = g
+				continue
+			}
+			if z == left(tx, p) {
+				z = p
+				t.rotateRight(tx, z)
+				p = parent(tx, z)
+				g = parent(tx, p)
+			}
+			setColor(tx, p, black)
+			setColor(tx, g, red)
+			t.rotateLeft(tx, g)
+		}
+	}
+	setColor(tx, t.getRoot(tx), black)
+}
+
+// Remove deletes key k, reporting whether it was present.
+func (t *RBTree) Remove(tx tm.Tx, k uint64) bool {
+	z := t.lookup(tx, k)
+	if z == 0 {
+		return false
+	}
+	t.delete(tx, z)
+	tx.Free(z, rbSize)
+	return true
+}
+
+// transplant replaces subtree u with subtree v.
+func (t *RBTree) transplant(tx tm.Tx, u, v sim.Addr) {
+	up := parent(tx, u)
+	if up == 0 {
+		t.setRoot(tx, v)
+	} else if u == left(tx, up) {
+		tx.Store(up+rbLeft, uint64(v))
+	} else {
+		tx.Store(up+rbRight, uint64(v))
+	}
+	if v != 0 {
+		tx.Store(v+rbParent, uint64(up))
+	}
+}
+
+func (t *RBTree) minimum(tx tm.Tx, n sim.Addr) sim.Addr {
+	for {
+		l := left(tx, n)
+		if l == 0 {
+			return n
+		}
+		n = l
+	}
+}
+
+// delete is CLRS RB-DELETE adapted to nil-pointer leaves: fixup tracks the
+// parent of the doubly-black position explicitly instead of using a
+// sentinel.
+func (t *RBTree) delete(tx tm.Tx, z sim.Addr) {
+	y := z
+	yColor := color(tx, y)
+	var x, xParent sim.Addr
+	switch {
+	case left(tx, z) == 0:
+		x = right(tx, z)
+		xParent = parent(tx, z)
+		t.transplant(tx, z, x)
+	case right(tx, z) == 0:
+		x = left(tx, z)
+		xParent = parent(tx, z)
+		t.transplant(tx, z, x)
+	default:
+		y = t.minimum(tx, right(tx, z))
+		yColor = color(tx, y)
+		x = right(tx, y)
+		if parent(tx, y) == z {
+			xParent = y
+		} else {
+			xParent = parent(tx, y)
+			t.transplant(tx, y, x)
+			zr := right(tx, z)
+			tx.Store(y+rbRight, uint64(zr))
+			tx.Store(zr+rbParent, uint64(y))
+		}
+		t.transplant(tx, z, y)
+		zl := left(tx, z)
+		tx.Store(y+rbLeft, uint64(zl))
+		tx.Store(zl+rbParent, uint64(y))
+		setColor(tx, y, color(tx, z))
+	}
+	if yColor == black {
+		t.deleteFixup(tx, x, xParent)
+	}
+}
+
+func (t *RBTree) deleteFixup(tx tm.Tx, x, xParent sim.Addr) {
+	for x != t.getRoot(tx) && color(tx, x) == black {
+		if xParent == 0 {
+			break
+		}
+		if x == left(tx, xParent) {
+			w := right(tx, xParent)
+			if color(tx, w) == red {
+				setColor(tx, w, black)
+				setColor(tx, xParent, red)
+				t.rotateLeft(tx, xParent)
+				w = right(tx, xParent)
+			}
+			if color(tx, left(tx, w)) == black && color(tx, right(tx, w)) == black {
+				setColor(tx, w, red)
+				x = xParent
+				xParent = parent(tx, x)
+			} else {
+				if color(tx, right(tx, w)) == black {
+					setColor(tx, left(tx, w), black)
+					setColor(tx, w, red)
+					t.rotateRight(tx, w)
+					w = right(tx, xParent)
+				}
+				setColor(tx, w, color(tx, xParent))
+				setColor(tx, xParent, black)
+				setColor(tx, right(tx, w), black)
+				t.rotateLeft(tx, xParent)
+				x = t.getRoot(tx)
+				break
+			}
+		} else {
+			w := left(tx, xParent)
+			if color(tx, w) == red {
+				setColor(tx, w, black)
+				setColor(tx, xParent, red)
+				t.rotateRight(tx, xParent)
+				w = left(tx, xParent)
+			}
+			if color(tx, right(tx, w)) == black && color(tx, left(tx, w)) == black {
+				setColor(tx, w, red)
+				x = xParent
+				xParent = parent(tx, x)
+			} else {
+				if color(tx, left(tx, w)) == black {
+					setColor(tx, right(tx, w), black)
+					setColor(tx, w, red)
+					t.rotateLeft(tx, w)
+					w = left(tx, xParent)
+				}
+				setColor(tx, w, color(tx, xParent))
+				setColor(tx, xParent, black)
+				setColor(tx, left(tx, w), black)
+				t.rotateRight(tx, xParent)
+				x = t.getRoot(tx)
+				break
+			}
+		}
+	}
+	setColor(tx, x, black)
+}
+
+// Size counts the elements (O(n) walk).
+func (t *RBTree) Size(tx tm.Tx) int {
+	return t.sizeRec(tx, t.getRoot(tx))
+}
+
+func (t *RBTree) sizeRec(tx tm.Tx, n sim.Addr) int {
+	if n == 0 {
+		return 0
+	}
+	return 1 + t.sizeRec(tx, left(tx, n)) + t.sizeRec(tx, right(tx, n))
+}
+
+// CheckInvariants verifies binary-search ordering and the red-black
+// properties (red nodes have black children; equal black height on all
+// paths). It returns the black height or -1 on violation. Intended for
+// tests, using untimed raw access through a Raw-mode Tx.
+func (t *RBTree) CheckInvariants(tx tm.Tx) int {
+	root := t.getRoot(tx)
+	if color(tx, root) != black {
+		return -1
+	}
+	bh, ok := t.checkRec(tx, root, 0, ^uint64(0))
+	if !ok {
+		return -1
+	}
+	return bh
+}
+
+func (t *RBTree) checkRec(tx tm.Tx, n sim.Addr, lo, hi uint64) (int, bool) {
+	if n == 0 {
+		return 1, true
+	}
+	k := key(tx, n)
+	if k < lo || k > hi {
+		return 0, false
+	}
+	if color(tx, n) == red {
+		if color(tx, left(tx, n)) == red || color(tx, right(tx, n)) == red {
+			return 0, false
+		}
+	}
+	l := left(tx, n)
+	r := right(tx, n)
+	if l != 0 && parent(tx, l) != n {
+		return 0, false
+	}
+	if r != 0 && parent(tx, r) != n {
+		return 0, false
+	}
+	var lhi, rlo uint64
+	if k > 0 {
+		lhi = k - 1
+	}
+	rlo = k + 1
+	lb, ok := t.checkRec(tx, l, lo, lhi)
+	if !ok {
+		return 0, false
+	}
+	rb, ok := t.checkRec(tx, r, rlo, hi)
+	if !ok || lb != rb {
+		return 0, false
+	}
+	if color(tx, n) == black {
+		lb++
+	}
+	return lb, true
+}

@@ -1,0 +1,442 @@
+package stamplib
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"tsxhpc/internal/sim"
+	"tsxhpc/internal/tm"
+)
+
+// raw returns a machine and a Raw-mode system for single-threaded structure
+// tests (timed accesses, no synchronization).
+func raw() (*sim.Machine, *tm.System) {
+	m := sim.New(sim.DefaultConfig())
+	return m, tm.NewSystem(m, tm.Raw)
+}
+
+func TestListBasics(t *testing.T) {
+	m, s := raw()
+	l := NewList(m.Mem)
+	m.Run(1, func(c *sim.Context) {
+		s.Atomic(c, func(tx tm.Tx) {
+			if !l.Insert(tx, 5, 50) || !l.Insert(tx, 1, 10) || !l.Insert(tx, 9, 90) {
+				t.Error("insert failed")
+			}
+			if l.Insert(tx, 5, 55) {
+				t.Error("duplicate insert succeeded")
+			}
+			if v, ok := l.Get(tx, 5); !ok || v != 50 {
+				t.Errorf("Get(5) = %d,%v", v, ok)
+			}
+			if _, ok := l.Get(tx, 4); ok {
+				t.Error("Get(4) found a ghost")
+			}
+			if !l.Update(tx, 5, 55) {
+				t.Error("update failed")
+			}
+			if v, _ := l.Get(tx, 5); v != 55 {
+				t.Error("update did not take")
+			}
+			if !l.Remove(tx, 1) || l.Remove(tx, 1) {
+				t.Error("remove semantics wrong")
+			}
+			if l.Len(tx) != 2 {
+				t.Errorf("len = %d, want 2", l.Len(tx))
+			}
+			var keys []uint64
+			l.Iterate(tx, func(k, v uint64) bool { keys = append(keys, k); return true })
+			if len(keys) != 2 || keys[0] != 5 || keys[1] != 9 {
+				t.Errorf("iterate order = %v", keys)
+			}
+		})
+	})
+}
+
+func TestListSortedProperty(t *testing.T) {
+	f := func(keys []uint16) bool {
+		m, s := raw()
+		l := NewList(m.Mem)
+		want := map[uint64]bool{}
+		ok := true
+		m.Run(1, func(c *sim.Context) {
+			s.Atomic(c, func(tx tm.Tx) {
+				for _, k := range keys {
+					l.Insert(tx, uint64(k), uint64(k)*2)
+					want[uint64(k)] = true
+				}
+				var got []uint64
+				l.Iterate(tx, func(k, v uint64) bool { got = append(got, k); return true })
+				if len(got) != len(want) {
+					ok = false
+					return
+				}
+				if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+					ok = false
+				}
+			})
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRBTreeBasics(t *testing.T) {
+	m, s := raw()
+	tr := NewRBTree(m.Mem)
+	m.Run(1, func(c *sim.Context) {
+		s.Atomic(c, func(tx tm.Tx) {
+			for i := 0; i < 64; i++ {
+				if !tr.Insert(tx, uint64(i*7%64), uint64(i)) {
+					t.Errorf("insert %d failed", i)
+				}
+			}
+			if tr.Insert(tx, 7, 0) {
+				t.Error("duplicate insert succeeded")
+			}
+			if tr.Size(tx) != 64 {
+				t.Errorf("size = %d", tr.Size(tx))
+			}
+			if tr.CheckInvariants(tx) < 0 {
+				t.Fatal("red-black invariants violated after inserts")
+			}
+			for i := 0; i < 64; i += 2 {
+				if !tr.Remove(tx, uint64(i)) {
+					t.Errorf("remove %d failed", i)
+				}
+			}
+			if tr.CheckInvariants(tx) < 0 {
+				t.Fatal("red-black invariants violated after removes")
+			}
+			for i := 0; i < 64; i++ {
+				want := i%2 == 1
+				if tr.Contains(tx, uint64(i)) != want {
+					t.Errorf("contains(%d) = %v", i, !want)
+				}
+			}
+		})
+	})
+}
+
+// TestRBTreeMatchesMapProperty drives the tree with a random op sequence and
+// compares against a Go map oracle, checking RB invariants along the way.
+func TestRBTreeMatchesMapProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, s := raw()
+		tr := NewRBTree(m.Mem)
+		oracle := map[uint64]uint64{}
+		good := true
+		m.Run(1, func(c *sim.Context) {
+			s.Atomic(c, func(tx tm.Tx) {
+				for op := 0; op < 300; op++ {
+					k := uint64(rng.Intn(64))
+					switch rng.Intn(3) {
+					case 0:
+						ins := tr.Insert(tx, k, k*10)
+						_, had := oracle[k]
+						if ins == had {
+							good = false
+							return
+						}
+						if ins {
+							oracle[k] = k * 10
+						}
+					case 1:
+						rem := tr.Remove(tx, k)
+						_, had := oracle[k]
+						if rem != had {
+							good = false
+							return
+						}
+						delete(oracle, k)
+					case 2:
+						v, ok := tr.Get(tx, k)
+						ov, had := oracle[k]
+						if ok != had || (ok && v != ov) {
+							good = false
+							return
+						}
+					}
+					if op%50 == 0 && tr.CheckInvariants(tx) < 0 {
+						good = false
+						return
+					}
+				}
+				if tr.Size(tx) != len(oracle) || tr.CheckInvariants(tx) < 0 {
+					good = false
+				}
+			})
+		})
+		return good
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRBTreeConcurrentUnderTSX(t *testing.T) {
+	m := sim.New(sim.DefaultConfig())
+	s := tm.NewSystem(m, tm.TSX)
+	tr := NewRBTree(m.Mem)
+	const perThread = 100
+	m.Run(4, func(c *sim.Context) {
+		for i := 0; i < perThread; i++ {
+			k := uint64(c.ID()*perThread + i)
+			s.Atomic(c, func(tx tm.Tx) { tr.Insert(tx, k, k) })
+		}
+	})
+	m.Run(1, func(c *sim.Context) {
+		s.Atomic(c, func(tx tm.Tx) {
+			if got := tr.Size(tx); got != 4*perThread {
+				t.Errorf("size = %d, want %d", got, 4*perThread)
+			}
+			if tr.CheckInvariants(tx) < 0 {
+				t.Error("invariants violated after concurrent inserts")
+			}
+		})
+	})
+}
+
+func TestHashtableBasics(t *testing.T) {
+	m, s := raw()
+	h := NewHashtable(m.Mem, 16)
+	m.Run(1, func(c *sim.Context) {
+		s.Atomic(c, func(tx tm.Tx) {
+			for i := uint64(0); i < 100; i++ {
+				if !h.PutIfAbsent(tx, i, i*3) {
+					t.Errorf("put %d failed", i)
+				}
+			}
+			if h.PutIfAbsent(tx, 50, 0) {
+				t.Error("duplicate put succeeded")
+			}
+			if v, ok := h.Get(tx, 50); !ok || v != 150 {
+				t.Errorf("Get(50) = %d,%v", v, ok)
+			}
+			if !h.Update(tx, 50, 7) {
+				t.Error("update failed")
+			}
+			if v, _ := h.Get(tx, 50); v != 7 {
+				t.Error("update did not take")
+			}
+			if h.Update(tx, 1000, 1) {
+				t.Error("update of absent key succeeded")
+			}
+			if !h.Remove(tx, 50) || h.Remove(tx, 50) {
+				t.Error("remove semantics wrong")
+			}
+			if h.Len(tx) != 99 {
+				t.Errorf("len = %d", h.Len(tx))
+			}
+			n := 0
+			h.Iterate(tx, func(k, v uint64) bool { n++; return true })
+			if n != 99 {
+				t.Errorf("iterate visited %d", n)
+			}
+		})
+	})
+}
+
+func TestHashtableConcurrentDistinctKeys(t *testing.T) {
+	m := sim.New(sim.DefaultConfig())
+	s := tm.NewSystem(m, tm.TSX)
+	h := NewHashtable(m.Mem, 64)
+	m.Run(8, func(c *sim.Context) {
+		for i := 0; i < 50; i++ {
+			k := uint64(c.ID()*1000 + i)
+			s.Atomic(c, func(tx tm.Tx) { h.PutIfAbsent(tx, k, k) })
+		}
+	})
+	m.Run(1, func(c *sim.Context) {
+		s.Atomic(c, func(tx tm.Tx) {
+			if got := h.Len(tx); got != 400 {
+				t.Errorf("len = %d, want 400", got)
+			}
+		})
+	})
+}
+
+func TestQueueFIFOAndGrowth(t *testing.T) {
+	m, s := raw()
+	q := NewQueue(m.Mem, 2)
+	m.Run(1, func(c *sim.Context) {
+		s.Atomic(c, func(tx tm.Tx) {
+			if !q.Empty(tx) {
+				t.Error("new queue not empty")
+			}
+			for i := uint64(1); i <= 20; i++ {
+				q.Push(tx, i)
+			}
+			if q.Len(tx) != 20 {
+				t.Errorf("len = %d", q.Len(tx))
+			}
+			for i := uint64(1); i <= 20; i++ {
+				v, ok := q.Pop(tx)
+				if !ok || v != i {
+					t.Fatalf("pop = %d,%v want %d", v, ok, i)
+				}
+			}
+			if _, ok := q.Pop(tx); ok {
+				t.Error("pop from empty succeeded")
+			}
+		})
+	})
+}
+
+func TestHeapOrdering(t *testing.T) {
+	m, s := raw()
+	h := NewHeap(m.Mem, 4)
+	vals := []uint64{42, 7, 100, 1, 77, 7, 3, 999, 55}
+	m.Run(1, func(c *sim.Context) {
+		s.Atomic(c, func(tx tm.Tx) {
+			for _, v := range vals {
+				h.Push(tx, v)
+			}
+			if h.Len(tx) != len(vals) {
+				t.Errorf("len = %d", h.Len(tx))
+			}
+			prev := uint64(0)
+			for range vals {
+				v, ok := h.Pop(tx)
+				if !ok || v < prev {
+					t.Fatalf("heap order violated: %d after %d", v, prev)
+				}
+				prev = v
+			}
+			if _, ok := h.Pop(tx); ok {
+				t.Error("pop from empty succeeded")
+			}
+		})
+	})
+}
+
+func TestHeapProperty(t *testing.T) {
+	f := func(vals []uint16) bool {
+		m, s := raw()
+		h := NewHeap(m.Mem, 4)
+		ok := true
+		m.Run(1, func(c *sim.Context) {
+			s.Atomic(c, func(tx tm.Tx) {
+				for _, v := range vals {
+					h.Push(tx, uint64(v))
+				}
+				sorted := make([]uint64, 0, len(vals))
+				for range vals {
+					v, _ := h.Pop(tx)
+					sorted = append(sorted, v)
+				}
+				if !sort.SliceIsSorted(sorted, func(i, j int) bool { return sorted[i] < sorted[j] }) {
+					ok = false
+				}
+			})
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVector(t *testing.T) {
+	m, s := raw()
+	v := NewVector(m.Mem, 2)
+	m.Run(1, func(c *sim.Context) {
+		s.Atomic(c, func(tx tm.Tx) {
+			for i := uint64(0); i < 30; i++ {
+				v.Append(tx, i*i)
+			}
+			if v.Len(tx) != 30 {
+				t.Errorf("len = %d", v.Len(tx))
+			}
+			for i := 0; i < 30; i++ {
+				if v.At(tx, i) != uint64(i*i) {
+					t.Fatalf("At(%d) = %d", i, v.At(tx, i))
+				}
+			}
+			v.Set(tx, 7, 123)
+			if v.At(tx, 7) != 123 {
+				t.Error("Set did not take")
+			}
+		})
+	})
+}
+
+func TestBitmap(t *testing.T) {
+	m, s := raw()
+	b := NewBitmap(m.Mem, 130)
+	m.Run(1, func(c *sim.Context) {
+		s.Atomic(c, func(tx tm.Tx) {
+			if !b.Set(tx, 0) || !b.Set(tx, 129) || !b.Set(tx, 64) {
+				t.Error("set failed")
+			}
+			if b.Set(tx, 64) {
+				t.Error("double set returned true")
+			}
+			if !b.IsSet(tx, 129) || b.IsSet(tx, 1) {
+				t.Error("IsSet wrong")
+			}
+			if b.Count(tx) != 3 {
+				t.Errorf("count = %d", b.Count(tx))
+			}
+			b.Clear(tx, 64)
+			if b.IsSet(tx, 64) || b.Count(tx) != 2 {
+				t.Error("clear failed")
+			}
+			if b.Bits() != 130 {
+				t.Error("Bits wrong")
+			}
+		})
+	})
+}
+
+// TestStructuresSurviveAborts stresses the red-black tree under TSX with
+// heavy conflicts: concurrent same-key-range operations force aborts and
+// retries; afterward the structure must still satisfy all invariants and
+// match a sequential oracle count.
+func TestStructuresSurviveAborts(t *testing.T) {
+	m := sim.New(sim.DefaultConfig())
+	s := tm.NewSystem(m, tm.TSX)
+	tr := NewRBTree(m.Mem)
+	inserted := m.Mem.AllocLine(8)
+	removed := m.Mem.AllocLine(8)
+	m.Run(8, func(c *sim.Context) {
+		rng := c.Rand
+		for i := 0; i < 120; i++ {
+			k := uint64(rng.Intn(48))
+			if rng.Intn(2) == 0 {
+				s.Atomic(c, func(tx tm.Tx) {
+					if tr.Insert(tx, k, k) {
+						tx.Store(inserted, tx.Load(inserted)+1)
+					}
+				})
+			} else {
+				s.Atomic(c, func(tx tm.Tx) {
+					if tr.Remove(tx, k) {
+						tx.Store(removed, tx.Load(removed)+1)
+					}
+				})
+			}
+		}
+	})
+	if s.HTM.Stats.TotalAborts() == 0 {
+		t.Fatal("expected aborts in this stress test")
+	}
+	m.Run(1, func(c *sim.Context) {
+		s.Atomic(c, func(tx tm.Tx) {
+			size := tr.Size(tx)
+			ins := int(tx.Load(inserted))
+			rem := int(tx.Load(removed))
+			if size != ins-rem {
+				t.Errorf("size %d != inserted %d - removed %d", size, ins, rem)
+			}
+			if tr.CheckInvariants(tx) < 0 {
+				t.Error("red-black invariants violated after abort storm")
+			}
+		})
+	})
+}

@@ -1,0 +1,6 @@
+package stamp
+
+import "math/rand"
+
+// newRng returns a deterministic random source for workload setup.
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

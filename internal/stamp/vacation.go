@@ -1,0 +1,204 @@
+package stamp
+
+import (
+	"fmt"
+
+	"tsxhpc/internal/sim"
+	"tsxhpc/internal/stamp/stamplib"
+	"tsxhpc/internal/tm"
+)
+
+// vacation is STAMP's travel-reservation system: red-black trees of cars,
+// flights and rooms plus a customer tree, exercised by client transactions
+// that query several items and reserve, cancel, or update inventory —
+// medium-footprint tree transactions (the paper's high-contention
+// configuration queries 90% of relations with 4 queries per task).
+type vacation struct {
+	relations int // rows per resource table
+	tasks     int // total client transactions
+	queries   int // item queries per reservation task
+
+	tables    [3]*stamplib.RBTree // cars, flights, rooms
+	customers *stamplib.RBTree
+	reserved  sim.Addr // per-thread reservation counters (line-strided)
+	threads   int
+}
+
+// Resource record layout: [0]=total, [8]=used, [16]=price.
+const (
+	resTotal = 0
+	resUsed  = 8
+	resPrice = 16
+	resSize  = 24
+)
+
+func newVacation() *vacation {
+	return &vacation{relations: 512, tasks: 1536, queries: 4}
+}
+
+func (v *vacation) Name() string { return "vacation" }
+
+// setContention switches to STAMP's low-contention input: fewer queries
+// per task spread over larger tables (-n2 -q90 vs -n4 -q60).
+func (v *vacation) setContention(cont Contention) {
+	if cont == LowContention {
+		v.queries = 2
+		v.relations = 1024
+	}
+}
+
+func (v *vacation) Setup(m *sim.Machine, sys *tm.System, threads int) {
+	v.threads = threads
+	rng := newRng(11)
+	v.reserved = m.Mem.AllocArray(threads, sim.LineSize)
+	v.customers = stamplib.NewRBTree(m.Mem)
+	for t := 0; t < 3; t++ {
+		v.tables[t] = stamplib.NewRBTree(m.Mem)
+	}
+	// Populate tables untimed through a raw single-thread region.
+	m.Run(1, func(c *sim.Context) {
+		tx := tm.PlainTx(c)
+		for t := 0; t < 3; t++ {
+			for id := 0; id < v.relations; id++ {
+				rec := m.Mem.Alloc(resSize)
+				m.Mem.WriteRaw(rec+resTotal, uint64(5+rng.Intn(5)))
+				m.Mem.WriteRaw(rec+resUsed, 0)
+				m.Mem.WriteRaw(rec+resPrice, uint64(50+rng.Intn(450)))
+				v.tables[t].Insert(tx, uint64(id), uint64(rec))
+			}
+		}
+		for id := 0; id < v.relations/4; id++ {
+			v.customers.Insert(tx, uint64(id), 0)
+		}
+	})
+}
+
+func (v *vacation) Thread(c *sim.Context, sys *tm.System) {
+	perThread := v.tasks / v.threads
+	if c.ID() < v.tasks%v.threads {
+		perThread++
+	}
+	for i := 0; i < perThread; i++ {
+		action := c.Rand.Intn(100)
+		switch {
+		case action < 80:
+			v.makeReservation(c, sys)
+		case action < 90:
+			v.updateTables(c, sys)
+		default:
+			v.checkCustomer(c, sys)
+		}
+	}
+}
+
+// makeReservation queries several random items per table and reserves the
+// cheapest available one — STAMP's client transaction.
+func (v *vacation) makeReservation(c *sim.Context, sys *tm.System) {
+	// Choose query targets outside the region (re-execution safe).
+	ids := make([]uint64, v.queries)
+	for i := range ids {
+		ids[i] = uint64(c.Rand.Intn(v.relations))
+	}
+	table := v.tables[c.Rand.Intn(3)]
+	custID := uint64(c.Rand.Intn(v.relations / 4))
+	sys.Atomic(c, func(tx tm.Tx) {
+		bestRec := sim.Addr(0)
+		bestPrice := ^uint64(0)
+		for _, id := range ids {
+			recw, ok := table.Get(tx, id)
+			if !ok {
+				continue
+			}
+			rec := sim.Addr(recw)
+			if tx.Load(rec+resUsed) >= tx.Load(rec+resTotal) {
+				continue
+			}
+			if p := tx.Load(rec + resPrice); p < bestPrice {
+				bestPrice, bestRec = p, rec
+			}
+		}
+		if bestRec == 0 {
+			return
+		}
+		tx.Store(bestRec+resUsed, tx.Load(bestRec+resUsed)+1)
+		if bill, ok := v.customers.Get(tx, custID); ok {
+			v.customers.Update(tx, custID, bill+bestPrice)
+		}
+		cnt := v.reserved + sim.Addr(c.ID()*sim.LineSize)
+		tx.Store(cnt, tx.Load(cnt)+1)
+	})
+	c.Compute(60)
+}
+
+// updateTables grows or shrinks inventory (STAMP's manager update task).
+func (v *vacation) updateTables(c *sim.Context, sys *tm.System) {
+	table := v.tables[c.Rand.Intn(3)]
+	id := uint64(c.Rand.Intn(v.relations))
+	grow := c.Rand.Intn(2) == 0
+	sys.Atomic(c, func(tx tm.Tx) {
+		recw, ok := table.Get(tx, id)
+		if !ok {
+			return
+		}
+		rec := sim.Addr(recw)
+		total := tx.Load(rec + resTotal)
+		used := tx.Load(rec + resUsed)
+		if grow {
+			tx.Store(rec+resTotal, total+1)
+		} else if total > used {
+			tx.Store(rec+resTotal, total-1)
+		}
+	})
+	c.Compute(40)
+}
+
+// checkCustomer sums a customer's bill (read-only transaction).
+func (v *vacation) checkCustomer(c *sim.Context, sys *tm.System) {
+	custID := uint64(c.Rand.Intn(v.relations / 4))
+	sys.Atomic(c, func(tx tm.Tx) {
+		v.customers.Get(tx, custID)
+	})
+	c.Compute(30)
+}
+
+func (v *vacation) Validate(m *sim.Machine) error {
+	var err error
+	m.Run(1, func(c *sim.Context) {
+		tx := tm.PlainTx(c)
+		var used uint64
+		for t := 0; t < 3; t++ {
+			if v.tables[t].CheckInvariants(tx) < 0 {
+				err = fmt.Errorf("vacation: table %d violates red-black invariants", t)
+				return
+			}
+			if v.tables[t].Size(tx) != v.relations {
+				err = fmt.Errorf("vacation: table %d lost rows", t)
+				return
+			}
+		}
+		for t := 0; t < 3; t++ {
+			for id := 0; id < v.relations; id++ {
+				recw, ok := v.tables[t].Get(tx, uint64(id))
+				if !ok {
+					err = fmt.Errorf("vacation: missing row %d", id)
+					return
+				}
+				rec := sim.Addr(recw)
+				u := tx.Load(rec + resUsed)
+				if u > tx.Load(rec+resTotal) {
+					err = fmt.Errorf("vacation: overbooked resource %d/%d", t, id)
+					return
+				}
+				used += u
+			}
+		}
+		var reserved uint64
+		for t := 0; t < v.threads; t++ {
+			reserved += tx.Load(v.reserved + sim.Addr(t*sim.LineSize))
+		}
+		if used != reserved {
+			err = fmt.Errorf("vacation: used %d != reservations %d", used, reserved)
+		}
+	})
+	return err
+}

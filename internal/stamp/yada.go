@@ -1,0 +1,149 @@
+package stamp
+
+import (
+	"fmt"
+
+	"tsxhpc/internal/sim"
+	"tsxhpc/internal/stamp/stamplib"
+	"tsxhpc/internal/tm"
+)
+
+// yada is STAMP's Delaunay mesh refinement benchmark ("Yet Another Delaunay
+// Application"). Threads pull bad elements off a shared work heap, build a
+// retriangulation cavity around each (reading the element and its
+// neighborhood), rewrite the cavity, and push any newly created bad
+// elements. Cavity transactions have medium footprints and genuinely
+// overlap when two threads refine nearby regions, so conflicts rise
+// steadily with thread count (Table 1: 46% at 1T to 92% at 8T — the 1T
+// component is capacity, the rest conflicts).
+//
+// The mesh is a 2-D grid of elements with a per-element "badness" level;
+// refining an element zeroes its badness and erodes its neighborhood,
+// cascading new work exactly like cavity expansion. Total badness strictly
+// decreases, so the refinement terminates.
+type yada struct {
+	n       int // mesh is n x n elements
+	cavityR int // cavity radius (Chebyshev)
+
+	mesh    sim.Addr // per-element badness level
+	work    *stamplib.Heap
+	refined sim.Addr // per-thread refinement counters (line-strided)
+	popped  sim.Addr // per-thread pop counters (line-strided)
+	initBad int
+	threads int
+}
+
+func newYada() *yada {
+	return &yada{n: 64, cavityR: 1}
+}
+
+func (w *yada) Name() string { return "yada" }
+
+func (w *yada) cellAddr(c int) sim.Addr { return w.mesh + sim.Addr(c*8) }
+
+func (w *yada) Setup(m *sim.Machine, sys *tm.System, threads int) {
+	w.threads = threads
+	cells := w.n * w.n
+	w.mesh = m.Mem.AllocLine(8 * cells)
+	w.work = stamplib.NewHeap(m.Mem, cells)
+	w.refined = m.Mem.AllocArray(threads, sim.LineSize)
+	w.popped = m.Mem.AllocArray(threads, sim.LineSize)
+	rng := newRng(61)
+	var seed []int
+	for c := 0; c < cells; c++ {
+		b := rng.Intn(4) // 0..3 badness
+		m.Mem.WriteRaw(w.cellAddr(c), uint64(b))
+		if b == 3 {
+			seed = append(seed, c)
+		}
+	}
+	w.initBad = len(seed)
+	m.Run(1, func(c *sim.Context) {
+		tx := tm.PlainTx(c)
+		for _, s := range seed {
+			w.work.Push(tx, uint64(s))
+		}
+	})
+}
+
+// cavity yields the elements within Chebyshev distance r of center.
+func (w *yada) cavity(center int, f func(int)) {
+	cx, cy := center%w.n, center/w.n
+	for dy := -w.cavityR; dy <= w.cavityR; dy++ {
+		for dx := -w.cavityR; dx <= w.cavityR; dx++ {
+			x, y := cx+dx, cy+dy
+			if x >= 0 && x < w.n && y >= 0 && y < w.n {
+				f(y*w.n + x)
+			}
+		}
+	}
+}
+
+func (w *yada) Thread(c *sim.Context, sys *tm.System) {
+	poppedCnt := w.popped + sim.Addr(c.ID()*sim.LineSize)
+	refinedCnt := w.refined + sim.Addr(c.ID()*sim.LineSize)
+	for {
+		// Small transaction: take one bad element off the shared heap.
+		var elem uint64
+		var ok bool
+		sys.Atomic(c, func(tx tm.Tx) {
+			elem, ok = w.work.Pop(tx)
+		})
+		if !ok {
+			break
+		}
+		c.Store(poppedCnt, c.Load(poppedCnt)+1) // thread-private tally
+		center := int(elem)
+		c.Compute(700) // geometric predicates for the retriangulation
+		// Cavity transaction: read the neighborhood, rewrite it, and queue
+		// any newly created bad elements.
+		sys.Atomic(c, func(tx tm.Tx) {
+			var newWork []uint64
+			refinedHere := false
+			w.cavity(center, func(cell int) {
+				b := tx.Load(w.cellAddr(cell))
+				if cell == center {
+					if b > 0 {
+						tx.Store(w.cellAddr(cell), 0)
+						refinedHere = true
+					}
+					return
+				}
+				// Retriangulation erodes neighbors; a neighbor dropping
+				// from the maximum level joins the work list exactly once.
+				if b == 3 {
+					tx.Store(w.cellAddr(cell), 2)
+					newWork = append(newWork, uint64(cell))
+				}
+			})
+			for _, nw := range newWork {
+				w.work.Push(tx, nw)
+			}
+			if refinedHere {
+				tx.Store(refinedCnt, tx.Load(refinedCnt)+1)
+			}
+		})
+	}
+}
+
+func (w *yada) Validate(m *sim.Machine) error {
+	var popped, refined uint64
+	for t := 0; t < w.threads; t++ {
+		popped += m.Mem.ReadRaw(w.popped + sim.Addr(t*sim.LineSize))
+		refined += m.Mem.ReadRaw(w.refined + sim.Addr(t*sim.LineSize))
+	}
+	if popped < uint64(w.initBad) {
+		return fmt.Errorf("yada: popped %d < initial bad %d", popped, w.initBad)
+	}
+	if refined == 0 || refined > popped {
+		return fmt.Errorf("yada: refined %d of %d popped", refined, popped)
+	}
+	// No element at the maximum badness level may remain: every level-3
+	// element was either seeded or eroded to 2 when its neighbor refined.
+	for c := 0; c < w.n*w.n; c++ {
+		if b := m.Mem.ReadRaw(w.cellAddr(c)); b == 3 {
+			return fmt.Errorf("yada: element %d still at max badness", c)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,248 @@
+// Package stm implements TL2 (Transactional Locking II, Dice/Shalev/Shavit,
+// DISC 2006), the software transactional memory that the STAMP distribution
+// ships and that the paper uses as the STM baseline in Figure 2 and Table 1.
+//
+// The implementation is the standard algorithm: a global version clock,
+// per-stripe versioned write-locks (ownership records), invisible reads with
+// pre/post validation, lazy versioning with commit-time locking, and full
+// read-set validation at commit. Each instrumented operation charges the
+// software bookkeeping cost that makes STMs expensive at one thread — the
+// effect the paper contrasts against Intel TSX's uninstrumented reads.
+package stm
+
+import (
+	"tsxhpc/internal/sim"
+)
+
+const orecCount = 1 << 16 // stripes
+
+// orec is one ownership record: a versioned write-lock.
+type orec struct {
+	version uint64
+	owner   int // thread id + 1 when locked; 0 when free
+}
+
+// Stats counts transactional executions for the tl2 columns of Table 1.
+type Stats struct {
+	Starts  uint64
+	Commits uint64
+	Aborts  uint64
+}
+
+// AbortRate returns aborts as a percentage of all transactional executions.
+func (s *Stats) AbortRate() float64 {
+	if s.Aborts+s.Commits == 0 {
+		return 0
+	}
+	return 100 * float64(s.Aborts) / float64(s.Aborts+s.Commits)
+}
+
+// Reset zeroes the counters.
+func (s *Stats) Reset() { *s = Stats{} }
+
+// TL2 is one software TM instance over a machine's memory.
+type TL2 struct {
+	m     *sim.Machine
+	gv    uint64 // global version clock
+	orecs []orec
+	Stats Stats
+}
+
+// New creates a TL2 instance for machine m.
+func New(m *sim.Machine) *TL2 {
+	return &TL2{m: m, orecs: make([]orec, orecCount)}
+}
+
+func orecIdx(a sim.Addr) int {
+	x := uint64(a) >> 3
+	x *= 0x9e3779b97f4a7c15
+	return int(x >> 48) // top 16 bits
+}
+
+type tl2Abort struct{}
+
+// Txn is one TL2 transaction attempt.
+type Txn struct {
+	s   *TL2
+	ctx *sim.Context
+	rv  uint64
+
+	readSet  []int // orec indices
+	writeSet map[sim.Addr]uint64
+	wOrder   []sim.Addr // deterministic write-back order
+	frees    []pendingFree
+}
+
+type pendingFree struct {
+	addr sim.Addr
+	size int
+}
+
+// Free releases a block of simulated memory at commit time (TM_FREE
+// discipline: a free inside an aborted transaction must not take effect).
+func (t *Txn) Free(a sim.Addr, size int) {
+	t.frees = append(t.frees, pendingFree{a, size})
+}
+
+// Load performs an instrumented transactional read with pre/post orec
+// validation, aborting on inconsistency (the "invisible reads" protocol).
+func (t *Txn) Load(a sim.Addr) uint64 {
+	if v, ok := t.writeSet[a]; ok {
+		t.ctx.Compute(t.s.m.Costs.TL2Read)
+		return v
+	}
+	t.ctx.Compute(t.s.m.Costs.TL2Read)
+	oi := orecIdx(a)
+	o := &t.s.orecs[oi]
+	if o.owner != 0 || o.version > t.rv {
+		t.abort()
+	}
+	v := t.ctx.Load(a)
+	if o.owner != 0 || o.version > t.rv {
+		t.abort()
+	}
+	t.readSet = append(t.readSet, oi)
+	return v
+}
+
+// Store buffers an instrumented transactional write (lazy versioning).
+func (t *Txn) Store(a sim.Addr, v uint64) {
+	t.ctx.Compute(t.s.m.Costs.TL2Write)
+	if _, ok := t.writeSet[a]; !ok {
+		t.wOrder = append(t.wOrder, a)
+	}
+	t.writeSet[a] = v
+}
+
+func (t *Txn) abort() {
+	t.ctx.Compute(t.s.m.Costs.TL2AbortCost)
+	t.s.Stats.Aborts++
+	panic(tl2Abort{})
+}
+
+// commit locks the write-set orecs in index order, advances the global
+// clock, validates the read set, writes back, and releases.
+func (t *Txn) commit() {
+	c := t.ctx
+	costs := t.s.m.Costs
+	if len(t.writeSet) == 0 {
+		// Read-only transactions commit without validation in TL2.
+		c.Compute(costs.TL2Commit)
+		t.commitFrees()
+		t.s.Stats.Commits++
+		return
+	}
+	// Lock write-set orecs in a canonical order to avoid deadlock; abort if
+	// any is held or has advanced past our read version.
+	locks := make([]int, 0, len(t.wOrder))
+	seen := make(map[int]bool, len(t.wOrder))
+	for _, a := range t.wOrder {
+		oi := orecIdx(a)
+		if !seen[oi] {
+			seen[oi] = true
+			locks = append(locks, oi)
+		}
+	}
+	insertionSort(locks)
+	acquired := 0
+	id := c.ID() + 1
+	for _, oi := range locks {
+		c.Compute(costs.TL2PerOrec)
+		o := &t.s.orecs[oi]
+		if o.owner != 0 || o.version > t.rv {
+			for _, li := range locks[:acquired] {
+				t.s.orecs[li].owner = 0
+			}
+			t.abort()
+		}
+		o.owner = id
+		acquired++
+	}
+	// Advance the global version clock.
+	c.Compute(costs.Atomic)
+	t.s.gv++
+	wv := t.s.gv
+	// Validate the read set.
+	for _, oi := range t.readSet {
+		c.Compute(costs.TL2PerRead)
+		o := &t.s.orecs[oi]
+		if (o.owner != 0 && o.owner != id) || o.version > t.rv {
+			for _, li := range locks {
+				if t.s.orecs[li].owner == id {
+					t.s.orecs[li].owner = 0
+				}
+			}
+			t.abort()
+		}
+	}
+	// Write back and release.
+	c.Compute(costs.TL2Commit)
+	for _, a := range t.wOrder {
+		c.Store(a, t.writeSet[a])
+	}
+	for _, oi := range locks {
+		o := &t.s.orecs[oi]
+		o.version = wv
+		o.owner = 0
+	}
+	t.commitFrees()
+	t.s.Stats.Commits++
+}
+
+func (t *Txn) commitFrees() {
+	for _, f := range t.frees {
+		t.s.m.Mem.Free(f.addr, f.size)
+	}
+}
+
+// Run executes body as a TL2 transaction, retrying with randomized
+// exponential backoff until it commits. Body must be a re-executable
+// closure.
+func (s *TL2) Run(c *sim.Context, body func(*Txn)) {
+	backoff := uint64(32)
+	for {
+		committed := s.try(c, body)
+		if committed {
+			return
+		}
+		c.Compute(uint64(c.Rand.Int63n(int64(backoff))) + 1)
+		if backoff < 8192 {
+			backoff *= 2
+		}
+	}
+}
+
+func (s *TL2) try(c *sim.Context, body func(*Txn)) (committed bool) {
+	c.Compute(s.m.Costs.TL2Start)
+	s.Stats.Starts++
+	t := &Txn{
+		s:        s,
+		ctx:      c,
+		rv:       s.gv,
+		writeSet: make(map[sim.Addr]uint64, 8),
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			if _, ok := p.(tl2Abort); ok {
+				committed = false
+				return
+			}
+			panic(p)
+		}
+	}()
+	body(t)
+	t.commit()
+	return true
+}
+
+func insertionSort(a []int) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}

@@ -1,0 +1,177 @@
+package stm
+
+import (
+	"testing"
+
+	"tsxhpc/internal/sim"
+)
+
+func mach() (*sim.Machine, *TL2) {
+	m := sim.New(sim.DefaultConfig())
+	return m, New(m)
+}
+
+func TestCommitPublishes(t *testing.T) {
+	m, s := mach()
+	a := m.Mem.AllocLine(16)
+	m.Run(1, func(c *sim.Context) {
+		s.Run(c, func(tx *Txn) {
+			tx.Store(a, 7)
+			tx.Store(a+8, 8)
+		})
+	})
+	if m.Mem.ReadRaw(a) != 7 || m.Mem.ReadRaw(a+8) != 8 {
+		t.Fatal("writes not visible after commit")
+	}
+	if s.Stats.Commits != 1 {
+		t.Fatalf("stats = %+v", s.Stats)
+	}
+}
+
+func TestLazyVersioning(t *testing.T) {
+	m, s := mach()
+	a := m.Mem.AllocLine(8)
+	m.Run(1, func(c *sim.Context) {
+		s.Run(c, func(tx *Txn) {
+			tx.Store(a, 42)
+			if m.Mem.ReadRaw(a) != 0 {
+				t.Error("TL2 write reached memory before commit (not lazy)")
+			}
+			if tx.Load(a) != 42 {
+				t.Error("read-own-write failed")
+			}
+		})
+	})
+}
+
+func TestConcurrentCounter(t *testing.T) {
+	m, s := mach()
+	a := m.Mem.AllocLine(8)
+	const perThread = 400
+	m.Run(8, func(c *sim.Context) {
+		for i := 0; i < perThread; i++ {
+			s.Run(c, func(tx *Txn) {
+				tx.Store(a, tx.Load(a)+1)
+			})
+		}
+	})
+	if got := m.Mem.ReadRaw(a); got != 8*perThread {
+		t.Fatalf("counter = %d, want %d", got, 8*perThread)
+	}
+	if s.Stats.Aborts == 0 {
+		t.Fatal("expected aborts under contention")
+	}
+}
+
+func TestDisjointWritesDoNotAbort(t *testing.T) {
+	m, s := mach()
+	// One padded counter per thread: no conflicts expected.
+	base := m.Mem.AllocArray(8, sim.LineSize)
+	m.Run(8, func(c *sim.Context) {
+		a := base + sim.Addr(c.ID()*sim.LineSize)
+		for i := 0; i < 100; i++ {
+			s.Run(c, func(tx *Txn) {
+				tx.Store(a, tx.Load(a)+1)
+			})
+		}
+	})
+	for i := 0; i < 8; i++ {
+		if got := m.Mem.ReadRaw(base + sim.Addr(i*sim.LineSize)); got != 100 {
+			t.Fatalf("thread %d counter = %d", i, got)
+		}
+	}
+	if s.Stats.Aborts != 0 {
+		t.Fatalf("disjoint transactions aborted %d times", s.Stats.Aborts)
+	}
+}
+
+func TestReadOnlyTransactionsCheap(t *testing.T) {
+	m, s := mach()
+	a := m.Mem.AllocLine(8)
+	m.Mem.WriteRaw(a, 5)
+	var roCost, rwCost uint64
+	m.Run(1, func(c *sim.Context) {
+		t0 := c.Now()
+		s.Run(c, func(tx *Txn) { tx.Load(a) })
+		roCost = c.Now() - t0
+		t0 = c.Now()
+		s.Run(c, func(tx *Txn) { tx.Store(a, tx.Load(a)) })
+		rwCost = c.Now() - t0
+	})
+	if roCost >= rwCost {
+		t.Fatalf("read-only commit (%d) should be cheaper than write commit (%d)", roCost, rwCost)
+	}
+}
+
+func TestInstrumentationOverheadVsPlain(t *testing.T) {
+	// The core Figure 2 effect: single-thread TL2 is much slower than plain
+	// execution because every access pays software instrumentation.
+	m, s := mach()
+	n := 256
+	arr := m.Mem.AllocLine(8 * n)
+	var tl2Cost, plainCost uint64
+	m.Run(1, func(c *sim.Context) {
+		t0 := c.Now()
+		for i := 0; i < n; i++ {
+			s.Run(c, func(tx *Txn) {
+				a := arr + sim.Addr(i*8)
+				tx.Store(a, tx.Load(a)+1)
+			})
+		}
+		tl2Cost = c.Now() - t0
+		t0 = c.Now()
+		for i := 0; i < n; i++ {
+			a := arr + sim.Addr(i*8)
+			c.Store(a, c.Load(a)+1)
+		}
+		plainCost = c.Now() - t0
+	})
+	if tl2Cost < 3*plainCost {
+		t.Fatalf("TL2 overhead too low: tl2=%d plain=%d", tl2Cost, plainCost)
+	}
+}
+
+func TestAbortRateMetric(t *testing.T) {
+	var s Stats
+	if s.AbortRate() != 0 {
+		t.Fatal("empty stats should be 0")
+	}
+	s.Commits, s.Aborts = 1, 1
+	if s.AbortRate() != 50 {
+		t.Fatalf("AbortRate = %v", s.AbortRate())
+	}
+	s.Reset()
+	if s.Commits != 0 || s.Aborts != 0 {
+		t.Fatal("Reset did not zero")
+	}
+}
+
+func TestWriteSkewPreventedBySerializability(t *testing.T) {
+	// Classic STM litmus: two transactions each read both cells and write
+	// one; TL2's read validation must keep x+y invariant-consistent.
+	m, s := mach()
+	x := m.Mem.AllocLine(8)
+	y := m.Mem.AllocLine(8)
+	m.Mem.WriteRaw(x, 50)
+	m.Mem.WriteRaw(y, 50)
+	m.Run(2, func(c *sim.Context) {
+		for i := 0; i < 200; i++ {
+			s.Run(c, func(tx *Txn) {
+				sum := tx.Load(x) + tx.Load(y)
+				if sum != 100 {
+					t.Errorf("invariant broken: sum=%d", sum)
+				}
+				if c.ID() == 0 {
+					tx.Store(x, tx.Load(x)+1)
+					tx.Store(y, tx.Load(y)-1)
+				} else {
+					tx.Store(y, tx.Load(y)+1)
+					tx.Store(x, tx.Load(x)-1)
+				}
+			})
+		}
+	})
+	if m.Mem.ReadRaw(x)+m.Mem.ReadRaw(y) != 100 {
+		t.Fatalf("final sum = %d", m.Mem.ReadRaw(x)+m.Mem.ReadRaw(y))
+	}
+}

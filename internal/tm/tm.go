@@ -1,0 +1,261 @@
+// Package tm is the unified synchronization library the workloads call into,
+// mirroring the paper's methodology: applications mark critical sections
+// (via macros/pragmas in the original C; via closures here) and the library
+// decides how to execute them. Three execution schemes are provided, exactly
+// the three compared in Figures 2–4:
+//
+//   - SGL — every transactional region serializes on a single global lock.
+//   - TL2 — regions run under the TL2 software transactional memory.
+//   - TSX — regions transactionally elide the single global lock using the
+//     emulated Intel TSX hardware (package htm), retrying up to MaxRetries
+//     times before explicitly acquiring the lock, and testing the lock word
+//     inside the transaction for correct interaction with fallback holders.
+//
+// A fourth scheme, Raw, executes regions with no synchronization at all and
+// exists for single-threaded serial baselines.
+package tm
+
+import (
+	"tsxhpc/internal/htm"
+	"tsxhpc/internal/sim"
+	"tsxhpc/internal/ssync"
+	"tsxhpc/internal/stm"
+)
+
+// Mode selects how transactional regions execute.
+type Mode int
+
+const (
+	// Raw runs regions without synchronization (serial baselines only).
+	Raw Mode = iota
+	// SGL serializes all regions on a single global lock.
+	SGL
+	// TL2 runs regions under the TL2 software TM.
+	TL2
+	// TSX elides the single global lock with emulated Intel TSX.
+	TSX
+)
+
+// String names the mode as the paper's figures do.
+func (m Mode) String() string {
+	switch m {
+	case Raw:
+		return "raw"
+	case SGL:
+		return "sgl"
+	case TL2:
+		return "tl2"
+	case TSX:
+		return "tsx"
+	}
+	return "?"
+}
+
+// Tx is the access interface a transactional region's body uses for shared
+// memory. Under SGL and the TSX fallback path the operations are plain
+// loads/stores (the lock provides exclusion); under TSX they are hardware-
+// transactional; under TL2 they are STM-instrumented.
+type Tx interface {
+	// Load reads the shared word at a.
+	Load(a sim.Addr) uint64
+	// Store writes the shared word at a.
+	Store(a sim.Addr, v uint64)
+	// Free releases simulated memory with transactional discipline
+	// (TM_FREE): under TSX and TL2 the release is deferred until commit, so
+	// an abort cannot expose still-reachable memory for reuse.
+	Free(a sim.Addr, size int)
+	// Ctx returns the executing simulated thread.
+	Ctx() *sim.Context
+}
+
+// LoadF reads a float64 stored at a through tx.
+func LoadF(tx Tx, a sim.Addr) float64 { return sim.B2F(tx.Load(a)) }
+
+// StoreF writes a float64 at a through tx.
+func StoreF(tx Tx, a sim.Addr, v float64) { tx.Store(a, sim.F2B(v)) }
+
+// LoadI reads a signed integer stored at a through tx.
+func LoadI(tx Tx, a sim.Addr) int64 { return sim.B2I(tx.Load(a)) }
+
+// StoreI writes a signed integer at a through tx.
+func StoreI(tx Tx, a sim.Addr, v int64) { tx.Store(a, sim.I2B(v)) }
+
+// System is one configured instance of the synchronization library.
+type System struct {
+	M    *sim.Machine
+	Mode Mode
+	// MaxRetries is how many failed transactional attempts are made before
+	// explicitly acquiring the fallback lock; the paper found 5 best.
+	MaxRetries int
+
+	HTM   *htm.Runtime
+	STM   *stm.TL2
+	GLock *ssync.Mutex
+
+	cur []Tx // per-thread current region, for flat nesting
+}
+
+// NewSystem creates a synchronization library instance over machine m.
+func NewSystem(m *sim.Machine, mode Mode) *System {
+	s := &System{
+		M:          m,
+		Mode:       mode,
+		MaxRetries: 5,
+		GLock:      ssync.NewMutex(m.Mem),
+		cur:        make([]Tx, 64),
+	}
+	switch mode {
+	case TSX:
+		s.HTM = htm.New(m)
+	case TL2:
+		s.STM = stm.New(m)
+	}
+	return s
+}
+
+// plainTx accesses memory directly; exclusion comes from a held lock (or,
+// for Raw, from single-threaded execution).
+type plainTx struct{ c *sim.Context }
+
+func (t plainTx) Load(a sim.Addr) uint64     { return t.c.Load(a) }
+func (t plainTx) Store(a sim.Addr, v uint64) { t.c.Store(a, v) }
+func (t plainTx) Free(a sim.Addr, size int)  { t.c.Machine().Mem.Free(a, size) }
+func (t plainTx) Ctx() *sim.Context          { return t.c }
+
+type htmTx struct{ t *htm.Txn }
+
+func (t htmTx) Load(a sim.Addr) uint64     { return t.t.Load(a) }
+func (t htmTx) Store(a sim.Addr, v uint64) { t.t.Store(a, v) }
+func (t htmTx) Free(a sim.Addr, size int)  { t.t.Free(a, size) }
+func (t htmTx) Ctx() *sim.Context          { return t.t.Ctx() }
+
+type tl2Tx struct {
+	t *stm.Txn
+	c *sim.Context
+}
+
+func (t tl2Tx) Load(a sim.Addr) uint64     { return t.t.Load(a) }
+func (t tl2Tx) Store(a sim.Addr, v uint64) { t.t.Store(a, v) }
+func (t tl2Tx) Free(a sim.Addr, size int)  { t.t.Free(a, size) }
+func (t tl2Tx) Ctx() *sim.Context          { return t.c }
+
+// UnannotatedLoad reads a word the application does NOT annotate for the TM
+// runtime — e.g. labyrinth's private grid snapshot, which STAMP deliberately
+// leaves unannotated so software TMs skip instrumenting a 14 MB copy. A
+// software TM (TL2) performs a plain uninstrumented load; hardware
+// transactional memory cannot skip tracking, so under TSX the access is
+// transactional anyway, inflating the hardware read set (the capacity
+// asymmetry Section 4.2 of the paper discusses).
+func UnannotatedLoad(tx Tx, a sim.Addr) uint64 {
+	if h, ok := tx.(htmTx); ok {
+		return h.t.Load(a)
+	}
+	return tx.Ctx().Load(a)
+}
+
+// PlainTx wraps a context as a Tx performing direct, uninstrumented accesses;
+// exclusion must be provided externally (a held lock or single-threading).
+func PlainTx(c *sim.Context) Tx { return plainTx{c} }
+
+// HTMTx wraps an in-flight emulated hardware transaction as a Tx.
+func HTMTx(t *htm.Txn) Tx { return htmTx{t} }
+
+// Atomic executes body as one transactional region under the system's mode.
+// Nested calls flatten into the enclosing region. Body must be a
+// re-executable closure: under TSX and TL2 it may run several times.
+func (s *System) Atomic(c *sim.Context, body func(Tx)) {
+	if cur := s.cur[c.ID()]; cur != nil {
+		body(cur) // flat nesting
+		return
+	}
+	switch s.Mode {
+	case Raw:
+		s.enter(c, plainTx{c}, body)
+	case SGL:
+		s.GLock.Lock(c)
+		s.enter(c, plainTx{c}, body)
+		s.GLock.Unlock(c)
+	case TL2:
+		s.STM.Run(c, func(t *stm.Txn) {
+			s.enter(c, tl2Tx{t, c}, body)
+		})
+	case TSX:
+		s.elide(c, body)
+	}
+}
+
+func (s *System) enter(c *sim.Context, tx Tx, body func(Tx)) {
+	s.cur[c.ID()] = tx
+	defer func() { s.cur[c.ID()] = nil }()
+	body(tx)
+}
+
+// elide is the RTM lock-elision policy from Section 3 of the paper: execute
+// the region transactionally with the global lock's word in the read set
+// (aborting if the lock is held), retry up to MaxRetries times with
+// randomized backoff on conflicts, wait for the lock to become free after a
+// lock-busy abort, and fall back to explicit acquisition on persistent
+// failure or when the hardware hints a retry cannot succeed (syscalls,
+// explicit aborts).
+func (s *System) elide(c *sim.Context, body func(Tx)) {
+	costs := s.M.Costs
+	lockAddr := s.GLock.Addr
+	for attempt := 0; attempt < s.MaxRetries; attempt++ {
+		cause, noRetry := s.HTM.Try(c, func(t *htm.Txn) {
+			if t.Load(lockAddr) != 0 {
+				t.Abort(htm.LockBusy)
+			}
+			s.enter(c, htmTx{t}, body)
+		})
+		if cause == htm.NoAbort {
+			return
+		}
+		if noRetry {
+			break
+		}
+		switch cause {
+		case htm.LockBusy:
+			// Wait for the lock to be released before retrying; retrying
+			// while it is held would abort immediately again. The wait is
+			// bounded: under a steady stream of fallback acquisitions the
+			// lock word can stay set indefinitely (ownership is handed
+			// directly between parked waiters), and an unbounded spin would
+			// livelock — exhausting the retry budget instead sends this
+			// thread into the fair fallback queue.
+			for spins := 0; c.Load(lockAddr) != 0 && spins < 4*costs.MutexSpinTries; spins++ {
+				c.Compute(costs.MutexSpin)
+			}
+		case htm.Conflict:
+			// Brief randomized backoff to break symmetric conflict cycles.
+			c.Compute(uint64(c.Rand.Int63n(int64(16*(attempt+1)))) + 1)
+		}
+	}
+	// Fallback: explicitly acquire the lock. The store to the lock word
+	// aborts every transaction currently eliding it, ensuring correctness.
+	s.HTM.Stats.Fallback++
+	s.GLock.Lock(c)
+	s.enter(c, plainTx{c}, body)
+	s.GLock.Unlock(c)
+}
+
+// AbortRate returns the transactional abort percentage for the active
+// mechanism (Table 1's metric), or 0 for modes without speculation.
+func (s *System) AbortRate() float64 {
+	switch s.Mode {
+	case TSX:
+		return s.HTM.Stats.AbortRate()
+	case TL2:
+		return s.STM.Stats.AbortRate()
+	}
+	return 0
+}
+
+// ResetStats zeroes the speculation counters.
+func (s *System) ResetStats() {
+	if s.HTM != nil {
+		s.HTM.Stats.Reset()
+	}
+	if s.STM != nil {
+		s.STM.Stats.Reset()
+	}
+}
