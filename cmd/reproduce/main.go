@@ -1,63 +1,214 @@
 // Command reproduce regenerates every table and figure of the paper's
 // evaluation in one run, plus the ablation studies, printing each as a text
 // table (see EXPERIMENTS.md for the paper-vs-measured comparison).
+//
+// Simulation cells fan out across -parallel host workers and are memoized,
+// so cells shared between experiments run once; rendered output is
+// byte-identical at any parallelism level (only the host-time footer
+// varies). -only selects a subset of experiments by id. A host-performance
+// report (per-experiment wall time, simulated events, events/sec) is written
+// to BENCH_reproduce.json.
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"strings"
 	"time"
+
+	"tsxhpc/internal/experiments"
 )
 
-import "tsxhpc/internal/experiments"
-
-func main() {
-	start := time.Now()
-
-	section("E1", experiments.Figure1().Render())
-
-	f2, err := experiments.Figure2()
-	fail(err)
-	section("E2", f2.Render())
-
-	t1, err := experiments.Table1()
-	fail(err)
-	section("E3", t1.Render())
-
-	f3, err := experiments.Figure3()
-	fail(err)
-	section("E4", f3.Render())
-
-	f4, gain4, err := experiments.Figure4()
-	fail(err)
-	section("E5", f4.Render())
-	fmt.Printf("tsx.coarsen over baseline @8T (geomean): %.2fx (paper: 1.41x mean)\n", gain4)
-
-	f5a, err := experiments.Figure5a()
-	fail(err)
-	section("E6", f5a.Render())
-
-	f5b, err := experiments.Figure5b()
-	fail(err)
-	section("E7", f5b.Render())
-
-	f6, gain6, err := experiments.Figure6()
-	fail(err)
-	section("E8", f6.Render())
-	fmt.Printf("tsx.busywait average gain over mutex: %.2fx (paper: 1.31x)\n", gain6)
-
-	section("E9", experiments.RetrySweep([]int{1, 2, 3, 4, 5, 6, 8, 10}).Render())
-
-	section("ablation: HT capacity", experiments.HTCapacityAblation().Render())
-	section("ablation: conflict wiring", experiments.ConflictWiringAblation().Render())
-	section("ablation: lockset elision", experiments.LocksetAblation().Render())
-	section("ablation: adaptive coarsening", experiments.AdaptiveCoarseningAblation().Render())
-
-	fmt.Printf("\nreproduced all experiments in %.1fs (host time)\n", time.Since(start).Seconds())
+// experiment is one reproduce section: id is the printed section header
+// (unchanged from the serial tool), alias the short -only selector, and run
+// returns the section body (table plus any headline-metric lines).
+type experiment struct {
+	id    string
+	alias string
+	run   func(*experiments.Suite) (string, error)
 }
 
-func section(id, body string) {
-	fmt.Printf("\n--- %s ---\n%s", id, body)
+var catalog = []experiment{
+	{"E1", "E1", func(s *experiments.Suite) (string, error) {
+		return s.Figure1().Render(), nil
+	}},
+	{"E2", "E2", func(s *experiments.Suite) (string, error) {
+		t, err := s.Figure2()
+		if err != nil {
+			return "", err
+		}
+		return t.Render(), nil
+	}},
+	{"E3", "E3", func(s *experiments.Suite) (string, error) {
+		t, err := s.Table1()
+		if err != nil {
+			return "", err
+		}
+		return t.Render(), nil
+	}},
+	{"E4", "E4", func(s *experiments.Suite) (string, error) {
+		t, err := s.Figure3()
+		if err != nil {
+			return "", err
+		}
+		return t.Render(), nil
+	}},
+	{"E5", "E5", func(s *experiments.Suite) (string, error) {
+		t, gain, err := s.Figure4()
+		if err != nil {
+			return "", err
+		}
+		return t.Render() + fmt.Sprintf("tsx.coarsen over baseline @8T (geomean): %.2fx (paper: 1.41x mean)\n", gain), nil
+	}},
+	{"E6", "E6", func(s *experiments.Suite) (string, error) {
+		f, err := s.Figure5a()
+		if err != nil {
+			return "", err
+		}
+		return f.Render(), nil
+	}},
+	{"E7", "E7", func(s *experiments.Suite) (string, error) {
+		f, err := s.Figure5b()
+		if err != nil {
+			return "", err
+		}
+		return f.Render(), nil
+	}},
+	{"E8", "E8", func(s *experiments.Suite) (string, error) {
+		t, gain, err := s.Figure6()
+		if err != nil {
+			return "", err
+		}
+		return t.Render() + fmt.Sprintf("tsx.busywait average gain over mutex: %.2fx (paper: 1.31x)\n", gain), nil
+	}},
+	{"E9", "E9", func(s *experiments.Suite) (string, error) {
+		return s.RetrySweep([]int{1, 2, 3, 4, 5, 6, 8, 10}).Render(), nil
+	}},
+	{"ablation: HT capacity", "A1", func(s *experiments.Suite) (string, error) {
+		return s.HTCapacityAblation().Render(), nil
+	}},
+	{"ablation: conflict wiring", "A2", func(s *experiments.Suite) (string, error) {
+		return s.ConflictWiringAblation().Render(), nil
+	}},
+	{"ablation: lockset elision", "A3", func(s *experiments.Suite) (string, error) {
+		return s.LocksetAblation().Render(), nil
+	}},
+	{"ablation: adaptive coarsening", "A4", func(s *experiments.Suite) (string, error) {
+		return s.AdaptiveCoarseningAblation().Render(), nil
+	}},
+}
+
+// benchRow is one experiment's host-performance record.
+type benchRow struct {
+	ID        string  `json:"id"`
+	Seconds   float64 `json:"seconds"`
+	SimEvents uint64  `json:"sim_events"`
+}
+
+// benchReport is the BENCH_reproduce.json schema, the cross-PR perf record.
+type benchReport struct {
+	Parallel       int        `json:"parallel"`
+	TotalSeconds   float64    `json:"total_seconds"`
+	TotalSimEvents uint64     `json:"total_sim_events"`
+	EventsPerSec   float64    `json:"events_per_second"`
+	JobsExecuted   uint64     `json:"jobs_executed"`
+	JobsDeduped    uint64     `json:"jobs_deduped"`
+	Experiments    []benchRow `json:"experiments"`
+}
+
+func main() {
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "host worker goroutines for simulation jobs (<=0: GOMAXPROCS)")
+	only := flag.String("only", "", "comma-separated experiment ids to run (E1..E9, A1..A4); empty runs all")
+	benchPath := flag.String("bench", "BENCH_reproduce.json", "path for the host-performance JSON report (empty disables)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (also the PGO input; see cmd/reproduce/default.pgo)")
+	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		fail(err)
+		fail(pprof.StartCPUProfile(f))
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+
+	suite := experiments.NewSuite(*parallel)
+	selected := parseOnly(*only)
+	if selected != nil {
+		valid := make(map[string]bool, 2*len(catalog))
+		ids := make([]string, 0, len(catalog))
+		for _, ex := range catalog {
+			valid[strings.ToUpper(ex.id)] = true
+			valid[strings.ToUpper(ex.alias)] = true
+			ids = append(ids, ex.alias)
+		}
+		for tok := range selected {
+			if !valid[tok] {
+				fail(fmt.Errorf("-only: unknown experiment %q (valid: %s)", tok, strings.Join(ids, ", ")))
+			}
+		}
+	}
+
+	start := time.Now()
+	var rows []benchRow
+	for _, ex := range catalog {
+		if selected != nil && !selected[strings.ToUpper(ex.alias)] && !selected[strings.ToUpper(ex.id)] {
+			continue
+		}
+		t0 := time.Now()
+		ev0 := suite.E.Stats().Events
+		body, err := ex.run(suite)
+		fail(err)
+		fmt.Printf("\n--- %s ---\n%s", ex.id, body)
+		rows = append(rows, benchRow{
+			ID:        ex.id,
+			Seconds:   time.Since(t0).Seconds(),
+			SimEvents: suite.E.Stats().Events - ev0,
+		})
+	}
+	total := time.Since(start)
+
+	if *benchPath != "" {
+		st := suite.E.Stats()
+		rep := benchReport{
+			Parallel:       st.Workers,
+			TotalSeconds:   total.Seconds(),
+			TotalSimEvents: st.Events,
+			JobsExecuted:   st.Executed,
+			JobsDeduped:    st.Deduped,
+			Experiments:    rows,
+		}
+		if s := total.Seconds(); s > 0 {
+			rep.EventsPerSec = float64(st.Events) / s
+		}
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		fail(err)
+		fail(os.WriteFile(*benchPath, append(buf, '\n'), 0o644))
+		// Report on stderr so stdout stays byte-comparable across runs.
+		fmt.Fprintf(os.Stderr, "wrote %s (%d jobs, %d deduped, %.0f events/s)\n",
+			*benchPath, rep.JobsExecuted, rep.JobsDeduped, rep.EventsPerSec)
+	}
+
+	fmt.Printf("\nreproduced all experiments in %.1fs (host time)\n", total.Seconds())
+}
+
+// parseOnly turns "E1, e3,A2" into a selector set; empty input selects all.
+func parseOnly(s string) map[string]bool {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	sel := make(map[string]bool)
+	for _, tok := range strings.Split(s, ",") {
+		if tok = strings.ToUpper(strings.TrimSpace(tok)); tok != "" {
+			sel[tok] = true
+		}
+	}
+	return sel
 }
 
 func fail(err error) {

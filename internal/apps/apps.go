@@ -29,7 +29,11 @@ import (
 type Result struct {
 	Cycles    uint64
 	AbortRate float64 // transactional abort percentage (0 for non-TSX variants)
+	Events    uint64  // simulated timed events processed
 }
+
+// SimEvents reports the simulated event count (runner.Eventer).
+func (r Result) SimEvents() uint64 { return r.Events }
 
 // Workload is one Table 2 application.
 type Workload interface {

@@ -175,5 +175,5 @@ func (w *canneal) Run(variant string, threads int) (Result, error) {
 			return Result{}, fmt.Errorf("canneal/%s: element %d left mid-swap", variant, e)
 		}
 	}
-	return Result{Cycles: res.Cycles, AbortRate: rate}, nil
+	return Result{Cycles: res.Cycles, AbortRate: rate, Events: res.Events}, nil
 }

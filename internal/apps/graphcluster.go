@@ -172,5 +172,5 @@ func (w *graphCluster) Run(variant string, threads int) (Result, error) {
 			return Result{}, fmt.Errorf("graphCluster/%s: vertex %d label %d out of range", variant, v, l)
 		}
 	}
-	return Result{Cycles: res.Cycles, AbortRate: rate}, nil
+	return Result{Cycles: res.Cycles, AbortRate: rate, Events: res.Events}, nil
 }

@@ -139,5 +139,5 @@ func (w *histogram) Run(variant string, threads int) (Result, error) {
 			return Result{}, fmt.Errorf("histogram/%s: bin %d = %d, want %d", variant, b, got, expected[b])
 		}
 	}
-	return Result{Cycles: res.Cycles, AbortRate: rate}, nil
+	return Result{Cycles: res.Cycles, AbortRate: rate, Events: res.Events}, nil
 }

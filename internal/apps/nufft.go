@@ -145,5 +145,5 @@ func (w *nufft) Run(variant string, threads int) (Result, error) {
 			return Result{}, fmt.Errorf("nufft/%s: cell %d = %d, want %d", variant, g, got, expected[g])
 		}
 	}
-	return Result{Cycles: res.Cycles, AbortRate: rate}, nil
+	return Result{Cycles: res.Cycles, AbortRate: rate, Events: res.Events}, nil
 }

@@ -199,5 +199,5 @@ func (w *physics) Run(variant string, threads int) (Result, error) {
 			return Result{}, fmt.Errorf("physicsSolver/%s: object %d force %d, want %d", variant, o, got, expected[o])
 		}
 	}
-	return Result{Cycles: res.Cycles, AbortRate: rate}, nil
+	return Result{Cycles: res.Cycles, AbortRate: rate, Events: res.Events}, nil
 }

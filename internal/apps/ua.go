@@ -126,5 +126,5 @@ func (w *ua) Run(variant string, threads int) (Result, error) {
 			return Result{}, fmt.Errorf("ua/%s: mortar %d = %d, want %d", variant, g, got, expected[g])
 		}
 	}
-	return Result{Cycles: res.Cycles, AbortRate: rate}, nil
+	return Result{Cycles: res.Cycles, AbortRate: rate, Events: res.Events}, nil
 }

@@ -184,7 +184,11 @@ func (me *Mesh) ExpectedSum() uint64 {
 type Result struct {
 	Cycles    uint64
 	AbortRate float64
+	Events    uint64 // simulated timed events processed
 }
+
+// SimEvents reports the simulated event count (runner.Eventer).
+func (r Result) SimEvents() uint64 { return r.Events }
 
 // Run executes the mesh update under the given scheme with the given thread
 // count and returns the simulated execution time. Threads own whole
@@ -259,7 +263,7 @@ func Run(m *sim.Machine, mesh *Mesh, scheme Scheme, threads int) Result {
 		threads = 1
 	}
 	res := m.Run(threads, body)
-	out := Result{Cycles: res.Cycles}
+	out := Result{Cycles: res.Cycles, Events: res.Events}
 	if sys != nil {
 		out.AbortRate = sys.AbortRate()
 	}

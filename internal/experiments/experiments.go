@@ -3,6 +3,15 @@
 // reimplemented systems, rendering each as a text table with the same rows
 // and series the paper reports. The cmd/ tools and the root benchmark
 // harness are thin wrappers around these functions.
+//
+// Every simulation cell — one (workload, mode, threads, config) execution on
+// a private sim.Machine — is dispatched through a runner.Engine: cells fan
+// out across host worker goroutines and are memoized by key, so cells shared
+// between experiments (Figure 2 and Table 1 sweep the same STAMP grid;
+// Figure 4 and Figure 5 share baselines) simulate at most once per process.
+// Each experiment submits all of its cells first and then collects futures
+// in a fixed order, so rendered output is byte-for-byte identical at any
+// host parallelism level (see DESIGN.md §runner).
 package experiments
 
 import (
@@ -14,6 +23,7 @@ import (
 	"tsxhpc/internal/harness"
 	"tsxhpc/internal/netapps"
 	"tsxhpc/internal/rmstm"
+	"tsxhpc/internal/runner"
 	"tsxhpc/internal/sim"
 	"tsxhpc/internal/ssync"
 	"tsxhpc/internal/stamp"
@@ -23,12 +33,113 @@ import (
 // Threads are the thread counts every multi-thread experiment sweeps.
 var Threads = []int{1, 2, 4, 8}
 
+// Suite is one experiment context: all cells dispatched through it share a
+// job engine (memo cache + host worker pool). Distinct suites are fully
+// independent — tests use that to compare serial and parallel runs.
+type Suite struct {
+	// E is the job engine; its Stats expose cache hits and simulated-event
+	// totals for perf reporting.
+	E *runner.Engine
+}
+
+// NewSuite creates a suite whose engine uses the given host worker bound
+// (<= 0 means GOMAXPROCS).
+func NewSuite(parallel int) *Suite { return &Suite{E: runner.New(parallel)} }
+
+// Default is the process-wide suite behind the package-level experiment
+// functions, so independent callers (cmd tools, benchmarks) share one memo
+// cache.
+var Default = NewSuite(0)
+
+// Package-level wrappers preserve the original API on the Default suite.
+
+func Figure1() *harness.Figure                   { return Default.Figure1() }
+func Figure2() (*harness.Table, error)           { return Default.Figure2() }
+func Table1() (*harness.Table, error)            { return Default.Table1() }
+func Figure3() (*harness.Table, error)           { return Default.Figure3() }
+func Figure4() (*harness.Table, float64, error)  { return Default.Figure4() }
+func Figure5a() (*harness.Figure, error)         { return Default.Figure5a() }
+func Figure5b() (*harness.Figure, error)         { return Default.Figure5b() }
+func Figure6() (*harness.Table, float64, error)  { return Default.Figure6() }
+func RetrySweep(budgets []int) *harness.Figure   { return Default.RetrySweep(budgets) }
+func HTCapacityAblation() *harness.Table         { return Default.HTCapacityAblation() }
+func ConflictWiringAblation() *harness.Figure    { return Default.ConflictWiringAblation() }
+func AdaptiveCoarseningAblation() *harness.Table { return Default.AdaptiveCoarseningAblation() }
+func LocksetAblation() *harness.Table            { return Default.LocksetAblation() }
+
+// simCell is the result of an experiment-local simulation job: the headline
+// cycle count, an experiment-specific metric, and the simulated event count
+// for throughput accounting.
+type simCell struct {
+	Cycles uint64
+	Value  float64
+	Events uint64
+}
+
+// SimEvents reports the simulated event count (runner.Eventer).
+func (r simCell) SimEvents() uint64 { return r.Events }
+
+// mustWait collects a future from a job that cannot fail (its body returns
+// no error); a panic inside the job surfaces here, as it would serially.
+func mustWait[T any](f runner.Future[T]) T {
+	v, err := f.Wait()
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Cell submitters. Keys fully determine the simulation, so equal keys from
+// different experiments share one run.
+
+func (s *Suite) stampCell(name string, mo tm.Mode, th int) runner.Future[stamp.Result] {
+	key := runner.Key(fmt.Sprintf("stamp/%s/%s/%dT", name, mo, th))
+	return runner.Submit(s.E, key, func() (stamp.Result, error) { return stamp.Execute(name, mo, th) })
+}
+
+func (s *Suite) rmstmCell(name string, sc rmstm.Scheme, th, nLocks int) runner.Future[rmstm.Result] {
+	key := runner.Key(fmt.Sprintf("rmstm/%s/%s/%dT/locks%d", name, sc, th, nLocks))
+	return runner.Submit(s.E, key, func() (rmstm.Result, error) { return rmstm.Execute(name, sc, th, nLocks) })
+}
+
+func (s *Suite) appsCell(name, variant string, th int) runner.Future[apps.Result] {
+	key := runner.Key(fmt.Sprintf("apps/%s/%s/%dT", name, variant, th))
+	return runner.Submit(s.E, key, func() (apps.Result, error) { return apps.Run(name, variant, th) })
+}
+
+func (s *Suite) netCell(name string, mode core.LockMode) runner.Future[netapps.Result] {
+	key := runner.Key(fmt.Sprintf("net/%s/%s", name, mode))
+	return runner.Submit(s.E, key, func() (netapps.Result, error) { return netapps.Run(name, mode) })
+}
+
+// clompCell runs one Figure 1 cell: the paper's CLOMP-TM configuration with
+// the given scatter count, Hyper-Threading disabled.
+func (s *Suite) clompCell(scatters int, scheme clomp.Scheme, threads int) runner.Future[clomp.Result] {
+	key := runner.Key(fmt.Sprintf("clomp/sc%d/%s/%dT", scatters, scheme, threads))
+	return runner.Submit(s.E, key, func() (clomp.Result, error) {
+		cfg := clomp.DefaultConfig()
+		cfg.Scatters = scatters
+		mcfg := sim.DefaultConfig()
+		mcfg.DisableHT = true
+		m := sim.New(mcfg)
+		mesh := clomp.NewMesh(m, cfg)
+		return clomp.Run(m, mesh, scheme, threads), nil
+	})
+}
+
 // Figure1 reproduces the CLOMP-TM characterization: speedup over serial at
 // 4 threads (Hyper-Threading off) for the five synchronization schemes
 // across scatter counts.
-func Figure1() *harness.Figure {
+func (s *Suite) Figure1() *harness.Figure {
 	scatters := []int{1, 2, 3, 4, 6, 8, 12, 16}
-	res := clomp.Sweep(clomp.DefaultConfig(), scatters, 4)
+	refs := make([]runner.Future[clomp.Result], len(scatters))
+	cells := make(map[clomp.Scheme][]runner.Future[clomp.Result])
+	for i, sc := range scatters {
+		refs[i] = s.clompCell(sc, clomp.Serial, 1)
+		for _, sch := range clomp.Schemes {
+			cells[sch] = append(cells[sch], s.clompCell(sc, sch, 4))
+		}
+	}
 	fig := &harness.Figure{
 		Title:  "Figure 1 — CLOMP-TM, 4 threads: speedup vs serial",
 		XLabel: "scatters/zone",
@@ -36,15 +147,21 @@ func Figure1() *harness.Figure {
 	for _, sc := range scatters {
 		fig.XTicks = append(fig.XTicks, fmt.Sprint(sc))
 	}
-	for _, s := range clomp.Schemes {
-		fig.Series = append(fig.Series, harness.Series{Name: s.String(), Y: res[s]})
+	for _, sch := range clomp.Schemes {
+		series := harness.Series{Name: sch.String()}
+		for i := range scatters {
+			ref := mustWait(refs[i])
+			r := mustWait(cells[sch][i])
+			series.Y = append(series.Y, float64(ref.Cycles)/float64(r.Cycles))
+		}
+		fig.Series = append(fig.Series, series)
 	}
 	return fig
 }
 
 // Figure2 reproduces the STAMP execution times, normalized to sgl at one
 // thread (lower is better), for sgl / tl2 / tsx at 1–8 threads.
-func Figure2() (*harness.Table, error) {
+func (s *Suite) Figure2() (*harness.Table, error) {
 	modes := []tm.Mode{tm.SGL, tm.TL2, tm.TSX}
 	t := &harness.Table{
 		Title: "Figure 2 — STAMP execution time normalized to sgl@1T (lower is better)",
@@ -55,20 +172,29 @@ func Figure2() (*harness.Table, error) {
 			t.Head = append(t.Head, fmt.Sprintf("%s/%dT", mo, th))
 		}
 	}
-	for _, name := range stamp.Names() {
-		ref, err := stamp.Execute(name, tm.SGL, 1)
+	names := stamp.Names()
+	refs := make([]runner.Future[stamp.Result], len(names))
+	cells := make([][]runner.Future[stamp.Result], len(names))
+	for i, name := range names {
+		refs[i] = s.stampCell(name, tm.SGL, 1)
+		for _, mo := range modes {
+			for _, th := range Threads {
+				cells[i] = append(cells[i], s.stampCell(name, mo, th))
+			}
+		}
+	}
+	for i, name := range names {
+		ref, err := refs[i].Wait()
 		if err != nil {
 			return nil, err
 		}
 		row := []string{name}
-		for _, mo := range modes {
-			for _, th := range Threads {
-				r, err := stamp.Execute(name, mo, th)
-				if err != nil {
-					return nil, err
-				}
-				row = append(row, fmt.Sprintf("%.2f", float64(r.Cycles)/float64(ref.Cycles)))
+		for _, f := range cells[i] {
+			r, err := f.Wait()
+			if err != nil {
+				return nil, err
 			}
+			row = append(row, fmt.Sprintf("%.2f", float64(r.Cycles)/float64(ref.Cycles)))
 		}
 		t.Rows = append(t.Rows, row)
 	}
@@ -77,7 +203,7 @@ func Figure2() (*harness.Table, error) {
 
 // Table1 reproduces the STAMP transactional abort rates (%) for tl2 and tsx
 // at 1–8 threads.
-func Table1() (*harness.Table, error) {
+func (s *Suite) Table1() (*harness.Table, error) {
 	t := &harness.Table{
 		Title: "Table 1 — STAMP transactional abort rates (%)",
 		Head:  []string{"workload"},
@@ -85,18 +211,21 @@ func Table1() (*harness.Table, error) {
 	for _, th := range Threads {
 		t.Head = append(t.Head, fmt.Sprintf("tl2/%dT", th), fmt.Sprintf("tsx/%dT", th))
 	}
-	for _, name := range stamp.Names() {
-		row := []string{name}
+	names := stamp.Names()
+	cells := make([][]runner.Future[stamp.Result], len(names))
+	for i, name := range names {
 		for _, th := range Threads {
-			tl2, err := stamp.Execute(name, tm.TL2, th)
+			cells[i] = append(cells[i], s.stampCell(name, tm.TL2, th), s.stampCell(name, tm.TSX, th))
+		}
+	}
+	for i, name := range names {
+		row := []string{name}
+		for _, f := range cells[i] {
+			r, err := f.Wait()
 			if err != nil {
 				return nil, err
 			}
-			tsx, err := stamp.Execute(name, tm.TSX, th)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, fmt.Sprintf("%.0f", tl2.AbortRate), fmt.Sprintf("%.0f", tsx.AbortRate))
+			row = append(row, fmt.Sprintf("%.0f", r.AbortRate))
 		}
 		t.Rows = append(t.Rows, row)
 	}
@@ -105,30 +234,39 @@ func Table1() (*harness.Table, error) {
 
 // Figure3 reproduces the RMS-TM speedups relative to fine-grained locking
 // at one thread, for fgl / sgl / tsx.
-func Figure3() (*harness.Table, error) {
+func (s *Suite) Figure3() (*harness.Table, error) {
 	t := &harness.Table{
 		Title: "Figure 3 — RMS-TM speedup vs fgl@1T",
 		Head:  []string{"workload"},
 	}
-	for _, s := range rmstm.Schemes {
+	for _, sc := range rmstm.Schemes {
 		for _, th := range Threads {
-			t.Head = append(t.Head, fmt.Sprintf("%s/%dT", s, th))
+			t.Head = append(t.Head, fmt.Sprintf("%s/%dT", sc, th))
 		}
 	}
-	for _, name := range rmstm.Names() {
-		ref, err := rmstm.Execute(name, rmstm.FGL, 1, rmstm.DefaultLocks)
+	names := rmstm.Names()
+	refs := make([]runner.Future[rmstm.Result], len(names))
+	cells := make([][]runner.Future[rmstm.Result], len(names))
+	for i, name := range names {
+		refs[i] = s.rmstmCell(name, rmstm.FGL, 1, rmstm.DefaultLocks)
+		for _, sc := range rmstm.Schemes {
+			for _, th := range Threads {
+				cells[i] = append(cells[i], s.rmstmCell(name, sc, th, rmstm.DefaultLocks))
+			}
+		}
+	}
+	for i, name := range names {
+		ref, err := refs[i].Wait()
 		if err != nil {
 			return nil, err
 		}
 		row := []string{name}
-		for _, s := range rmstm.Schemes {
-			for _, th := range Threads {
-				r, err := rmstm.Execute(name, s, th, rmstm.DefaultLocks)
-				if err != nil {
-					return nil, err
-				}
-				row = append(row, fmt.Sprintf("%.2f", harness.Speedup(ref.Cycles, r.Cycles)))
+		for _, f := range cells[i] {
+			r, err := f.Wait()
+			if err != nil {
+				return nil, err
 			}
+			row = append(row, fmt.Sprintf("%.2f", harness.Speedup(ref.Cycles, r.Cycles)))
 		}
 		t.Rows = append(t.Rows, row)
 	}
@@ -138,7 +276,7 @@ func Figure3() (*harness.Table, error) {
 // Figure4 reproduces the real-world workload speedups relative to the
 // baseline at one thread for baseline / tsx.init / tsx.coarsen, and reports
 // the tsx.coarsen-over-baseline mean at 8 threads (the paper's 1.41x).
-func Figure4() (*harness.Table, float64, error) {
+func (s *Suite) Figure4() (*harness.Table, float64, error) {
 	t := &harness.Table{
 		Title: "Figure 4 — real-world workloads: speedup vs baseline@1T",
 		Head:  []string{"workload"},
@@ -148,17 +286,30 @@ func Figure4() (*harness.Table, float64, error) {
 			t.Head = append(t.Head, fmt.Sprintf("%s/%dT", v, th))
 		}
 	}
+	names := apps.Names()
+	refs := make([]runner.Future[apps.Result], len(names))
+	cells := make([][]runner.Future[apps.Result], len(names))
+	for i, name := range names {
+		refs[i] = s.appsCell(name, "baseline", 1)
+		for _, v := range apps.FigureVariants {
+			for _, th := range Threads {
+				cells[i] = append(cells[i], s.appsCell(name, v, th))
+			}
+		}
+	}
 	var gains []float64
-	for _, name := range apps.Names() {
-		ref, err := apps.Run(name, "baseline", 1)
+	for i, name := range names {
+		ref, err := refs[i].Wait()
 		if err != nil {
 			return nil, 0, err
 		}
 		row := []string{name}
 		var base8, coarsen8 uint64
+		k := 0
 		for _, v := range apps.FigureVariants {
 			for _, th := range Threads {
-				r, err := apps.Run(name, v, th)
+				r, err := cells[i][k].Wait()
+				k++
 				if err != nil {
 					return nil, 0, err
 				}
@@ -181,20 +332,27 @@ func Figure4() (*harness.Table, float64, error) {
 
 // Figure5a reproduces the histogram comparison: atomic vs privatize vs
 // transactional granularities, execution time normalized to atomic@1T.
-func Figure5a() (*harness.Figure, error) {
+func (s *Suite) Figure5a() (*harness.Figure, error) {
 	variants := []string{"baseline", "privatize", "tsx.gran1", "tsx.gran8", "tsx.gran32"}
-	return figure5("histogram", "Figure 5a — histogram: time normalized to atomic@1T", variants)
+	return s.figure5("histogram", "Figure 5a — histogram: time normalized to atomic@1T", variants)
 }
 
 // Figure5b reproduces the physicsSolver comparison: mutex vs barrier vs
 // transactional granularities.
-func Figure5b() (*harness.Figure, error) {
+func (s *Suite) Figure5b() (*harness.Figure, error) {
 	variants := []string{"baseline", "barrier", "tsx.gran1", "tsx.gran2", "tsx.gran3"}
-	return figure5("physicsSolver", "Figure 5b — physicsSolver: time normalized to mutex@1T", variants)
+	return s.figure5("physicsSolver", "Figure 5b — physicsSolver: time normalized to mutex@1T", variants)
 }
 
-func figure5(workload, title string, variants []string) (*harness.Figure, error) {
-	ref, err := apps.Run(workload, "baseline", 1)
+func (s *Suite) figure5(workload, title string, variants []string) (*harness.Figure, error) {
+	refFut := s.appsCell(workload, "baseline", 1)
+	cells := make(map[string][]runner.Future[apps.Result])
+	for _, v := range variants {
+		for _, th := range Threads {
+			cells[v] = append(cells[v], s.appsCell(workload, v, th))
+		}
+	}
+	ref, err := refFut.Wait()
 	if err != nil {
 		return nil, err
 	}
@@ -203,15 +361,15 @@ func figure5(workload, title string, variants []string) (*harness.Figure, error)
 		fig.XTicks = append(fig.XTicks, fmt.Sprint(th))
 	}
 	for _, v := range variants {
-		s := harness.Series{Name: v}
-		for _, th := range Threads {
-			r, err := apps.Run(workload, v, th)
+		series := harness.Series{Name: v}
+		for _, f := range cells[v] {
+			r, err := f.Wait()
 			if err != nil {
 				return nil, err
 			}
-			s.Y = append(s.Y, float64(r.Cycles)/float64(ref.Cycles))
+			series.Y = append(series.Y, float64(r.Cycles)/float64(ref.Cycles))
 		}
-		fig.Series = append(fig.Series, s)
+		fig.Series = append(fig.Series, series)
 	}
 	return fig, nil
 }
@@ -219,7 +377,7 @@ func figure5(workload, title string, variants []string) (*harness.Figure, error)
 // Figure6 reproduces the user-level TCP/IP stack study: server-side read
 // bandwidth normalized to the mutex stack for the five locking-module
 // implementations, plus the tsx.busywait average gain (the paper's 1.31x).
-func Figure6() (*harness.Table, float64, error) {
+func (s *Suite) Figure6() (*harness.Table, float64, error) {
 	t := &harness.Table{
 		Title: "Figure 6 — TCP/IP stack: read bandwidth normalized to mutex",
 		Head:  []string{"workload"},
@@ -227,15 +385,22 @@ func Figure6() (*harness.Table, float64, error) {
 	for _, mo := range netapps.Modes {
 		t.Head = append(t.Head, mo.String())
 	}
+	names := netapps.Names()
+	cells := make([][]runner.Future[netapps.Result], len(names))
+	for i, name := range names {
+		for _, mo := range netapps.Modes {
+			cells[i] = append(cells[i], s.netCell(name, mo))
+		}
+	}
 	var gains []float64
-	for _, name := range netapps.Names() {
-		ref, err := netapps.Run(name, netapps.Modes[0])
+	for i, name := range names {
+		ref, err := cells[i][0].Wait() // Modes[0] is the mutex reference
 		if err != nil {
 			return nil, 0, err
 		}
 		row := []string{name}
-		for _, mo := range netapps.Modes {
-			r, err := netapps.Run(name, mo)
+		for k, mo := range netapps.Modes {
+			r, err := cells[i][k].Wait()
 			if err != nil {
 				return nil, 0, err
 			}
@@ -255,7 +420,34 @@ func Figure6() (*harness.Table, float64, error) {
 // the lock ("for our hardware and workloads, 5 gave the best overall
 // performance"). The sweep measures a contended mixed workload across
 // retry budgets.
-func RetrySweep(budgets []int) *harness.Figure {
+func (s *Suite) RetrySweep(budgets []int) *harness.Figure {
+	futs := make([]runner.Future[simCell], len(budgets))
+	for i, budget := range budgets {
+		budget := budget
+		key := runner.Key(fmt.Sprintf("retry/%d", budget))
+		futs[i] = runner.Submit(s.E, key, func() (simCell, error) {
+			m := sim.New(sim.DefaultConfig())
+			sys := tm.NewSystem(m, tm.TSX)
+			sys.MaxRetries = budget
+			// A contended array-update mix: most updates are local, some hit a
+			// shared hot region, so both conflict retries and fallbacks occur.
+			hot := m.Mem.AllocLine(8 * 32)
+			local := m.Mem.AllocArray(8, sim.LineSize)
+			res := m.Run(8, func(c *sim.Context) {
+				mine := local + sim.Addr(c.ID()*sim.LineSize)
+				for i := 0; i < 400; i++ {
+					h := hot + sim.Addr(c.Rand.Intn(32)*8)
+					sys.Atomic(c, func(tx tm.Tx) {
+						tx.Store(mine, tx.Load(mine)+1)
+						tx.Store(h, tx.Load(h)+1)
+						tx.Ctx().Compute(40)
+					})
+					c.Compute(120)
+				}
+			})
+			return simCell{Cycles: res.Cycles, Events: res.Events}, nil
+		})
+	}
 	fig := &harness.Figure{
 		Title:   "Retry policy — contended-workload cycles vs max retries (Section 3)",
 		XLabel:  "max retries",
@@ -264,30 +456,11 @@ func RetrySweep(budgets []int) *harness.Figure {
 	for _, b := range budgets {
 		fig.XTicks = append(fig.XTicks, fmt.Sprint(b))
 	}
-	s := harness.Series{Name: "kilocycles"}
-	for _, budget := range budgets {
-		m := sim.New(sim.DefaultConfig())
-		sys := tm.NewSystem(m, tm.TSX)
-		sys.MaxRetries = budget
-		// A contended array-update mix: most updates are local, some hit a
-		// shared hot region, so both conflict retries and fallbacks occur.
-		hot := m.Mem.AllocLine(8 * 32)
-		local := m.Mem.AllocArray(8, sim.LineSize)
-		res := m.Run(8, func(c *sim.Context) {
-			mine := local + sim.Addr(c.ID()*sim.LineSize)
-			for i := 0; i < 400; i++ {
-				h := hot + sim.Addr(c.Rand.Intn(32)*8)
-				sys.Atomic(c, func(tx tm.Tx) {
-					tx.Store(mine, tx.Load(mine)+1)
-					tx.Store(h, tx.Load(h)+1)
-					tx.Ctx().Compute(40)
-				})
-				c.Compute(120)
-			}
-		})
-		s.Y = append(s.Y, float64(res.Cycles)/1000)
+	series := harness.Series{Name: "kilocycles"}
+	for i := range budgets {
+		series.Y = append(series.Y, float64(mustWait(futs[i]).Cycles)/1000)
 	}
-	fig.Series = append(fig.Series, s)
+	fig.Series = append(fig.Series, series)
 	return fig
 }
 
@@ -295,32 +468,38 @@ func RetrySweep(budgets []int) *harness.Figure {
 // Table 1 directly: the same medium-footprint transaction mix runs with 4
 // threads on 4 cores versus 8 threads on 4 cores, and with HT the effective
 // per-thread L1 capacity halves and abort rates jump.
-func HTCapacityAblation() *harness.Table {
-	run := func(threads int) float64 {
-		m := sim.New(sim.DefaultConfig())
-		sys := tm.NewSystem(m, tm.TSX)
-		region := m.Mem.AllocLine(64 * 1024) // 64 KB shared region
-		lines := 64 * 1024 / sim.LineSize
-		m.Run(threads, func(c *sim.Context) {
-			for i := 0; i < 150; i++ {
-				base := c.Rand.Intn(lines - 40)
-				sys.Atomic(c, func(tx tm.Tx) {
-					for k := 0; k < 36; k++ {
-						a := region + sim.Addr((base+k)*sim.LineSize)
-						tx.Store(a, tx.Load(a)+1)
-					}
-				})
-				c.Compute(300)
-			}
+func (s *Suite) HTCapacityAblation() *harness.Table {
+	threadCounts := []int{1, 2, 4, 8}
+	futs := make([]runner.Future[simCell], len(threadCounts))
+	for i, th := range threadCounts {
+		th := th
+		key := runner.Key(fmt.Sprintf("htcap/%dT", th))
+		futs[i] = runner.Submit(s.E, key, func() (simCell, error) {
+			m := sim.New(sim.DefaultConfig())
+			sys := tm.NewSystem(m, tm.TSX)
+			region := m.Mem.AllocLine(64 * 1024) // 64 KB shared region
+			lines := 64 * 1024 / sim.LineSize
+			res := m.Run(th, func(c *sim.Context) {
+				for i := 0; i < 150; i++ {
+					base := c.Rand.Intn(lines - 40)
+					sys.Atomic(c, func(tx tm.Tx) {
+						for k := 0; k < 36; k++ {
+							a := region + sim.Addr((base+k)*sim.LineSize)
+							tx.Store(a, tx.Load(a)+1)
+						}
+					})
+					c.Compute(300)
+				}
+			})
+			return simCell{Cycles: res.Cycles, Value: sys.AbortRate(), Events: res.Events}, nil
 		})
-		return sys.AbortRate()
 	}
 	t := &harness.Table{
 		Title: "HT capacity ablation — abort rate of a 36-line transaction mix",
 		Head:  []string{"threads", "abort %"},
 	}
-	for _, th := range []int{1, 2, 4, 8} {
-		t.Rows = append(t.Rows, []string{fmt.Sprint(th), fmt.Sprintf("%.0f", run(th))})
+	for i, th := range threadCounts {
+		t.Rows = append(t.Rows, []string{fmt.Sprint(th), fmt.Sprintf("%.0f", mustWait(futs[i]).Value)})
 	}
 	return t
 }
@@ -328,27 +507,34 @@ func HTCapacityAblation() *harness.Table {
 // ConflictWiringAblation sweeps CLOMP-TM's cross-partition wiring
 // percentage, showing abort rates rising with real data conflicts (the
 // suite's conflict-probability knob).
-func ConflictWiringAblation() *harness.Figure {
+func (s *Suite) ConflictWiringAblation() *harness.Figure {
+	pcts := []int{0, 10, 25, 50, 80}
+	futs := make([]runner.Future[clomp.Result], len(pcts))
+	for i, pct := range pcts {
+		pct := pct
+		key := runner.Key(fmt.Sprintf("clomp/cross%d", pct))
+		futs[i] = runner.Submit(s.E, key, func() (clomp.Result, error) {
+			cfg := clomp.DefaultConfig()
+			cfg.CrossPartitionPct = pct
+			cfg.Scatters = 6
+			mcfg := sim.DefaultConfig()
+			mcfg.DisableHT = true
+			m := sim.New(mcfg)
+			mesh := clomp.NewMesh(m, cfg)
+			return clomp.Run(m, mesh, clomp.LargeTM, 4), nil
+		})
+	}
 	fig := &harness.Figure{
 		Title:   "CLOMP-TM conflict knob — Large TM abort rate vs cross-partition wiring",
 		XLabel:  "cross%",
 		YFormat: "%.1f",
 	}
-	pcts := []int{0, 10, 25, 50, 80}
-	s := harness.Series{Name: "abort %"}
-	for _, pct := range pcts {
+	series := harness.Series{Name: "abort %"}
+	for i, pct := range pcts {
 		fig.XTicks = append(fig.XTicks, fmt.Sprint(pct))
-		cfg := clomp.DefaultConfig()
-		cfg.CrossPartitionPct = pct
-		cfg.Scatters = 6
-		mcfg := sim.DefaultConfig()
-		mcfg.DisableHT = true
-		m := sim.New(mcfg)
-		mesh := clomp.NewMesh(m, cfg)
-		r := clomp.Run(m, mesh, clomp.LargeTM, 4)
-		s.Y = append(s.Y, r.AbortRate)
+		series.Y = append(series.Y, mustWait(futs[i]).AbortRate)
 	}
-	fig.Series = append(fig.Series, s)
+	fig.Series = append(fig.Series, series)
 	return fig
 }
 
@@ -357,41 +543,52 @@ func ConflictWiringAblation() *harness.Figure {
 // run with each static granularity and with AIMD-adaptive granularity, at 1
 // and 8 threads. The adaptive runtime should track the best static choice
 // at both ends of the Figure 5 inflection without tuning.
-func AdaptiveCoarseningAblation() *harness.Table {
-	kernel := func(threads int, adaptive bool, gran int) uint64 {
-		m := sim.New(sim.DefaultConfig())
-		sys := tm.NewSystem(m, tm.TSX)
-		const items, bins = 12000, 65536
-		table := m.Mem.AllocLine(8 * bins)
-		res := m.Run(threads, func(c *sim.Context) {
-			rng := c.Rand
-			mine := make([]int, 0, items/threads+1)
-			for i := c.ID(); i < items; i += threads {
-				mine = append(mine, rng.Intn(bins))
-			}
-			item := func(tx tm.Tx, i int) {
-				c.Compute(14)
-				a := table + sim.Addr(mine[i]*8)
-				tx.Store(a, tx.Load(a)+1)
-			}
-			if adaptive {
-				core.NewAdaptiveCoarsener(sys).Do(c, len(mine), item)
-			} else {
-				core.DoCoarsened(sys, c, len(mine), gran, item)
-			}
+func (s *Suite) AdaptiveCoarseningAblation() *harness.Table {
+	kernel := func(threads int, adaptive bool, gran int) runner.Future[simCell] {
+		key := runner.Key(fmt.Sprintf("adaptive/%dT/adaptive=%t/gran%d", threads, adaptive, gran))
+		return runner.Submit(s.E, key, func() (simCell, error) {
+			m := sim.New(sim.DefaultConfig())
+			sys := tm.NewSystem(m, tm.TSX)
+			const items, bins = 12000, 65536
+			table := m.Mem.AllocLine(8 * bins)
+			res := m.Run(threads, func(c *sim.Context) {
+				rng := c.Rand
+				mine := make([]int, 0, items/threads+1)
+				for i := c.ID(); i < items; i += threads {
+					mine = append(mine, rng.Intn(bins))
+				}
+				item := func(tx tm.Tx, i int) {
+					c.Compute(14)
+					a := table + sim.Addr(mine[i]*8)
+					tx.Store(a, tx.Load(a)+1)
+				}
+				if adaptive {
+					core.NewAdaptiveCoarsener(sys).Do(c, len(mine), item)
+				} else {
+					core.DoCoarsened(sys, c, len(mine), gran, item)
+				}
+			})
+			return simCell{Cycles: res.Cycles, Events: res.Events}, nil
 		})
-		return res.Cycles
+	}
+	threadCounts := []int{1, 8}
+	grans := []int{1, 8, 32}
+	futs := make([][]runner.Future[simCell], len(threadCounts))
+	for i, th := range threadCounts {
+		for _, g := range grans {
+			futs[i] = append(futs[i], kernel(th, false, g))
+		}
+		futs[i] = append(futs[i], kernel(th, true, 0))
 	}
 	t := &harness.Table{
 		Title: "Adaptive coarsening (§5.4.3 future work) — kilocycles",
 		Head:  []string{"threads", "gran1", "gran8", "gran32", "adaptive"},
 	}
-	for _, th := range []int{1, 8} {
+	for i, th := range threadCounts {
 		row := []string{fmt.Sprint(th)}
-		for _, g := range []int{1, 8, 32} {
-			row = append(row, fmt.Sprintf("%d", kernel(th, false, g)/1000))
+		for _, f := range futs[i] {
+			row = append(row, fmt.Sprintf("%d", mustWait(f).Cycles/1000))
 		}
-		row = append(row, fmt.Sprintf("%d", kernel(th, true, 0)/1000))
 		t.Rows = append(t.Rows, row)
 	}
 	return t
@@ -400,14 +597,9 @@ func AdaptiveCoarseningAblation() *harness.Table {
 // LocksetAblation measures lockset elision in isolation: acquiring a pair
 // of fine-grained locks per critical section versus one transactional
 // begin, on uncontended data (Section 5.2.1's overhead argument).
-func LocksetAblation() *harness.Table {
-	t := &harness.Table{
-		Title: "Lockset elision ablation — cycles per pair-locked critical section",
-		Head:  []string{"scheme", "cycles/op"},
-	}
+func (s *Suite) LocksetAblation() *harness.Table {
 	const ops = 2000
-	// Lock-pair baseline.
-	{
+	pair := runner.Submit(s.E, "lockset/pair", func() (simCell, error) {
 		m := sim.New(sim.DefaultConfig())
 		l1, l2 := ssync.NewMutex(m.Mem), ssync.NewMutex(m.Mem)
 		data := m.Mem.AllocLine(16)
@@ -421,10 +613,9 @@ func LocksetAblation() *harness.Table {
 				l1.Unlock(c)
 			}
 		})
-		t.Rows = append(t.Rows, []string{"two locks", fmt.Sprintf("%.0f", float64(res.Cycles)/ops)})
-	}
-	// Lockset elision.
-	{
+		return simCell{Cycles: res.Cycles, Events: res.Events}, nil
+	})
+	elide := runner.Submit(s.E, "lockset/elision", func() (simCell, error) {
 		m := sim.New(sim.DefaultConfig())
 		sys := tm.NewSystem(m, tm.TSX)
 		data := m.Mem.AllocLine(16)
@@ -436,7 +627,13 @@ func LocksetAblation() *harness.Table {
 				})
 			}
 		})
-		t.Rows = append(t.Rows, []string{"lockset elision", fmt.Sprintf("%.0f", float64(res.Cycles)/ops)})
+		return simCell{Cycles: res.Cycles, Events: res.Events}, nil
+	})
+	t := &harness.Table{
+		Title: "Lockset elision ablation — cycles per pair-locked critical section",
+		Head:  []string{"scheme", "cycles/op"},
 	}
+	t.Rows = append(t.Rows, []string{"two locks", fmt.Sprintf("%.0f", float64(mustWait(pair).Cycles)/ops)})
+	t.Rows = append(t.Rows, []string{"lockset elision", fmt.Sprintf("%.0f", float64(mustWait(elide).Cycles)/ops)})
 	return t
 }

@@ -80,3 +80,65 @@ func TestAdaptiveCoarseningAblation(t *testing.T) {
 		t.Fatalf("malformed table: %v", tab.Rows)
 	}
 }
+
+// TestCellsSimulateAtMostOnce asserts the memoization contract of the job
+// engine: a simulation cell (workload, mode, threads, config) runs at most
+// once per Suite no matter how many experiments reference it. Figure 2 and
+// Table 1 draw on the same STAMP cells, so after Figure 2 has run, Table 1
+// must not execute a single new STAMP job for the shared cells, and
+// re-rendering either experiment must execute nothing at all.
+func TestCellsSimulateAtMostOnce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full STAMP sweep; skipped with -short")
+	}
+	s := NewSuite(0)
+	if _, err := s.Figure2(); err != nil {
+		t.Fatal(err)
+	}
+	afterFig2 := s.E.Stats()
+	if _, err := s.Table1(); err != nil {
+		t.Fatal(err)
+	}
+	afterTab1 := s.E.Stats()
+	if afterTab1.Executed != afterFig2.Executed {
+		t.Fatalf("Table1 re-simulated %d cells already run for Figure2",
+			afterTab1.Executed-afterFig2.Executed)
+	}
+	if afterTab1.Deduped == afterFig2.Deduped {
+		t.Fatalf("Table1 did not hit the memo cache at all (deduped stuck at %d)", afterTab1.Deduped)
+	}
+	// Rendering the same experiments again must be fully served from cache.
+	if _, err := s.Figure2(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Table1(); err != nil {
+		t.Fatal(err)
+	}
+	if again := s.E.Stats(); again.Executed != afterTab1.Executed {
+		t.Fatalf("re-render executed %d new jobs", again.Executed-afterTab1.Executed)
+	}
+}
+
+// TestRenderedOutputIndependentOfParallelism asserts the engine's core
+// guarantee: rendered experiment output is byte-identical at any host
+// parallelism level, because every job owns a private simulated machine and
+// results are collected in a fixed order. A representative subset keeps the
+// test fast; cmd/reproduce covers the full catalog.
+func TestRenderedOutputIndependentOfParallelism(t *testing.T) {
+	render := func(s *Suite) string {
+		var b strings.Builder
+		b.WriteString(s.Figure1().Render())
+		f5b, err := s.Figure5b()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.WriteString(f5b.Render())
+		b.WriteString(s.RetrySweep([]int{1, 4}).Render())
+		return b.String()
+	}
+	serial := render(NewSuite(1))
+	parallel := render(NewSuite(8))
+	if serial != parallel {
+		t.Fatalf("output differs between -parallel 1 and -parallel 8:\nserial:\n%s\nparallel:\n%s", serial, parallel)
+	}
+}

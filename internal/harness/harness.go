@@ -109,10 +109,17 @@ func (t *Table) Render() string {
 	return b.String()
 }
 
+// alignRows renders rows as space-aligned columns. Rows may be ragged:
+// column widths are the per-index maxima over the rows that have that
+// column. Widths live in a slice indexed by column (this runs for every
+// rendered table; a map would hash on every cell).
 func alignRows(rows [][]string) string {
-	widths := map[int]int{}
+	var widths []int
 	for _, row := range rows {
 		for i, cell := range row {
+			for len(widths) <= i {
+				widths = append(widths, 0)
+			}
 			if len(cell) > widths[i] {
 				widths[i] = len(cell)
 			}

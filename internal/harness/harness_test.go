@@ -93,6 +93,30 @@ func TestTableRender(t *testing.T) {
 	}
 }
 
+func TestAlignRowsRagged(t *testing.T) {
+	// Ragged rows: widths come from the rows that have each column, longer
+	// rows simply extend to the right, and no row panics or truncates.
+	rows := [][]string{
+		{"a"},
+		{"bb", "c", "dddd"},
+		{"e", "ffffff"},
+		{},
+		{"g", "h", "i", "j"},
+	}
+	got := alignRows(rows)
+	// Note the trailing pad on "a": every cell, including a row's last, pads
+	// to its column width — the golden reproduce output depends on this.
+	want := "" +
+		"a \n" +
+		"bb  c       dddd\n" +
+		"e   ffffff\n" +
+		"\n" +
+		"g   h       i     j\n"
+	if got != want {
+		t.Fatalf("alignRows ragged mismatch:\ngot:\n%q\nwant:\n%q", got, want)
+	}
+}
+
 func TestSortedKeys(t *testing.T) {
 	m := map[string]int{"b": 1, "a": 2, "c": 3}
 	ks := SortedKeys(m)

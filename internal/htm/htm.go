@@ -120,8 +120,10 @@ type lineTrack struct {
 type Runtime struct {
 	m      *sim.Machine
 	active []*Txn // indexed by thread id
+	pool   []*Txn // recycled per-thread Txn objects (Begin is hot; see Begin)
 	nTxns  int
 	lines  map[sim.Addr]*lineTrack
+	ltFree []*lineTrack // recycled lineTracks (one is born per newly tracked line)
 	ovf    uint16 // bitmask of thread ids whose read set overflowed to Bloom
 	Stats  Stats
 }
@@ -132,6 +134,7 @@ func New(m *sim.Machine) *Runtime {
 	r := &Runtime{
 		m:      m,
 		active: make([]*Txn, 64),
+		pool:   make([]*Txn, 64),
 		lines:  make(map[sim.Addr]*lineTrack),
 	}
 	m.ConflictHook = r.conflictHook
@@ -174,13 +177,29 @@ func (r *Runtime) Begin(c *sim.Context) *Txn {
 		panic("htm: nested hardware transaction")
 	}
 	c.Compute(r.m.Costs.XBegin)
-	t := &Txn{
-		rt:         r,
-		ctx:        c,
-		readLines:  make(map[sim.Addr]struct{}, 16),
-		writeLines: make(map[sim.Addr]struct{}, 8),
-		writeBuf:   make(map[sim.Addr]uint64, 8),
+	// Transactions start on every attempt (aborted attempts restart), so the
+	// per-thread Txn and its set-tracking maps are recycled rather than
+	// reallocated; a thread runs at most one transaction at a time.
+	t := r.pool[c.ID()]
+	if t == nil {
+		t = &Txn{
+			readLines:  make(map[sim.Addr]struct{}, 16),
+			writeLines: make(map[sim.Addr]struct{}, 8),
+			writeBuf:   make(map[sim.Addr]uint64, 8),
+		}
+		r.pool[c.ID()] = t
+	} else {
+		clear(t.readLines)
+		clear(t.writeLines)
+		clear(t.writeBuf)
+		t.frees = t.frees[:0]
+		t.bloom = bloom{}
+		t.doomed = false
+		t.cause = NoAbort
+		t.noRetry = false
 	}
+	t.rt = r
+	t.ctx = c
 	r.active[c.ID()] = t
 	r.nTxns++
 	c.InTxn = true
@@ -213,10 +232,12 @@ func (t *Txn) finishAbort() {
 // event; registering first is the conservative equivalent).
 func (t *Txn) Load(a sim.Addr) uint64 {
 	t.check()
-	if v, ok := t.writeBuf[a]; ok {
-		// Store-to-load forwarding from the speculative buffer.
-		t.ctx.Compute(t.rt.m.Costs.TxAccess)
-		return v
+	if len(t.writeBuf) != 0 {
+		if v, ok := t.writeBuf[a]; ok {
+			// Store-to-load forwarding from the speculative buffer.
+			t.ctx.Compute(t.rt.m.Costs.TxAccess)
+			return v
+		}
 	}
 	line := sim.LineOf(a)
 	if _, ok := t.readLines[line]; !ok && !t.bloom.has(line) {
@@ -299,7 +320,7 @@ func (t *Txn) cleanup() {
 		if lt := r.lines[line]; lt != nil {
 			lt.readers &^= bit
 			if lt.readers|lt.writers == 0 {
-				delete(r.lines, line)
+				r.untrack(line, lt)
 			}
 		}
 	}
@@ -308,7 +329,7 @@ func (t *Txn) cleanup() {
 		if lt := r.lines[line]; lt != nil {
 			lt.writers &^= bit
 			if lt.readers|lt.writers == 0 {
-				delete(r.lines, line)
+				r.untrack(line, lt)
 			}
 		}
 	}
@@ -322,10 +343,23 @@ func (t *Txn) cleanup() {
 func (r *Runtime) track(line sim.Addr) *lineTrack {
 	lt := r.lines[line]
 	if lt == nil {
-		lt = &lineTrack{}
+		if n := len(r.ltFree); n > 0 {
+			lt = r.ltFree[n-1]
+			r.ltFree = r.ltFree[:n-1]
+			*lt = lineTrack{}
+		} else {
+			lt = &lineTrack{}
+		}
 		r.lines[line] = lt
 	}
 	return lt
+}
+
+// untrack removes a line's tracking entry once no transaction holds it,
+// recycling the lineTrack for the next track call.
+func (r *Runtime) untrack(line sim.Addr, lt *lineTrack) {
+	delete(r.lines, line)
+	r.ltFree = append(r.ltFree, lt)
 }
 
 // doom marks a transaction for abort; the victim unwinds when it next
@@ -401,7 +435,7 @@ func (r *Runtime) evictHook(owner *sim.Context, line sim.Addr, wasWrite bool) {
 		if lt := r.lines[line]; lt != nil {
 			lt.readers &^= bit
 			if lt.readers|lt.writers == 0 {
-				delete(r.lines, line)
+				r.untrack(line, lt)
 			}
 		}
 		t.bloom.add(line)

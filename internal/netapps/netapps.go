@@ -25,7 +25,11 @@ type Result struct {
 	// finished reading its input (the denominator of read bandwidth).
 	ReadCycles uint64
 	Cycles     uint64
+	Events     uint64 // simulated timed events processed
 }
+
+// SimEvents reports the simulated event count (runner.Eventer).
+func (r Result) SimEvents() uint64 { return r.Events }
 
 // Bandwidth returns server-side read bandwidth in bytes per kilocycle.
 func (r Result) Bandwidth() float64 {
@@ -103,7 +107,7 @@ func Run(name string, mode core.LockMode) (Result, error) {
 		}
 	})
 
-	out := Result{App: name, Mode: mode, Cycles: res.Cycles}
+	out := Result{App: name, Mode: mode, Cycles: res.Cycles, Events: res.Events}
 	for i := 0; i < conns; i++ {
 		out.Bytes += bytesRead[i]
 		if readDone[i] > out.ReadCycles {

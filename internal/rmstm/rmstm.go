@@ -124,7 +124,11 @@ type Result struct {
 	Cycles    uint64
 	AbortRate float64
 	Syscalls  uint64 // syscall-caused transactional aborts observed
+	Events    uint64 // simulated timed events processed
 }
+
+// SimEvents reports the simulated event count (runner.Eventer).
+func (r Result) SimEvents() uint64 { return r.Events }
 
 // Execute runs one workload under one scheme and thread count on a fresh
 // machine and validates the result.
@@ -155,7 +159,7 @@ func Execute(name string, scheme Scheme, threads, nLocks int) (Result, error) {
 	if err := w.Validate(m); err != nil {
 		return Result{}, fmt.Errorf("rmstm: %s/%v/%dT: %w", name, scheme, threads, err)
 	}
-	out := Result{Workload: name, Scheme: scheme, Threads: threads, Cycles: res.Cycles}
+	out := Result{Workload: name, Scheme: scheme, Threads: threads, Cycles: res.Cycles, Events: res.Events}
 	if e.Sys != nil {
 		out.AbortRate = e.Sys.AbortRate()
 		if e.Sys.HTM != nil {

@@ -1,0 +1,160 @@
+// Package runner is the experiment job engine: it expresses each simulation
+// cell — one (workload, mode, threads, config) execution on a private
+// sim.Machine — as a keyed job, fans jobs out across host worker goroutines,
+// and memoizes results so that every distinct cell simulates at most once
+// per process no matter how many experiments request it.
+//
+// Host parallelism cannot perturb simulated results: a job owns its machine
+// and every machine is a deterministic closed system (per-context seeded
+// RNGs, virtual clocks, no wall-clock inputs), so a cell's result is a pure
+// function of its key. The engine only changes *when* a cell runs on the
+// host, never *what* it computes, and callers collect futures in a fixed
+// order, so rendered output is byte-identical to a serial run.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Key identifies one memoizable simulation cell. Keys are namespaced by
+// convention ("stamp/bayes/tsx/4T"); two submissions with equal keys must
+// denote the same computation.
+type Key string
+
+// Stats summarizes engine activity.
+type Stats struct {
+	// Workers is the host worker-goroutine bound.
+	Workers int
+	// Executed counts jobs actually run (unique keys).
+	Executed uint64
+	// Deduped counts submissions served from the memo cache instead of
+	// re-simulating (includes submissions that attached to an in-flight job).
+	Deduped uint64
+	// Events is the total number of simulated timed events across executed
+	// jobs whose results implement Eventer.
+	Events uint64
+}
+
+// Eventer is implemented by job results that can report how many simulated
+// timed events their run processed (sim.Result.Events, threaded through the
+// per-domain result types). The engine aggregates these for throughput
+// accounting.
+type Eventer interface {
+	SimEvents() uint64
+}
+
+// Engine runs keyed jobs on a bounded pool of host workers with memoization.
+// The zero value is not usable; call New.
+type Engine struct {
+	workers int
+	sem     chan struct{} // worker slots
+
+	mu   sync.Mutex
+	jobs map[Key]*job
+
+	executed uint64
+	deduped  uint64
+	events   uint64
+}
+
+type job struct {
+	done   chan struct{}
+	val    any
+	err    error
+	events uint64
+}
+
+// New creates an engine with the given host worker bound. workers <= 0 means
+// runtime.GOMAXPROCS(0).
+func New(workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{
+		workers: workers,
+		sem:     make(chan struct{}, workers),
+		jobs:    make(map[Key]*job),
+	}
+}
+
+// Workers reports the engine's host worker bound.
+func (e *Engine) Workers() int { return e.workers }
+
+// Stats returns a snapshot of engine activity. It is safe to call
+// concurrently with submissions, but Events only includes jobs that have
+// finished.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return Stats{Workers: e.workers, Executed: e.executed, Deduped: e.deduped, Events: e.events}
+}
+
+// Future is a handle to a submitted job's eventual result.
+type Future[T any] struct {
+	j *job
+}
+
+// Submit schedules fn under key unless a job with that key already ran (or
+// is in flight), in which case the returned future shares its result. fn
+// must be a pure function of key. Submit never blocks on job execution;
+// collect results with Wait.
+func Submit[T any](e *Engine, key Key, fn func() (T, error)) Future[T] {
+	e.mu.Lock()
+	if j, ok := e.jobs[key]; ok {
+		e.deduped++
+		e.mu.Unlock()
+		return Future[T]{j}
+	}
+	j := &job{done: make(chan struct{})}
+	e.jobs[key] = j
+	e.executed++
+	e.mu.Unlock()
+
+	go func() {
+		e.sem <- struct{}{} // acquire a worker slot
+		defer func() {
+			if p := recover(); p != nil {
+				j.err = fmt.Errorf("runner: job %q panicked: %v", key, p)
+			}
+			if j.events != 0 {
+				e.mu.Lock()
+				e.events += j.events
+				e.mu.Unlock()
+			}
+			<-e.sem
+			close(j.done) // after the event accounting, so Stats() deltas taken post-Wait are exact
+		}()
+		v, err := fn()
+		j.val, j.err = v, err
+		if err == nil {
+			if ev, ok := any(v).(Eventer); ok {
+				j.events = ev.SimEvents()
+			}
+		}
+	}()
+	return Future[T]{j}
+}
+
+// Wait blocks until the job finishes and returns its result. Waiting on a
+// future obtained from a deduplicated submission returns the one shared
+// result. A future whose job was submitted under a different result type
+// returns an error rather than panicking.
+func (f Future[T]) Wait() (T, error) {
+	<-f.j.done
+	var zero T
+	if f.j.err != nil {
+		return zero, f.j.err
+	}
+	v, ok := f.j.val.(T)
+	if !ok {
+		return zero, fmt.Errorf("runner: key reused with conflicting result type %T", f.j.val)
+	}
+	return v, nil
+}
+
+// Do is Submit followed by Wait: it runs (or reuses) the job synchronously.
+func Do[T any](e *Engine, key Key, fn func() (T, error)) (T, error) {
+	return Submit(e, key, fn).Wait()
+}

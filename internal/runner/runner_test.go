@@ -1,0 +1,148 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestMemoization is the run-at-most-once guarantee: many submissions of one
+// key execute the job exactly once and all observe the same result.
+func TestMemoization(t *testing.T) {
+	e := New(4)
+	var runs atomic.Uint64
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := Do(e, "cell", func() (int, error) {
+				runs.Add(1)
+				return 42, nil
+			})
+			if err != nil || v != 42 {
+				t.Errorf("Do = %v, %v", v, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("job ran %d times, want 1", got)
+	}
+	st := e.Stats()
+	if st.Executed != 1 || st.Deduped != 31 {
+		t.Fatalf("stats = %+v, want Executed=1 Deduped=31", st)
+	}
+}
+
+// TestDistinctKeysAllRun checks fan-out: distinct cells each execute once and
+// return their own results regardless of submission order.
+func TestDistinctKeysAllRun(t *testing.T) {
+	e := New(3)
+	var futs []Future[int]
+	for i := 0; i < 20; i++ {
+		i := i
+		futs = append(futs, Submit(e, Key(fmt.Sprintf("cell/%d", i)), func() (int, error) {
+			return i * i, nil
+		}))
+	}
+	for i, f := range futs {
+		v, err := f.Wait()
+		if err != nil || v != i*i {
+			t.Fatalf("cell %d = %v, %v; want %d", i, v, err, i*i)
+		}
+	}
+	if st := e.Stats(); st.Executed != 20 {
+		t.Fatalf("Executed = %d, want 20", st.Executed)
+	}
+}
+
+// TestWorkerBound verifies the pool never runs more than `workers` jobs at
+// the same host instant.
+func TestWorkerBound(t *testing.T) {
+	const workers = 2
+	e := New(workers)
+	var cur, max atomic.Int64
+	var futs []Future[struct{}]
+	gate := make(chan struct{})
+	for i := 0; i < 10; i++ {
+		futs = append(futs, Submit(e, Key(fmt.Sprintf("j%d", i)), func() (struct{}, error) {
+			n := cur.Add(1)
+			for {
+				m := max.Load()
+				if n <= m || max.CompareAndSwap(m, n) {
+					break
+				}
+			}
+			<-gate
+			cur.Add(-1)
+			return struct{}{}, nil
+		}))
+	}
+	close(gate)
+	for _, f := range futs {
+		if _, err := f.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m := max.Load(); m > workers {
+		t.Fatalf("observed %d concurrent jobs, worker bound is %d", m, workers)
+	}
+}
+
+// TestErrorsAndPanicsPropagate checks that a job error reaches every waiter
+// and that a panicking job is converted to an error instead of killing the
+// process.
+func TestErrorsAndPanicsPropagate(t *testing.T) {
+	e := New(1)
+	boom := errors.New("boom")
+	f1 := Submit(e, "bad", func() (int, error) { return 0, boom })
+	f2 := Submit(e, "bad", func() (int, error) { return 0, nil })
+	if _, err := f1.Wait(); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if _, err := f2.Wait(); !errors.Is(err, boom) {
+		t.Fatalf("dedup err = %v, want boom", err)
+	}
+	if _, err := Do(e, "panics", func() (int, error) { panic("sim deadlock") }); err == nil {
+		t.Fatal("panicking job returned nil error")
+	}
+}
+
+type evented struct{ n uint64 }
+
+func (e evented) SimEvents() uint64 { return e.n }
+
+// TestEventAccounting checks that results implementing Eventer contribute to
+// the engine's aggregate event count exactly once each.
+func TestEventAccounting(t *testing.T) {
+	e := New(2)
+	for i := 0; i < 3; i++ {
+		if _, err := Do(e, Key(fmt.Sprintf("ev/%d", i)), func() (evented, error) {
+			return evented{n: 100}, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Re-submitting must not double count.
+	if _, err := Do(e, "ev/0", func() (evented, error) { return evented{n: 100}, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.Events != 300 {
+		t.Fatalf("Events = %d, want 300", st.Events)
+	}
+}
+
+// TestConflictingResultType checks the typed-future guard: reusing a key
+// under a different result type yields an error, not a panic.
+func TestConflictingResultType(t *testing.T) {
+	e := New(1)
+	if _, err := Do(e, "k", func() (int, error) { return 7, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Do(e, "k", func() (string, error) { return "x", nil }); err == nil {
+		t.Fatal("conflicting type reuse returned nil error")
+	}
+}

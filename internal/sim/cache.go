@@ -21,6 +21,12 @@ type cline struct {
 	tag   Addr // line base address
 	lru   uint64
 	valid bool
+	// excl records that no other cache holds this line (MESI E/M state).
+	// It is set when a probe of the other caches comes back empty (or a
+	// write invalidates every other copy) and cleared when a remote read
+	// miss is served from this cache. Writes hitting an exclusive line skip
+	// the coherence probe entirely — the probe provably finds nothing.
+	excl  bool
 	rmask uint8 // per-HT-slot transactional-read marks
 	wmask uint8 // per-HT-slot transactional-write marks
 }
@@ -37,9 +43,16 @@ type CacheStats struct {
 
 // Cache is one core's L1 data cache model.
 type Cache struct {
-	m     *Machine
-	id    int
-	sets  [cacheSets][cacheWays]cline
+	m    *Machine
+	id   int
+	sets [cacheSets][cacheWays]cline
+	// tags mirrors sets[s][w].tag for valid ways and is 0 for invalid ones,
+	// packing a set's tags into one cache line so lookup scans 8 words
+	// instead of striding through the cline structs. Line address 0 never
+	// occurs: simulated memory reserves the first line (Alloc starts at 64),
+	// so tag 0 unambiguously means "invalid way".
+	tags  [cacheSets][cacheWays]Addr
+	mru   [cacheSets]uint8 // way of each set's last hit, probed first in lookup
 	ticks uint64
 	stats CacheStats
 }
@@ -48,11 +61,18 @@ func newCache(m *Machine, id int) *Cache { return &Cache{m: m, id: id} }
 
 func setOf(line Addr) int { return int((line >> 6) % cacheSets) }
 
-// lookup returns the way index holding line, or -1.
+// lookup returns the way index holding line, or -1. The set's
+// most-recently-hit way is probed first: accesses exhibit strong temporal
+// locality, so most lookups resolve without scanning all ways.
 func (c *Cache) lookup(line Addr) int {
-	s := &c.sets[setOf(line)]
-	for w := range s {
-		if s[w].valid && s[w].tag == line {
+	set := setOf(line)
+	tags := &c.tags[set]
+	if w := c.mru[set]; tags[w] == line {
+		return int(w)
+	}
+	for w := range tags {
+		if tags[w] == line {
+			c.mru[set] = uint8(w)
 			return w
 		}
 	}
@@ -64,7 +84,9 @@ func (c *Cache) lookup(line Addr) int {
 // hook (this is an invalidation due to a remote write), not the evict hook.
 func (c *Cache) invalidate(line Addr) bool {
 	if w := c.lookup(line); w >= 0 {
-		c.sets[setOf(line)][w] = cline{}
+		set := setOf(line)
+		c.sets[set][w] = cline{}
+		c.tags[set][w] = 0
 		return true
 	}
 	return false
@@ -88,13 +110,18 @@ func (c *Cache) access(ctx *Context, line Addr, write, tx bool) uint64 {
 	m := c.m
 	c.ticks++
 	w := c.lookup(line)
+	set := setOf(line)
 
 	var cost uint64
 	remote := false
-	if write || w < 0 {
+	probed := false
+	if (write || w < 0) && !(write && w >= 0 && c.sets[set][w].excl) {
 		// A write needs exclusive ownership; a read miss may be served by a
-		// cache-to-cache transfer. Either way, probe the other cores.
-		for coreID, other := range m.caches {
+		// cache-to-cache transfer. Either way, probe the other cores — unless
+		// this is a write hitting a line already held exclusively, in which
+		// case no other cache can hold a copy and the probe is skipped.
+		probed = true
+		for _, other := range m.caches {
 			if other == c {
 				continue
 			}
@@ -102,10 +129,11 @@ func (c *Cache) access(ctx *Context, line Addr, write, tx bool) uint64 {
 				if other.invalidate(line) {
 					remote = true
 				}
-			} else if other.lookup(line) >= 0 {
+			} else if ow := other.lookup(line); ow >= 0 {
 				remote = true
+				// The remote copy is no longer the only one.
+				other.sets[set][ow].excl = false
 			}
-			_ = coreID
 		}
 	}
 	switch {
@@ -127,7 +155,12 @@ func (c *Cache) access(ctx *Context, line Addr, write, tx bool) uint64 {
 	if w < 0 {
 		w = c.install(line)
 	}
-	ln := &c.sets[setOf(line)][w]
+	ln := &c.sets[set][w]
+	if probed && (write || !remote) {
+		// Either every other copy was just invalidated (write) or the probe
+		// found no other holder (read miss): this cache is now the sole one.
+		ln.excl = true
+	}
 	ln.lru = c.ticks
 	if tx {
 		bit := uint8(1) << uint(ctx.slot)
@@ -176,6 +209,8 @@ func (c *Cache) install(line Addr) int {
 	}
 place:
 	s[victim] = cline{tag: line, valid: true}
+	c.tags[setOf(line)][victim] = line
+	c.mru[setOf(line)] = uint8(victim)
 	return victim
 }
 
@@ -197,6 +232,7 @@ func (m *Machine) ClearTxMarks(ctx *Context, line Addr) {
 func (m *Machine) FlushCaches() {
 	for _, c := range m.caches {
 		c.sets = [cacheSets][cacheWays]cline{}
+		c.tags = [cacheSets][cacheWays]Addr{}
 	}
 }
 

@@ -36,8 +36,15 @@ func NewMemory() *Memory {
 	}
 }
 
+// grow ensures the backing store covers word index idx. It returns without
+// reallocating when the store is already large enough (the common case — it
+// runs on every allocation) and otherwise at least doubles, so the number of
+// copies stays logarithmic in the final footprint.
 func (m *Memory) grow(idx uint64) {
 	n := uint64(len(m.words))
+	if idx < n {
+		return
+	}
 	for n <= idx {
 		n *= 2
 	}

@@ -277,21 +277,27 @@ func (m *Machine) deadlock(c *Context) {
 // giving strict round-robin among equal clocks). Keeping the current context
 // running while it strictly holds the minimum clock batches events and keeps
 // the simulation fast without changing the deterministic interleaving.
+//
+// The fast path — the current context still holds the minimum — costs one
+// comparison and no heap traffic or channel ping-pong. The handover path
+// swaps c with the heap minimum in a single sift-down instead of a full
+// push + pop pair; the next context is the same either way (extraction
+// order depends only on the (clock, id) key set, and the fast path above
+// guarantees c is not the minimum here), so the schedule is unchanged.
 func (c *Context) maybeYield() {
 	m := c.m
 	if len(m.heap) == 0 {
 		return
 	}
-	if min := m.heap[0]; c.clock < min.clock || (c.clock == min.clock && c.id < min.id) {
+	next := m.heap[0]
+	if c.clock < next.clock || (c.clock == next.clock && c.id < next.id) {
 		return
 	}
+	next.hpos = -1
+	m.heap[0] = c
+	c.hpos = 0
 	c.state = ctxRunnable
-	m.heapPush(c)
-	next := m.heapPop()
-	if next == c {
-		c.state = ctxRunning
-		return
-	}
+	m.heapDown(0)
 	next.state = ctxRunning
 	next.resume <- struct{}{}
 	<-c.resume

@@ -87,7 +87,12 @@ type Result struct {
 	AbortCauses [htm.NumCauses]uint64
 	// Fallbacks counts explicit fallback-lock acquisitions (tsx only).
 	Fallbacks uint64
+	// Events is the number of simulated timed events the run processed.
+	Events uint64
 }
+
+// SimEvents reports the simulated event count (runner.Eventer).
+func (r Result) SimEvents() uint64 { return r.Events }
 
 // Execute runs one workload under one mode and thread count on a fresh
 // machine with the paper's high-contention inputs and validates the result.
@@ -119,6 +124,7 @@ func ExecuteContention(name string, mode tm.Mode, threads int, cont Contention) 
 		Threads:   threads,
 		Cycles:    res.Cycles,
 		AbortRate: sys.AbortRate(),
+		Events:    res.Events,
 	}
 	if sys.HTM != nil {
 		out.AbortCauses = sys.HTM.Stats.Aborts

@@ -45,12 +45,13 @@ type TL2 struct {
 	m     *sim.Machine
 	gv    uint64 // global version clock
 	orecs []orec
+	pool  []*Txn // recycled per-thread Txn objects (try is hot; see try)
 	Stats Stats
 }
 
 // New creates a TL2 instance for machine m.
 func New(m *sim.Machine) *TL2 {
-	return &TL2{m: m, orecs: make([]orec, orecCount)}
+	return &TL2{m: m, orecs: make([]orec, orecCount), pool: make([]*Txn, 64)}
 }
 
 func orecIdx(a sim.Addr) int {
@@ -70,6 +71,7 @@ type Txn struct {
 	readSet  []int // orec indices
 	writeSet map[sim.Addr]uint64
 	wOrder   []sim.Addr // deterministic write-back order
+	locks    []int      // commit-time scratch: sorted unique write-set orecs
 	frees    []pendingFree
 }
 
@@ -87,9 +89,11 @@ func (t *Txn) Free(a sim.Addr, size int) {
 // Load performs an instrumented transactional read with pre/post orec
 // validation, aborting on inconsistency (the "invisible reads" protocol).
 func (t *Txn) Load(a sim.Addr) uint64 {
-	if v, ok := t.writeSet[a]; ok {
-		t.ctx.Compute(t.s.m.Costs.TL2Read)
-		return v
+	if len(t.writeSet) != 0 {
+		if v, ok := t.writeSet[a]; ok {
+			t.ctx.Compute(t.s.m.Costs.TL2Read)
+			return v
+		}
 	}
 	t.ctx.Compute(t.s.m.Costs.TL2Read)
 	oi := orecIdx(a)
@@ -133,17 +137,21 @@ func (t *Txn) commit() {
 		return
 	}
 	// Lock write-set orecs in a canonical order to avoid deadlock; abort if
-	// any is held or has advanced past our read version.
-	locks := make([]int, 0, len(t.wOrder))
-	seen := make(map[int]bool, len(t.wOrder))
+	// any is held or has advanced past our read version. Dedup by sorting the
+	// scratch slice and compacting adjacent duplicates (no map allocation).
+	locks := t.locks[:0]
 	for _, a := range t.wOrder {
-		oi := orecIdx(a)
-		if !seen[oi] {
-			seen[oi] = true
-			locks = append(locks, oi)
-		}
+		locks = append(locks, orecIdx(a))
 	}
 	insertionSort(locks)
+	uniq := locks[:0]
+	for i, oi := range locks {
+		if i == 0 || oi != locks[i-1] {
+			uniq = append(uniq, oi)
+		}
+	}
+	locks = uniq
+	t.locks = locks
 	acquired := 0
 	id := c.ID() + 1
 	for _, oi := range locks {
@@ -215,12 +223,21 @@ func (s *TL2) Run(c *sim.Context, body func(*Txn)) {
 func (s *TL2) try(c *sim.Context, body func(*Txn)) (committed bool) {
 	c.Compute(s.m.Costs.TL2Start)
 	s.Stats.Starts++
-	t := &Txn{
-		s:        s,
-		ctx:      c,
-		rv:       s.gv,
-		writeSet: make(map[sim.Addr]uint64, 8),
+	// Attempts restart on abort, so the per-thread Txn and its write-set map
+	// are recycled rather than reallocated; a thread runs at most one
+	// transaction at a time.
+	t := s.pool[c.ID()]
+	if t == nil {
+		t = &Txn{s: s, writeSet: make(map[sim.Addr]uint64, 8)}
+		s.pool[c.ID()] = t
+	} else {
+		t.readSet = t.readSet[:0]
+		clear(t.writeSet)
+		t.wOrder = t.wOrder[:0]
+		t.frees = t.frees[:0]
 	}
+	t.ctx = c
+	t.rv = s.gv
 	defer func() {
 		if p := recover(); p != nil {
 			if _, ok := p.(tl2Abort); ok {
