@@ -146,7 +146,10 @@ func BenchmarkFigure6(b *testing.B) {
 // reports the cycles at budgets 1 and 5.
 func BenchmarkRetryPolicy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		fig := experiments.RetrySweep([]int{1, 5})
+		fig, err := experiments.RetrySweep([]int{1, 5})
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ReportMetric(fig.Series[0].Y[0], "retry1-kcycles")
 		b.ReportMetric(fig.Series[0].Y[1], "retry5-kcycles")
 	}

@@ -8,12 +8,27 @@
 // varies). -only selects a subset of experiments by id. A host-performance
 // report (per-experiment wall time, simulated events, events/sec) is written
 // to BENCH_reproduce.json.
+//
+// Robustness controls:
+//
+//   - -chaos <seed> enables deterministic fault injection (faults.Chaos) on
+//     every simulated machine: spurious transaction aborts, cache-eviction
+//     storms, lock-hold stretching, clock jitter. Same seed, same output.
+//   - -maxcycles / -stallcycles bound each simulated run's total virtual
+//     cycles and progress-free window; exceeding either surfaces as a typed
+//     per-experiment failure, not a hang.
+//   - -timeout bounds each experiment's host wall-clock time.
+//
+// A failing experiment (stall, budget, timeout, panic) is reported in place
+// with its cause and the run continues; any failure makes the exit status
+// non-zero and is listed in a final summary.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -21,6 +36,8 @@ import (
 	"time"
 
 	"tsxhpc/internal/experiments"
+	"tsxhpc/internal/faults"
+	"tsxhpc/internal/sim"
 )
 
 // experiment is one reproduce section: id is the printed section header
@@ -34,7 +51,11 @@ type experiment struct {
 
 var catalog = []experiment{
 	{"E1", "E1", func(s *experiments.Suite) (string, error) {
-		return s.Figure1().Render(), nil
+		f, err := s.Figure1()
+		if err != nil {
+			return "", err
+		}
+		return f.Render(), nil
 	}},
 	{"E2", "E2", func(s *experiments.Suite) (string, error) {
 		t, err := s.Figure2()
@@ -86,19 +107,39 @@ var catalog = []experiment{
 		return t.Render() + fmt.Sprintf("tsx.busywait average gain over mutex: %.2fx (paper: 1.31x)\n", gain), nil
 	}},
 	{"E9", "E9", func(s *experiments.Suite) (string, error) {
-		return s.RetrySweep([]int{1, 2, 3, 4, 5, 6, 8, 10}).Render(), nil
+		f, err := s.RetrySweep([]int{1, 2, 3, 4, 5, 6, 8, 10})
+		if err != nil {
+			return "", err
+		}
+		return f.Render(), nil
 	}},
 	{"ablation: HT capacity", "A1", func(s *experiments.Suite) (string, error) {
-		return s.HTCapacityAblation().Render(), nil
+		t, err := s.HTCapacityAblation()
+		if err != nil {
+			return "", err
+		}
+		return t.Render(), nil
 	}},
 	{"ablation: conflict wiring", "A2", func(s *experiments.Suite) (string, error) {
-		return s.ConflictWiringAblation().Render(), nil
+		f, err := s.ConflictWiringAblation()
+		if err != nil {
+			return "", err
+		}
+		return f.Render(), nil
 	}},
 	{"ablation: lockset elision", "A3", func(s *experiments.Suite) (string, error) {
-		return s.LocksetAblation().Render(), nil
+		t, err := s.LocksetAblation()
+		if err != nil {
+			return "", err
+		}
+		return t.Render(), nil
 	}},
 	{"ablation: adaptive coarsening", "A4", func(s *experiments.Suite) (string, error) {
-		return s.AdaptiveCoarseningAblation().Render(), nil
+		t, err := s.AdaptiveCoarseningAblation()
+		if err != nil {
+			return "", err
+		}
+		return t.Render(), nil
 	}},
 }
 
@@ -120,25 +161,85 @@ type benchReport struct {
 	Experiments    []benchRow `json:"experiments"`
 }
 
-func main() {
-	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "host worker goroutines for simulation jobs (<=0: GOMAXPROCS)")
-	only := flag.String("only", "", "comma-separated experiment ids to run (E1..E9, A1..A4); empty runs all")
-	benchPath := flag.String("bench", "BENCH_reproduce.json", "path for the host-performance JSON report (empty disables)")
-	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (also the PGO input; see cmd/reproduce/default.pgo)")
-	flag.Parse()
+// options are the parsed command-line settings; run takes them explicitly so
+// tests can drive the whole tool in-process.
+type options struct {
+	parallel   int
+	only       string
+	benchPath  string
+	cpuProfile string
 
-	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
-		fail(err)
-		fail(pprof.StartCPUProfile(f))
+	chaosSeed   int64
+	chaosSet    bool // -chaos was present (seed 0 is valid)
+	timeout     time.Duration
+	maxCycles   uint64
+	stallCycles uint64
+}
+
+// defaultChaosStallCycles is the watchdog window installed when -chaos is on
+// but -stallcycles was not given: generous against the slowest healthy
+// experiment, tiny against a real livelock's unbounded spin.
+const defaultChaosStallCycles = 200_000_000
+
+func main() {
+	var o options
+	flag.IntVar(&o.parallel, "parallel", runtime.GOMAXPROCS(0), "host worker goroutines for simulation jobs (<=0: GOMAXPROCS)")
+	flag.StringVar(&o.only, "only", "", "comma-separated experiment ids to run (E1..E9, A1..A4); empty runs all")
+	flag.StringVar(&o.benchPath, "bench", "BENCH_reproduce.json", "path for the host-performance JSON report (empty disables)")
+	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile to this file (also the PGO input; see cmd/reproduce/default.pgo)")
+	flag.Int64Var(&o.chaosSeed, "chaos", 0, "enable deterministic fault injection with this seed (same seed, same output)")
+	flag.DurationVar(&o.timeout, "timeout", 0, "host wall-clock budget per experiment (0: unlimited)")
+	flag.Uint64Var(&o.maxCycles, "maxcycles", 0, "virtual-cycle budget per simulated run (0: unlimited)")
+	flag.Uint64Var(&o.stallCycles, "stallcycles", 0, "virtual cycles without progress before a run is declared livelocked (0: chaos default with -chaos, else off)")
+	flag.Parse()
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "chaos" {
+			o.chaosSet = true
+		}
+	})
+	os.Exit(run(o, os.Stdout, os.Stderr))
+}
+
+// run executes the selected experiments and returns the process exit code:
+// 0 when every section reproduced, 1 when any failed, 2 on usage errors.
+func run(o options, stdout, stderr io.Writer) int {
+	if o.cpuProfile != "" {
+		f, err := os.Create(o.cpuProfile)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
 		defer func() {
 			pprof.StopCPUProfile()
 			f.Close()
 		}()
 	}
 
-	suite := experiments.NewSuite(*parallel)
-	selected := parseOnly(*only)
+	// Robustness defaults reach every machine the experiments construct via
+	// sim.DefaultConfig; restore on exit so in-process callers (tests) do not
+	// leak fault injection into each other.
+	stall := o.stallCycles
+	if o.chaosSet && stall == 0 {
+		stall = defaultChaosStallCycles
+	}
+	if o.chaosSet || o.maxCycles > 0 || stall > 0 {
+		d := sim.RunDefaults{MaxCycles: o.maxCycles, StallCycles: stall}
+		if o.chaosSet {
+			d.Faults = faults.Chaos(o.chaosSeed)
+		}
+		sim.SetRunDefaults(d)
+		defer sim.SetRunDefaults(sim.RunDefaults{})
+	}
+	if o.chaosSet {
+		fmt.Fprintf(stdout, "chaos: fault injection enabled (seed %d)\n", o.chaosSeed)
+	}
+
+	suite := experiments.NewSuite(o.parallel)
+	selected := parseOnly(o.only)
 	if selected != nil {
 		valid := make(map[string]bool, 2*len(catalog))
 		ids := make([]string, 0, len(catalog))
@@ -149,22 +250,35 @@ func main() {
 		}
 		for tok := range selected {
 			if !valid[tok] {
-				fail(fmt.Errorf("-only: unknown experiment %q (valid: %s)", tok, strings.Join(ids, ", ")))
+				fmt.Fprintf(stderr, "-only: unknown experiment %q (valid: %s)\n", tok, strings.Join(ids, ", "))
+				return 2
 			}
 		}
 	}
 
 	start := time.Now()
 	var rows []benchRow
+	type failure struct {
+		id  string
+		err error
+	}
+	var failures []failure
 	for _, ex := range catalog {
 		if selected != nil && !selected[strings.ToUpper(ex.alias)] && !selected[strings.ToUpper(ex.id)] {
 			continue
 		}
 		t0 := time.Now()
 		ev0 := suite.E.Stats().Events
-		body, err := ex.run(suite)
-		fail(err)
-		fmt.Printf("\n--- %s ---\n%s", ex.id, body)
+		body, err := runExperiment(ex, suite, o.timeout)
+		if err != nil {
+			// Containment: report the failed section in place — cause, seed
+			// context, thread states if the error carries them — and keep
+			// reproducing the rest.
+			fmt.Fprintf(stdout, "\n--- %s ---\nFAILED: %v\n", ex.id, err)
+			failures = append(failures, failure{ex.id, err})
+			continue
+		}
+		fmt.Fprintf(stdout, "\n--- %s ---\n%s", ex.id, body)
 		rows = append(rows, benchRow{
 			ID:        ex.id,
 			Seconds:   time.Since(t0).Seconds(),
@@ -173,7 +287,7 @@ func main() {
 	}
 	total := time.Since(start)
 
-	if *benchPath != "" {
+	if o.benchPath != "" {
 		st := suite.E.Stats()
 		rep := benchReport{
 			Parallel:       st.Workers,
@@ -187,14 +301,68 @@ func main() {
 			rep.EventsPerSec = float64(st.Events) / s
 		}
 		buf, err := json.MarshalIndent(rep, "", "  ")
-		fail(err)
-		fail(os.WriteFile(*benchPath, append(buf, '\n'), 0o644))
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		if err := os.WriteFile(o.benchPath, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
 		// Report on stderr so stdout stays byte-comparable across runs.
-		fmt.Fprintf(os.Stderr, "wrote %s (%d jobs, %d deduped, %.0f events/s)\n",
-			*benchPath, rep.JobsExecuted, rep.JobsDeduped, rep.EventsPerSec)
+		fmt.Fprintf(stderr, "wrote %s (%d jobs, %d deduped, %.0f events/s)\n",
+			o.benchPath, rep.JobsExecuted, rep.JobsDeduped, rep.EventsPerSec)
 	}
 
-	fmt.Printf("\nreproduced all experiments in %.1fs (host time)\n", total.Seconds())
+	if len(failures) > 0 {
+		fmt.Fprintf(stdout, "\nfailures:\n")
+		for _, f := range failures {
+			fmt.Fprintf(stdout, "  %s: %v\n", f.id, f.err)
+		}
+		fmt.Fprintf(stdout, "\nreproduced with %d failed experiment(s) in %.1fs (host time)\n", len(failures), total.Seconds())
+		return 1
+	}
+	fmt.Fprintf(stdout, "\nreproduced all experiments in %.1fs (host time)\n", total.Seconds())
+	return 0
+}
+
+// runExperiment executes one section with panic containment and an optional
+// host wall-clock budget. On timeout the experiment's goroutine is abandoned
+// (simulated machines have no preemption point to cancel at); it finishes in
+// the background while the remaining sections proceed, which can delay
+// process exit but never corrupts other sections' results — machines are
+// private per job and output is rendered from this call's return value only.
+func runExperiment(ex experiment, s *experiments.Suite, timeout time.Duration) (string, error) {
+	type outcome struct {
+		body string
+		err  error
+	}
+	res := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				if err, ok := p.(error); ok {
+					res <- outcome{err: fmt.Errorf("experiment panicked: %w", err)}
+				} else {
+					res <- outcome{err: fmt.Errorf("experiment panicked: %v", p)}
+				}
+			}
+		}()
+		body, err := ex.run(s)
+		res <- outcome{body, err}
+	}()
+	if timeout <= 0 {
+		o := <-res
+		return o.body, o.err
+	}
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case o := <-res:
+		return o.body, o.err
+	case <-t.C:
+		return "", fmt.Errorf("host wall-clock budget exceeded (%v)", timeout)
+	}
 }
 
 // parseOnly turns "E1, e3,A2" into a selector set; empty input selects all.
@@ -209,11 +377,4 @@ func parseOnly(s string) map[string]bool {
 		}
 	}
 	return sel
-}
-
-func fail(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
 }

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// These tests drive the whole tool in-process through run(). They must not
+// run in parallel with each other: run() may install process-wide
+// sim.RunDefaults (restored on return).
+
+// TestRunSubsetSucceeds is the plain path: a fast subset reproduces cleanly,
+// exit code 0, section headers present, success footer intact.
+func TestRunSubsetSucceeds(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run(options{only: "A3", benchPath: ""}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errOut.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "--- ablation: lockset elision ---") {
+		t.Fatalf("missing section header:\n%s", s)
+	}
+	if !strings.Contains(s, "reproduced all experiments in") {
+		t.Fatalf("missing success footer:\n%s", s)
+	}
+}
+
+// TestRunUnknownOnly checks usage errors: an unknown selector is a distinct
+// exit code with the valid ids listed, and nothing runs.
+func TestRunUnknownOnly(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run(options{only: "E99", benchPath: ""}, &out, &errOut)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown experiment") {
+		t.Fatalf("stderr: %s", errOut.String())
+	}
+	if out.Len() != 0 {
+		t.Fatalf("unexpected stdout: %s", out.String())
+	}
+}
+
+// TestRunCycleBudgetContainment is the graceful-degradation contract at the
+// CLI level: an impossibly small virtual-cycle budget fails each selected
+// experiment in place — typed stall message with per-thread states — while
+// the run completes, lists the failures, and exits non-zero.
+func TestRunCycleBudgetContainment(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run(options{only: "E9,A3", benchPath: "", maxCycles: 100_000}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, errOut.String())
+	}
+	s := out.String()
+	if got := strings.Count(s, "FAILED:"); got != 2 {
+		t.Fatalf("FAILED sections = %d, want 2 (one per selected experiment):\n%s", got, s)
+	}
+	for _, want := range []string{
+		"virtual-cycle budget of 100000 exceeded",
+		"state=running",
+		"failures:",
+		"reproduced with 2 failed experiment(s) in",
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "reproduced all experiments") {
+		t.Fatalf("success footer printed despite failures:\n%s", s)
+	}
+}
+
+// TestRunChaosDeterministic checks the -chaos contract: same seed, same
+// stdout (the host-time footer excepted — it is compared structurally).
+func TestRunChaosDeterministic(t *testing.T) {
+	render := func(seed int64) string {
+		var out, errOut strings.Builder
+		code := run(options{only: "A3", benchPath: "", chaosSet: true, chaosSeed: seed}, &out, &errOut)
+		if code != 0 {
+			t.Fatalf("chaos run exit = %d: %s%s", code, out.String(), errOut.String())
+		}
+		s := out.String()
+		if !strings.Contains(s, "chaos: fault injection enabled (seed") {
+			t.Fatalf("missing chaos banner:\n%s", s)
+		}
+		// Strip the wall-clock footer before comparing.
+		i := strings.LastIndex(s, "\nreproduced all experiments in")
+		return s[:i]
+	}
+	a := render(7)
+	b := render(7)
+	if a != b {
+		t.Fatalf("same chaos seed produced different output:\n%s\n---\n%s", a, b)
+	}
+}
+
+// TestRunTimeout checks the host wall-clock budget: a budget no experiment
+// can meet fails the section with a timeout cause and a non-zero exit.
+func TestRunTimeout(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run(options{only: "E2", benchPath: "", timeout: time.Nanosecond}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(out.String(), "host wall-clock budget exceeded") {
+		t.Fatalf("missing timeout cause:\n%s", out.String())
+	}
+}

@@ -34,7 +34,9 @@ func main() {
 				c[htm.Explicit], c[htm.LockBusy], r.Fallbacks)
 		}
 	case *retries:
-		fmt.Print(experiments.RetrySweep([]int{1, 2, 3, 4, 5, 6, 8, 10}).Render())
+		f, err := experiments.RetrySweep([]int{1, 2, 3, 4, 5, 6, 8, 10})
+		fail(err)
+		fmt.Print(f.Render())
 	case *aborts:
 		t, err := experiments.Table1()
 		fail(err)

@@ -18,8 +18,18 @@ type AdaptiveCoarsener struct {
 	Sys *tm.System
 	// Min and Max bound the granularity (defaults 1 and 32).
 	Min, Max int
+	// FailStreakFloor, when non-zero, is a robustness guard: after this many
+	// consecutive failed-speculation regions the thread's granularity is
+	// pinned to Min until a region commits cleanly again. Halving alone
+	// converges to Min anyway, but under sustained disturbance (fault
+	// injection, interrupt storms) the additive increase after each lucky
+	// commit keeps re-inflating the batch and re-feeding the abort storm;
+	// the floor breaks that oscillation. Zero (the default) disables the
+	// guard and preserves the paper's plain AIMD behavior.
+	FailStreakFloor int
 
-	gran [64]int // per-thread current granularity (threads never share)
+	gran   [64]int // per-thread current granularity (threads never share)
+	streak [64]int // per-thread consecutive failed-speculation regions
 }
 
 // NewAdaptiveCoarsener creates a coarsener over the TSX system sys.
@@ -69,9 +79,17 @@ func (a *AdaptiveCoarsener) Do(c *sim.Context, n int, item func(tx tm.Tx, i int)
 					a.gran[id] = a.Min
 				}
 			}
-		} else if gran < a.Max {
-			// Additive increase on a clean first-try commit.
-			a.gran[id] = gran + 1
+			a.streak[id]++
+			if a.FailStreakFloor > 0 && a.streak[id] >= a.FailStreakFloor {
+				a.gran[id] = a.Min
+			}
+		} else {
+			// A clean first-try commit ends any failure streak (and with it
+			// the FailStreakFloor pin); additive increase resumes.
+			a.streak[id] = 0
+			if gran < a.Max {
+				a.gran[id] = gran + 1
+			}
 		}
 		start = end
 	}

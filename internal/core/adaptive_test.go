@@ -108,6 +108,51 @@ func TestAdaptiveCoarsenerShrinksUnderConflicts(t *testing.T) {
 	}
 }
 
+// TestAdaptiveFailStreakFloorPins checks the robustness guard: after
+// FailStreakFloor consecutive failed regions, granularity is pinned straight
+// to Min — plain halving would still be several steps above it — and a clean
+// commit afterwards lifts the pin so the additive increase resumes. The test
+// is single-threaded and forces failures deterministically via capacity
+// aborts: each item writes 10 lines that all map to one cache set, evicting
+// a written line every region.
+func TestAdaptiveFailStreakFloorPins(t *testing.T) {
+	m := sim.New(sim.DefaultConfig())
+	sys := tm.NewSystem(m, tm.TSX)
+	priv := m.Mem.AllocLine(8)
+	// 10 lines, 4096-byte stride: all in cache set 0 of the 64-set, 8-way L1.
+	overflow := m.Mem.AllocLine(10 * 4096)
+	var afterStreak, afterClean int
+	m.Run(1, func(c *sim.Context) {
+		ac := NewAdaptiveCoarsener(sys)
+		ac.FailStreakFloor = 3
+		// Inflate granularity to Max with clean singleton-line regions.
+		ac.Do(c, 600, func(tx tm.Tx, i int) {
+			tx.Store(priv, tx.Load(priv)+1)
+		})
+		if g := ac.Gran(c.ID()); g != ac.Max {
+			t.Errorf("gran = %d after clean inflation, want Max=%d", g, ac.Max)
+		}
+		// Exactly 3 failing regions (32+16+8 items as the halving bites).
+		ac.Do(c, 56, func(tx tm.Tx, i int) {
+			for k := 0; k < 10; k++ {
+				tx.Store(overflow+sim.Addr(k*4096), uint64(i))
+			}
+		})
+		afterStreak = ac.Gran(c.ID())
+		// Clean regions again: the pin must lift and growth resume.
+		ac.Do(c, 8, func(tx tm.Tx, i int) {
+			tx.Store(priv, tx.Load(priv)+1)
+		})
+		afterClean = ac.Gran(c.ID())
+	})
+	if afterStreak != 1 {
+		t.Errorf("gran = %d after a 3-region failure streak, want pinned to Min=1 (plain halving would give 4)", afterStreak)
+	}
+	if afterClean <= 1 {
+		t.Errorf("gran = %d after clean commits, want growth to resume", afterClean)
+	}
+}
+
 // TestAdaptiveTracksBestStatic is the Section 5.4.3 payoff: without any
 // tuning, the adaptive coarsener must stay within 20% of the best static
 // granularity at BOTH one thread (where coarse wins) and eight threads

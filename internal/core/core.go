@@ -77,6 +77,12 @@ func ElideSet(rt *htm.Runtime, c *sim.Context, locks []*ssync.Mutex, maxRetries 
 			}
 		case htm.Conflict:
 			c.Compute(uint64(c.Rand.Int63n(int64(16*(attempt+1)))) + 1)
+		case htm.Spurious:
+			// Injected environmental abort: always retryable, backed off
+			// exponentially (bounded) so a disturbance burst cannot consume
+			// the whole retry budget. Unreachable — and RNG-silent — unless
+			// fault injection is active.
+			c.Compute(uint64(c.Rand.Int63n(tm.SpuriousBackoffMax(attempt))) + 1)
 		}
 	}
 	rt.Stats.Fallback++

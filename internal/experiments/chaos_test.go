@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"testing"
+
+	"tsxhpc/internal/faults"
+	"tsxhpc/internal/htm"
+	"tsxhpc/internal/sim"
+	"tsxhpc/internal/stamp"
+	"tsxhpc/internal/tm"
+)
+
+// withChaos installs process-wide fault injection for the duration of a test
+// body and restores the clean defaults afterwards. Tests using it must not
+// be parallel: sim.RunDefaults is process-global by design (it is how
+// cmd/reproduce's -chaos flag reaches internally constructed machines).
+func withChaos(t *testing.T, d sim.RunDefaults, body func()) {
+	t.Helper()
+	sim.SetRunDefaults(d)
+	defer sim.SetRunDefaults(sim.RunDefaults{})
+	body()
+}
+
+// TestStampUnderChaosValidates runs real STAMP workloads end-to-end with the
+// full Chaos fault profile active on every machine they build: each workload
+// must still pass its own semantic validation (the faults may slow execution
+// and force fallbacks, never corrupt results), and the tsx runs must show
+// the injected Spurious aborts actually reaching the elision policy.
+func TestStampUnderChaosValidates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-workload chaos sweep; skipped with -short")
+	}
+	withChaos(t, sim.RunDefaults{Faults: faults.Chaos(1), StallCycles: 200_000_000}, func() {
+		spurious := uint64(0)
+		for _, name := range []string{"kmeans", "vacation", "ssca2"} {
+			for _, mode := range []tm.Mode{tm.SGL, tm.TL2, tm.TSX} {
+				r, err := stamp.Execute(name, mode, 4)
+				if err != nil {
+					t.Fatalf("%s/%v under chaos: %v", name, mode, err)
+				}
+				spurious += r.AbortCauses[htm.Spurious]
+			}
+		}
+		if spurious == 0 {
+			t.Fatal("chaos profile injected no spurious aborts across the tsx runs")
+		}
+	})
+}
+
+// TestChaosSameSeedSameResults is the reproducibility half of the chaos
+// contract at the experiment layer: with one seed, two full executions of
+// the same workload produce identical Results — cycles, abort rates, cause
+// breakdowns — because each machine re-derives the same fault schedule.
+func TestChaosSameSeedSameResults(t *testing.T) {
+	run := func() stamp.Result {
+		var r stamp.Result
+		withChaos(t, sim.RunDefaults{Faults: faults.Chaos(9), StallCycles: 200_000_000}, func() {
+			var err error
+			r, err = stamp.Execute("intruder", tm.TSX, 8)
+			if err != nil {
+				t.Fatalf("intruder under chaos: %v", err)
+			}
+		})
+		return r
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same chaos seed diverged:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+// TestChaosCycleBudgetSurfacesAsError checks the budget containment path
+// below the runner: a virtual-cycle budget far too small for the workload
+// panics as a typed *sim.StallError inside m.Run, which stamp.Execute's
+// caller (the runner) would contain — here we observe it directly.
+func TestChaosCycleBudgetSurfacesAsError(t *testing.T) {
+	withChaos(t, sim.RunDefaults{MaxCycles: 10_000}, func() {
+		defer func() {
+			p := recover()
+			if p == nil {
+				t.Fatal("no stall surfaced under a 10k-cycle budget")
+			}
+			se, ok := p.(*sim.StallError)
+			if !ok {
+				t.Fatalf("panic = %T(%v), want *sim.StallError", p, p)
+			}
+			if se.Kind != sim.StallCycleBudget || se.Limit != 10_000 {
+				t.Fatalf("stall = %+v, want cycle-budget kind with limit 10000", se)
+			}
+		}()
+		stamp.Execute("kmeans", tm.TSX, 4)
+	})
+}

@@ -53,19 +53,21 @@ var Default = NewSuite(0)
 
 // Package-level wrappers preserve the original API on the Default suite.
 
-func Figure1() *harness.Figure                   { return Default.Figure1() }
-func Figure2() (*harness.Table, error)           { return Default.Figure2() }
-func Table1() (*harness.Table, error)            { return Default.Table1() }
-func Figure3() (*harness.Table, error)           { return Default.Figure3() }
-func Figure4() (*harness.Table, float64, error)  { return Default.Figure4() }
-func Figure5a() (*harness.Figure, error)         { return Default.Figure5a() }
-func Figure5b() (*harness.Figure, error)         { return Default.Figure5b() }
-func Figure6() (*harness.Table, float64, error)  { return Default.Figure6() }
-func RetrySweep(budgets []int) *harness.Figure   { return Default.RetrySweep(budgets) }
-func HTCapacityAblation() *harness.Table         { return Default.HTCapacityAblation() }
-func ConflictWiringAblation() *harness.Figure    { return Default.ConflictWiringAblation() }
-func AdaptiveCoarseningAblation() *harness.Table { return Default.AdaptiveCoarseningAblation() }
-func LocksetAblation() *harness.Table            { return Default.LocksetAblation() }
+func Figure1() (*harness.Figure, error)                 { return Default.Figure1() }
+func Figure2() (*harness.Table, error)                  { return Default.Figure2() }
+func Table1() (*harness.Table, error)                   { return Default.Table1() }
+func Figure3() (*harness.Table, error)                  { return Default.Figure3() }
+func Figure4() (*harness.Table, float64, error)         { return Default.Figure4() }
+func Figure5a() (*harness.Figure, error)                { return Default.Figure5a() }
+func Figure5b() (*harness.Figure, error)                { return Default.Figure5b() }
+func Figure6() (*harness.Table, float64, error)         { return Default.Figure6() }
+func RetrySweep(budgets []int) (*harness.Figure, error) { return Default.RetrySweep(budgets) }
+func HTCapacityAblation() (*harness.Table, error)       { return Default.HTCapacityAblation() }
+func ConflictWiringAblation() (*harness.Figure, error)  { return Default.ConflictWiringAblation() }
+func AdaptiveCoarseningAblation() (*harness.Table, error) {
+	return Default.AdaptiveCoarseningAblation()
+}
+func LocksetAblation() (*harness.Table, error) { return Default.LocksetAblation() }
 
 // simCell is the result of an experiment-local simulation job: the headline
 // cycle count, an experiment-specific metric, and the simulated event count
@@ -78,16 +80,6 @@ type simCell struct {
 
 // SimEvents reports the simulated event count (runner.Eventer).
 func (r simCell) SimEvents() uint64 { return r.Events }
-
-// mustWait collects a future from a job that cannot fail (its body returns
-// no error); a panic inside the job surfaces here, as it would serially.
-func mustWait[T any](f runner.Future[T]) T {
-	v, err := f.Wait()
-	if err != nil {
-		panic(err)
-	}
-	return v
-}
 
 // Cell submitters. Keys fully determine the simulation, so equal keys from
 // different experiments share one run.
@@ -130,7 +122,7 @@ func (s *Suite) clompCell(scatters int, scheme clomp.Scheme, threads int) runner
 // Figure1 reproduces the CLOMP-TM characterization: speedup over serial at
 // 4 threads (Hyper-Threading off) for the five synchronization schemes
 // across scatter counts.
-func (s *Suite) Figure1() *harness.Figure {
+func (s *Suite) Figure1() (*harness.Figure, error) {
 	scatters := []int{1, 2, 3, 4, 6, 8, 12, 16}
 	refs := make([]runner.Future[clomp.Result], len(scatters))
 	cells := make(map[clomp.Scheme][]runner.Future[clomp.Result])
@@ -150,13 +142,19 @@ func (s *Suite) Figure1() *harness.Figure {
 	for _, sch := range clomp.Schemes {
 		series := harness.Series{Name: sch.String()}
 		for i := range scatters {
-			ref := mustWait(refs[i])
-			r := mustWait(cells[sch][i])
+			ref, err := refs[i].Wait()
+			if err != nil {
+				return nil, err
+			}
+			r, err := cells[sch][i].Wait()
+			if err != nil {
+				return nil, err
+			}
 			series.Y = append(series.Y, float64(ref.Cycles)/float64(r.Cycles))
 		}
 		fig.Series = append(fig.Series, series)
 	}
-	return fig
+	return fig, nil
 }
 
 // Figure2 reproduces the STAMP execution times, normalized to sgl at one
@@ -420,7 +418,7 @@ func (s *Suite) Figure6() (*harness.Table, float64, error) {
 // the lock ("for our hardware and workloads, 5 gave the best overall
 // performance"). The sweep measures a contended mixed workload across
 // retry budgets.
-func (s *Suite) RetrySweep(budgets []int) *harness.Figure {
+func (s *Suite) RetrySweep(budgets []int) (*harness.Figure, error) {
 	futs := make([]runner.Future[simCell], len(budgets))
 	for i, budget := range budgets {
 		budget := budget
@@ -458,17 +456,21 @@ func (s *Suite) RetrySweep(budgets []int) *harness.Figure {
 	}
 	series := harness.Series{Name: "kilocycles"}
 	for i := range budgets {
-		series.Y = append(series.Y, float64(mustWait(futs[i]).Cycles)/1000)
+		r, err := futs[i].Wait()
+		if err != nil {
+			return nil, err
+		}
+		series.Y = append(series.Y, float64(r.Cycles)/1000)
 	}
 	fig.Series = append(fig.Series, series)
-	return fig
+	return fig, nil
 }
 
 // HTCapacityAblation quantifies the Hyper-Threading capacity observation of
 // Table 1 directly: the same medium-footprint transaction mix runs with 4
 // threads on 4 cores versus 8 threads on 4 cores, and with HT the effective
 // per-thread L1 capacity halves and abort rates jump.
-func (s *Suite) HTCapacityAblation() *harness.Table {
+func (s *Suite) HTCapacityAblation() (*harness.Table, error) {
 	threadCounts := []int{1, 2, 4, 8}
 	futs := make([]runner.Future[simCell], len(threadCounts))
 	for i, th := range threadCounts {
@@ -499,15 +501,19 @@ func (s *Suite) HTCapacityAblation() *harness.Table {
 		Head:  []string{"threads", "abort %"},
 	}
 	for i, th := range threadCounts {
-		t.Rows = append(t.Rows, []string{fmt.Sprint(th), fmt.Sprintf("%.0f", mustWait(futs[i]).Value)})
+		r, err := futs[i].Wait()
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{fmt.Sprint(th), fmt.Sprintf("%.0f", r.Value)})
 	}
-	return t
+	return t, nil
 }
 
 // ConflictWiringAblation sweeps CLOMP-TM's cross-partition wiring
 // percentage, showing abort rates rising with real data conflicts (the
 // suite's conflict-probability knob).
-func (s *Suite) ConflictWiringAblation() *harness.Figure {
+func (s *Suite) ConflictWiringAblation() (*harness.Figure, error) {
 	pcts := []int{0, 10, 25, 50, 80}
 	futs := make([]runner.Future[clomp.Result], len(pcts))
 	for i, pct := range pcts {
@@ -531,11 +537,15 @@ func (s *Suite) ConflictWiringAblation() *harness.Figure {
 	}
 	series := harness.Series{Name: "abort %"}
 	for i, pct := range pcts {
+		r, err := futs[i].Wait()
+		if err != nil {
+			return nil, err
+		}
 		fig.XTicks = append(fig.XTicks, fmt.Sprint(pct))
-		series.Y = append(series.Y, mustWait(futs[i]).AbortRate)
+		series.Y = append(series.Y, r.AbortRate)
 	}
 	fig.Series = append(fig.Series, series)
-	return fig
+	return fig, nil
 }
 
 // AdaptiveCoarseningAblation evaluates the Section 5.4.3 future-work
@@ -543,7 +553,7 @@ func (s *Suite) ConflictWiringAblation() *harness.Figure {
 // run with each static granularity and with AIMD-adaptive granularity, at 1
 // and 8 threads. The adaptive runtime should track the best static choice
 // at both ends of the Figure 5 inflection without tuning.
-func (s *Suite) AdaptiveCoarseningAblation() *harness.Table {
+func (s *Suite) AdaptiveCoarseningAblation() (*harness.Table, error) {
 	kernel := func(threads int, adaptive bool, gran int) runner.Future[simCell] {
 		key := runner.Key(fmt.Sprintf("adaptive/%dT/adaptive=%t/gran%d", threads, adaptive, gran))
 		return runner.Submit(s.E, key, func() (simCell, error) {
@@ -587,17 +597,21 @@ func (s *Suite) AdaptiveCoarseningAblation() *harness.Table {
 	for i, th := range threadCounts {
 		row := []string{fmt.Sprint(th)}
 		for _, f := range futs[i] {
-			row = append(row, fmt.Sprintf("%d", mustWait(f).Cycles/1000))
+			r, err := f.Wait()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%d", r.Cycles/1000))
 		}
 		t.Rows = append(t.Rows, row)
 	}
-	return t
+	return t, nil
 }
 
 // LocksetAblation measures lockset elision in isolation: acquiring a pair
 // of fine-grained locks per critical section versus one transactional
 // begin, on uncontended data (Section 5.2.1's overhead argument).
-func (s *Suite) LocksetAblation() *harness.Table {
+func (s *Suite) LocksetAblation() (*harness.Table, error) {
 	const ops = 2000
 	pair := runner.Submit(s.E, "lockset/pair", func() (simCell, error) {
 		m := sim.New(sim.DefaultConfig())
@@ -633,7 +647,15 @@ func (s *Suite) LocksetAblation() *harness.Table {
 		Title: "Lockset elision ablation — cycles per pair-locked critical section",
 		Head:  []string{"scheme", "cycles/op"},
 	}
-	t.Rows = append(t.Rows, []string{"two locks", fmt.Sprintf("%.0f", float64(mustWait(pair).Cycles)/ops)})
-	t.Rows = append(t.Rows, []string{"lockset elision", fmt.Sprintf("%.0f", float64(mustWait(elide).Cycles)/ops)})
-	return t
+	pr, err := pair.Wait()
+	if err != nil {
+		return nil, err
+	}
+	er, err := elide.Wait()
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = append(t.Rows, []string{"two locks", fmt.Sprintf("%.0f", float64(pr.Cycles)/ops)})
+	t.Rows = append(t.Rows, []string{"lockset elision", fmt.Sprintf("%.0f", float64(er.Cycles)/ops)})
+	return t, nil
 }

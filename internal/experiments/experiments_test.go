@@ -10,7 +10,10 @@ import (
 // rendered output of the sweeping ones via their building blocks.
 
 func TestFigure1RendersAllSchemes(t *testing.T) {
-	fig := Figure1()
+	fig, err := Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
 	out := fig.Render()
 	for _, want := range []string{"Small Atomic", "Small Critical", "Large Critical", "Small TM", "Large TM"} {
 		if !strings.Contains(out, want) {
@@ -23,7 +26,10 @@ func TestFigure1RendersAllSchemes(t *testing.T) {
 }
 
 func TestRetrySweepShape(t *testing.T) {
-	fig := RetrySweep([]int{1, 6})
+	fig, err := RetrySweep([]int{1, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ys := fig.Series[0].Y
 	if len(ys) != 2 || ys[0] <= 0 || ys[1] <= 0 {
 		t.Fatalf("retry sweep malformed: %v", ys)
@@ -36,7 +42,10 @@ func TestRetrySweepShape(t *testing.T) {
 }
 
 func TestHTCapacityAblationMonotone(t *testing.T) {
-	tab := HTCapacityAblation()
+	tab, err := HTCapacityAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tab.Rows) != 4 {
 		t.Fatalf("rows = %d", len(tab.Rows))
 	}
@@ -47,7 +56,10 @@ func TestHTCapacityAblationMonotone(t *testing.T) {
 }
 
 func TestConflictWiringAblationRises(t *testing.T) {
-	fig := ConflictWiringAblation()
+	fig, err := ConflictWiringAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
 	ys := fig.Series[0].Y
 	if ys[0] > 2 {
 		t.Fatalf("0%% cross wiring should give ~0 aborts, got %v", ys[0])
@@ -63,7 +75,10 @@ func TestConflictWiringAblationRises(t *testing.T) {
 }
 
 func TestLocksetAblationElisionWins(t *testing.T) {
-	tab := LocksetAblation()
+	tab, err := LocksetAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tab.Rows) != 2 {
 		t.Fatalf("rows = %v", tab.Rows)
 	}
@@ -75,7 +90,10 @@ func TestLocksetAblationElisionWins(t *testing.T) {
 }
 
 func TestAdaptiveCoarseningAblation(t *testing.T) {
-	tab := AdaptiveCoarseningAblation()
+	tab, err := AdaptiveCoarseningAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tab.Rows) != 2 || len(tab.Rows[0]) != 5 {
 		t.Fatalf("malformed table: %v", tab.Rows)
 	}
@@ -127,13 +145,21 @@ func TestCellsSimulateAtMostOnce(t *testing.T) {
 func TestRenderedOutputIndependentOfParallelism(t *testing.T) {
 	render := func(s *Suite) string {
 		var b strings.Builder
-		b.WriteString(s.Figure1().Render())
+		f1, err := s.Figure1()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.WriteString(f1.Render())
 		f5b, err := s.Figure5b()
 		if err != nil {
 			t.Fatal(err)
 		}
 		b.WriteString(f5b.Render())
-		b.WriteString(s.RetrySweep([]int{1, 4}).Render())
+		rs, err := s.RetrySweep([]int{1, 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.WriteString(rs.Render())
 		return b.String()
 	}
 	serial := render(NewSuite(1))

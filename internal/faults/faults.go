@@ -1,0 +1,226 @@
+// Package faults is the deterministic fault-injection subsystem: a
+// seed-driven disturbance generator wired into a simulated machine's hooks.
+// It models the environmental noise a real TSX machine suffers — interrupts
+// and TLB shootdowns that abort transactions for no data reason, interfering
+// processes trashing the L1, a descheduled lock holder stretching its
+// critical section, timing wander — without giving up reproducibility: every
+// disturbance is drawn from a per-machine PRNG seeded from Config.Seed, and
+// the machine remains a closed serial system, so two runs with the same seed
+// produce byte-identical results regardless of host parallelism.
+//
+// Wiring: Config implements sim.FaultPlan, so it can be placed in a
+// sim.Config (or installed process-wide via sim.SetRunDefaults, which is how
+// cmd/reproduce's -chaos flag reaches every machine the experiments build).
+// sim.New then calls Attach, which creates one private Injector per machine
+// and installs it into the machine's TickHook and HoldStretchHook; the
+// spurious-abort path goes through the SpuriousAbortHook that package htm
+// installs on its own machines.
+package faults
+
+import (
+	"math/rand"
+
+	"tsxhpc/internal/sim"
+)
+
+// Config selects which fault classes to inject and how hard. The zero value
+// injects nothing. Rates are expressed per million virtual cycles (the
+// machine-wide event streams) or per mille per event (the lock-release
+// stream); each stream draws interarrival gaps uniformly in [1, 2·mean], so
+// the configured rate is the long-run mean while individual gaps vary.
+type Config struct {
+	// Seed seeds every machine's private disturbance PRNG. Two runs with
+	// equal Config produce identical fault schedules.
+	Seed int64
+
+	// SpuriousAbortPerMillion is the rate of environmental transaction
+	// aborts (interrupt/TLB-shootdown model) per million cycles. An event
+	// landing on a thread outside a transaction is a no-op (the interrupt
+	// hit ordinary code). Spurious aborts are always may-retry.
+	SpuriousAbortPerMillion int
+
+	// EvictStormPerMillion is the rate of cache-trashing bursts per million
+	// cycles; each storm force-evicts up to StormLines randomly chosen lines
+	// from the running core's L1, firing the normal eviction hooks (capacity
+	// aborts for written transactional lines, read-set demotion for read
+	// ones).
+	EvictStormPerMillion int
+	// StormLines is how many eviction attempts one storm makes (default 32
+	// when a storm rate is set).
+	StormLines int
+
+	// HoldStretchPerMille is the per-release probability (in 1/1000) that a
+	// lock holder is "descheduled" just before releasing: the release is
+	// delayed by HoldStretchCycles while the lock word stays set, widening
+	// the LockBusy window for eliding transactions and parked waiters.
+	HoldStretchPerMille int
+	// HoldStretchCycles is the extra hold time per stretched release.
+	HoldStretchCycles uint64
+
+	// JitterPerMillion is the rate of virtual-clock jitter events per
+	// million cycles; each adds a uniform [1, JitterCycles] penalty to the
+	// charge it lands on, perturbing interleavings without any semantic
+	// effect.
+	JitterPerMillion int
+	// JitterCycles is the maximum penalty of one jitter event.
+	JitterCycles uint64
+}
+
+// Chaos is the standard stress profile used by `cmd/reproduce -chaos <seed>`
+// and the chaos test suite: all four fault classes on at rates high enough
+// to exercise every abort/fallback/watchdog path in seconds of virtual time,
+// low enough that workloads still complete.
+func Chaos(seed int64) Config {
+	return Config{
+		Seed:                    seed,
+		SpuriousAbortPerMillion: 200,
+		EvictStormPerMillion:    20,
+		StormLines:              32,
+		HoldStretchPerMille:     100,
+		HoldStretchCycles:       2000,
+		JitterPerMillion:        1000,
+		JitterCycles:            64,
+	}
+}
+
+// Attach implements sim.FaultPlan: it wires a fresh Injector (with its own
+// PRNG) into machine m. Each machine gets a private injector so concurrent
+// experiment jobs never share PRNG state — determinism survives any host
+// parallelism.
+func (cfg Config) Attach(m *sim.Machine) {
+	NewInjector(cfg).Attach(m)
+}
+
+// Stats counts the disturbances an injector actually delivered.
+type Stats struct {
+	SpuriousAborts uint64 // spurious-abort events landing inside a transaction
+	SpuriousMisses uint64 // spurious-abort events landing outside any transaction
+	Storms         uint64 // eviction storms delivered
+	StormEvictions uint64 // lines actually evicted by storms
+	HoldStretches  uint64 // lock releases delayed
+	JitterEvents   uint64 // clock-jitter penalties applied
+	JitterCycles   uint64 // total penalty cycles added
+}
+
+// Injector delivers one machine's fault schedule. Create one per machine
+// (Config.Attach does this); sharing an injector between machines would
+// entangle their PRNG streams and break per-machine determinism.
+type Injector struct {
+	cfg Config
+	m   *sim.Machine
+	rng *rand.Rand
+
+	// Countdowns to the next event of each stream, in virtual cycles.
+	spuriousIn uint64
+	stormIn    uint64
+	jitterIn   uint64
+
+	Stats Stats
+}
+
+// NewInjector creates an unattached injector for cfg. Tests use this form to
+// keep a handle on Stats; production wiring goes through Config.Attach.
+func NewInjector(cfg Config) *Injector {
+	in := &Injector{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	if cfg.StormLines == 0 {
+		in.cfg.StormLines = 32
+	}
+	if cfg.JitterCycles == 0 {
+		in.cfg.JitterCycles = 64
+	}
+	if cfg.HoldStretchCycles == 0 {
+		in.cfg.HoldStretchCycles = 2000
+	}
+	if cfg.SpuriousAbortPerMillion > 0 {
+		in.spuriousIn = in.gap(cfg.SpuriousAbortPerMillion)
+	}
+	if cfg.EvictStormPerMillion > 0 {
+		in.stormIn = in.gap(cfg.EvictStormPerMillion)
+	}
+	if cfg.JitterPerMillion > 0 {
+		in.jitterIn = in.gap(cfg.JitterPerMillion)
+	}
+	return in
+}
+
+// Attach installs the injector into m's hooks. One machine per injector.
+func (in *Injector) Attach(m *sim.Machine) {
+	in.m = m
+	c := in.cfg
+	if c.SpuriousAbortPerMillion > 0 || c.EvictStormPerMillion > 0 || c.JitterPerMillion > 0 {
+		m.TickHook = in.tick
+	}
+	if c.HoldStretchPerMille > 0 {
+		m.HoldStretchHook = in.holdStretch
+	}
+}
+
+// gap draws the next interarrival time for a perMillion-rate stream:
+// uniform in [1, 2·mean] cycles, mean = 1e6/perMillion.
+func (in *Injector) gap(perMillion int) uint64 {
+	mean := int64(1_000_000 / perMillion)
+	if mean < 1 {
+		mean = 1
+	}
+	return uint64(in.rng.Int63n(2*mean)) + 1
+}
+
+// tick is the machine's TickHook: called on every virtual-clock charge with
+// the running context and the cycles about to elapse. It advances each event
+// stream's countdown and delivers at most one event per stream per charge
+// (a charge spanning several due events coalesces them — acceptable, since
+// charges are small relative to interarrival gaps at sane rates). Returns
+// extra cycles to add to the charge (clock jitter).
+func (in *Injector) tick(c *sim.Context, cyc uint64) uint64 {
+	cfg := &in.cfg
+	var extra uint64
+	if cfg.SpuriousAbortPerMillion > 0 {
+		if in.spuriousIn <= cyc {
+			in.spuriousIn = in.gap(cfg.SpuriousAbortPerMillion)
+			// The disturbance hits whichever thread the clock is charging.
+			// Outside a transaction an interrupt is harmless; inside, the
+			// htm-installed hook dooms the transaction with a may-retry
+			// Spurious abort.
+			if h := in.m.SpuriousAbortHook; h != nil && c.InTxn {
+				in.Stats.SpuriousAborts++
+				h(c)
+			} else {
+				in.Stats.SpuriousMisses++
+			}
+		} else {
+			in.spuriousIn -= cyc
+		}
+	}
+	if cfg.EvictStormPerMillion > 0 {
+		if in.stormIn <= cyc {
+			in.stormIn = in.gap(cfg.EvictStormPerMillion)
+			in.Stats.Storms++
+			in.Stats.StormEvictions += uint64(in.m.EvictStorm(c, cfg.StormLines, in.rng.Intn))
+		} else {
+			in.stormIn -= cyc
+		}
+	}
+	if cfg.JitterPerMillion > 0 {
+		if in.jitterIn <= cyc {
+			in.jitterIn = in.gap(cfg.JitterPerMillion)
+			pen := uint64(in.rng.Int63n(int64(cfg.JitterCycles))) + 1
+			in.Stats.JitterEvents++
+			in.Stats.JitterCycles += pen
+			extra += pen
+		} else {
+			in.jitterIn -= cyc
+		}
+	}
+	return extra
+}
+
+// holdStretch is the machine's HoldStretchHook: with probability
+// HoldStretchPerMille/1000 per lock release, the holder is "descheduled" for
+// HoldStretchCycles before the lock word clears.
+func (in *Injector) holdStretch(c *sim.Context) uint64 {
+	if in.rng.Intn(1000) >= in.cfg.HoldStretchPerMille {
+		return 0
+	}
+	in.Stats.HoldStretches++
+	return in.cfg.HoldStretchCycles
+}

@@ -1,0 +1,209 @@
+package faults
+
+import (
+	"testing"
+
+	"tsxhpc/internal/htm"
+	"tsxhpc/internal/sim"
+	"tsxhpc/internal/ssync"
+	"tsxhpc/internal/tm"
+)
+
+// elisionCounterRun executes the canonical contended workload — threads
+// incrementing one shared counter under an elided global lock — on a machine
+// carrying the given fault plan, and returns (final count, cycles, system).
+func elisionCounterRun(t *testing.T, plan sim.FaultPlan, threads, incsPerThread int) (uint64, uint64, *tm.System) {
+	t.Helper()
+	cfg := sim.DefaultConfig()
+	cfg.Faults = plan
+	cfg.StallCycles = 50_000_000 // watchdog armed: a livelock fails the test as a stall, not a timeout
+	m := sim.New(cfg)
+	sys := tm.NewSystem(m, tm.TSX)
+	a := m.Mem.AllocLine(8)
+	res, err := m.RunE(threads, func(c *sim.Context) {
+		for i := 0; i < incsPerThread; i++ {
+			sys.Atomic(c, func(tx tm.Tx) {
+				tx.Store(a, tx.Load(a)+1)
+			})
+		}
+	})
+	if err != nil {
+		t.Fatalf("workload stalled under fault injection: %v", err)
+	}
+	return m.Mem.ReadRaw(a), res.Cycles, sys
+}
+
+// TestSpuriousAbortsTerminateCorrectly is the headline acceptance check: at
+// an abort probability of 10⁻³ per cycle — the highest rate the issue calls
+// for — every transaction either retries to success or falls back to the
+// lock, so the workload terminates with the exact count.
+func TestSpuriousAbortsTerminateCorrectly(t *testing.T) {
+	const threads, incs = 8, 400
+	plan := Config{Seed: 7, SpuriousAbortPerMillion: 1000}
+	count, _, sys := elisionCounterRun(t, plan, threads, incs)
+	if want := uint64(threads * incs); count != want {
+		t.Fatalf("count = %d, want %d", count, want)
+	}
+	if got := sys.HTM.Stats.Aborts[htm.Spurious]; got == 0 {
+		t.Fatalf("no spurious aborts recorded at 1e-3/cycle over %d increments", threads*incs)
+	}
+}
+
+// TestSameSeedSameSchedule checks reproducibility: two runs with an equal
+// fault Config produce identical cycle counts and identical abort
+// statistics, and a different seed produces a different schedule.
+func TestSameSeedSameSchedule(t *testing.T) {
+	run := func(seed int64) (uint64, htm.Stats) {
+		_, cyc, sys := elisionCounterRun(t, Chaos(seed), 8, 200)
+		return cyc, sys.HTM.Stats
+	}
+	cycA, statsA := run(42)
+	cycB, statsB := run(42)
+	if cycA != cycB || statsA != statsB {
+		t.Fatalf("same seed diverged: cycles %d vs %d, stats %+v vs %+v", cycA, cycB, statsA, statsB)
+	}
+	cycC, _ := run(43)
+	if cycC == cycA {
+		t.Fatalf("different seeds produced identical cycle counts (%d); injector seed appears unused", cycA)
+	}
+}
+
+// TestFaultsOffIsIdentity checks the byte-identity prerequisite at the
+// machine level: a zero Config attaches no hooks, so a faulted-config run
+// with all rates zero matches a plain run cycle for cycle.
+func TestFaultsOffIsIdentity(t *testing.T) {
+	_, plain, _ := elisionCounterRun(t, nil, 8, 200)
+	_, zeroed, _ := elisionCounterRun(t, Config{Seed: 99}, 8, 200)
+	if plain != zeroed {
+		t.Fatalf("zero-rate fault config changed timing: %d vs %d cycles", plain, zeroed)
+	}
+}
+
+// TestEvictStormsCauseCapacityAborts drives storms hard against a workload
+// with a real write set and checks the storm path reaches the htm layer:
+// forced evictions of written transactional lines must surface as capacity
+// aborts, yet the workload still completes exactly.
+func TestEvictStormsCauseCapacityAborts(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	in := NewInjector(Config{Seed: 3, EvictStormPerMillion: 500, StormLines: 64})
+	cfg.Faults = planFunc(in.Attach)
+	cfg.StallCycles = 50_000_000
+	m := sim.New(cfg)
+	sys := tm.NewSystem(m, tm.TSX)
+	const threads, incs, words = 4, 200, 16
+	arr := m.Mem.AllocArray(words*threads, sim.LineSize)
+	res, err := m.RunE(threads, func(c *sim.Context) {
+		base := arr + sim.Addr(c.ID()*words*sim.LineSize)
+		for i := 0; i < incs; i++ {
+			sys.Atomic(c, func(tx tm.Tx) {
+				for w := 0; w < words; w++ {
+					a := base + sim.Addr(w*sim.LineSize)
+					tx.Store(a, tx.Load(a)+1)
+				}
+			})
+		}
+	})
+	if err != nil {
+		t.Fatalf("storm workload stalled: %v", err)
+	}
+	_ = res
+	if in.Stats.Storms == 0 || in.Stats.StormEvictions == 0 {
+		t.Fatalf("no storms delivered: %+v", in.Stats)
+	}
+	if got := sys.HTM.Stats.Aborts[htm.Capacity]; got == 0 {
+		t.Fatalf("storms evicted %d lines but caused no capacity aborts", in.Stats.StormEvictions)
+	}
+	for id := 0; id < threads; id++ {
+		a := arr + sim.Addr(id*words*sim.LineSize)
+		if got := m.Mem.ReadRaw(a); got != incs {
+			t.Fatalf("thread %d word 0 = %d, want %d", id, got, incs)
+		}
+	}
+}
+
+// TestHoldStretchWidensLockWindow forces every fallback release to stretch
+// and checks both that stretches are delivered and that they cost virtual
+// time: the stretched run must be slower than the unstretched one on a pure
+// lock workload.
+func TestHoldStretchWidensLockWindow(t *testing.T) {
+	run := func(perMille int) (uint64, *Injector) {
+		cfg := sim.DefaultConfig()
+		in := NewInjector(Config{Seed: 5, HoldStretchPerMille: perMille, HoldStretchCycles: 5000})
+		cfg.Faults = planFunc(in.Attach)
+		cfg.StallCycles = 50_000_000
+		m := sim.New(cfg)
+		mu := ssync.NewMutex(m.Mem)
+		a := m.Mem.AllocLine(8)
+		res, err := m.RunE(4, func(c *sim.Context) {
+			for i := 0; i < 300; i++ {
+				mu.Lock(c)
+				c.Store(a, c.Load(a)+1)
+				mu.Unlock(c)
+			}
+		})
+		if err != nil {
+			t.Fatalf("lock workload stalled: %v", err)
+		}
+		return res.Cycles, in
+	}
+	fast, _ := run(0)
+	slow, in := run(1000)
+	if in.Stats.HoldStretches == 0 {
+		t.Fatal("no hold stretches delivered at per-mille 1000")
+	}
+	if slow <= fast {
+		t.Fatalf("stretched run not slower: %d vs %d cycles", slow, fast)
+	}
+}
+
+// TestJitterPerturbsTimingNotResults checks the weakest disturbance: clock
+// jitter must change the cycle count but never the computed result.
+func TestJitterPerturbsTimingNotResults(t *testing.T) {
+	plain, plainCyc, _ := elisionCounterRun(t, nil, 4, 200)
+	jit, jitCyc, _ := elisionCounterRun(t, Config{Seed: 11, JitterPerMillion: 2000, JitterCycles: 32}, 4, 200)
+	if plain != jit {
+		t.Fatalf("jitter changed the result: %d vs %d", plain, jit)
+	}
+	if jitCyc <= plainCyc {
+		t.Fatalf("jitter added no virtual time: %d vs %d cycles", jitCyc, plainCyc)
+	}
+}
+
+// TestChaosProfileFullWorkload runs the combined Chaos profile — all fault
+// classes at once — and requires exact results plus evidence that the
+// spurious, storm, and stretch paths all fired.
+func TestChaosProfileFullWorkload(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	in := NewInjector(Chaos(1))
+	cfg.Faults = planFunc(in.Attach)
+	cfg.StallCycles = 50_000_000
+	m := sim.New(cfg)
+	sys := tm.NewSystem(m, tm.TSX)
+	a := m.Mem.AllocLine(8)
+	const threads, incs = 8, 500
+	_, err := m.RunE(threads, func(c *sim.Context) {
+		for i := 0; i < incs; i++ {
+			sys.Atomic(c, func(tx tm.Tx) {
+				tx.Store(a, tx.Load(a)+1)
+			})
+		}
+	})
+	if err != nil {
+		t.Fatalf("chaos workload stalled: %v", err)
+	}
+	if got, want := m.Mem.ReadRaw(a), uint64(threads*incs); got != want {
+		t.Fatalf("count = %d, want %d", got, want)
+	}
+	if in.Stats.SpuriousAborts+in.Stats.SpuriousMisses == 0 {
+		t.Errorf("chaos profile delivered no spurious events: %+v", in.Stats)
+	}
+	if in.Stats.JitterEvents == 0 {
+		t.Errorf("chaos profile delivered no jitter: %+v", in.Stats)
+	}
+}
+
+// planFunc adapts a func to sim.FaultPlan so tests can attach a
+// pre-constructed Injector (keeping a handle on its Stats).
+type planFunc func(m *sim.Machine)
+
+func (f planFunc) Attach(m *sim.Machine) { f(m) }

@@ -1,0 +1,105 @@
+package htm
+
+import (
+	"math/rand"
+	"testing"
+
+	"tsxhpc/internal/sim"
+)
+
+// TestBloomNeverForgets is the Bloom filter's one hard guarantee, stated as
+// a randomized property: over many independently drawn read sets (any size,
+// any address pattern), membership of an added line is NEVER denied. False
+// positives are allowed — they cost a spurious conflict abort — but a false
+// negative would let a real conflict commit, a correctness bug.
+func TestBloomNeverForgets(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 2000; trial++ {
+		var b bloom
+		n := 1 + rng.Intn(600) // up to well past the 256-bit filter's saturation
+		lines := make([]sim.Addr, n)
+		for i := range lines {
+			// Line-aligned addresses across a 1 GB range, plus adversarial
+			// low-entropy patterns every few trials.
+			switch trial % 4 {
+			case 0:
+				lines[i] = sim.Addr(rng.Int63n(1<<30)) &^ (sim.LineSize - 1)
+			case 1:
+				lines[i] = sim.Addr(i * 4096) // one cache set, page stride
+			case 2:
+				lines[i] = sim.Addr(i * sim.LineSize) // dense sequential
+			default:
+				lines[i] = sim.Addr((i * i * sim.LineSize) % (1 << 28))
+			}
+			b.add(lines[i])
+		}
+		for _, l := range lines {
+			if !b.has(l) {
+				t.Fatalf("trial %d: bloom denies line %#x out of %d added (false negative)", trial, l, n)
+			}
+		}
+	}
+}
+
+// FuzzBloomNoFalseNegatives lets the fuzzer hunt for an address multiset
+// that the hash mixing loses. Bytes are consumed eight at a time as raw
+// addresses (masked to line alignment); every added address must test
+// positive afterwards.
+func FuzzBloomNoFalseNegatives(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{0xff, 0xee, 0xdd, 0xcc, 0xbb, 0xaa, 0x99, 0x88, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var b bloom
+		var lines []sim.Addr
+		for i := 0; i+8 <= len(data) && len(lines) < 1024; i += 8 {
+			var x uint64
+			for k := 0; k < 8; k++ {
+				x = x<<8 | uint64(data[i+k])
+			}
+			l := sim.Addr(x) &^ (sim.LineSize - 1)
+			lines = append(lines, l)
+			b.add(l)
+		}
+		for _, l := range lines {
+			if !b.has(l) {
+				t.Fatalf("false negative for %#x", l)
+			}
+		}
+	})
+}
+
+// TestEvictedReadLineConflictAlwaysAborts is the end-to-end form of the
+// no-false-negative property: with the probabilistic read-evict abort
+// disabled (so demotion to the secondary structure is the ONLY mechanism in
+// play), a transaction whose read line was evicted from L1 must still abort
+// when another thread truly writes that line — for every line of the
+// overflowed set, not just a lucky one.
+func TestEvictedReadLineConflictAlwaysAborts(t *testing.T) {
+	const overflowReads = 12 // > 8 ways: the first reads' lines are evicted
+	for victim := 0; victim < overflowReads; victim++ {
+		cfg := sim.DefaultConfig()
+		cfg.Costs.ReadEvictAbortPerMille = 0
+		m := sim.New(cfg)
+		r := New(m)
+		base := m.Mem.AllocLine(16 * 4096)
+		target := base + sim.Addr(victim*4096)
+		var cause AbortCause
+		m.Run(2, func(c *sim.Context) {
+			if c.ID() == 0 {
+				cause, _ = r.Try(c, func(tx *Txn) {
+					for i := 0; i < overflowReads; i++ {
+						tx.Load(base + sim.Addr(i*4096)) // one set, page stride
+					}
+					tx.Ctx().Compute(8000) // window for the remote write
+					tx.Load(base + 8)      // touch to notice the doom
+				})
+				return
+			}
+			c.Compute(3000)
+			c.Store(target, 1)
+		})
+		if cause != Conflict {
+			t.Fatalf("victim line %d: cause = %v, want Conflict (evicted read line must stay conflict-tracked)", victim, cause)
+		}
+	}
+}

@@ -53,6 +53,12 @@ const (
 	// LockBusy: the elided lock was observed held at transaction start
 	// (software convention used by lock-elision wrappers).
 	LockBusy
+	// Spurious: an injected environmental abort — an interrupt or TLB
+	// shootdown landing mid-transaction (package faults drives it through
+	// the machine's SpuriousAbortHook). Spurious aborts are always
+	// may-retry: the disturbance is transient, so the elision wrappers
+	// back off and retry rather than falling straight back to the lock.
+	Spurious
 	// NumCauses is the number of distinct abort causes.
 	NumCauses
 )
@@ -72,6 +78,8 @@ func (c AbortCause) String() string {
 		return "explicit"
 	case LockBusy:
 		return "lock-busy"
+	case Spurious:
+		return "spurious"
 	}
 	return fmt.Sprintf("cause(%d)", int(c))
 }
@@ -124,7 +132,7 @@ type Runtime struct {
 	nTxns  int
 	lines  map[sim.Addr]*lineTrack
 	ltFree []*lineTrack // recycled lineTracks (one is born per newly tracked line)
-	ovf    uint16 // bitmask of thread ids whose read set overflowed to Bloom
+	ovf    uint16       // bitmask of thread ids whose read set overflowed to Bloom
 	Stats  Stats
 }
 
@@ -140,6 +148,7 @@ func New(m *sim.Machine) *Runtime {
 	m.ConflictHook = r.conflictHook
 	m.EvictHook = r.evictHook
 	m.SyscallHook = r.syscallHook
+	m.SpuriousAbortHook = r.spuriousHook
 	return r
 }
 
@@ -283,6 +292,7 @@ func (t *Txn) Commit() {
 	}
 	t.cleanup()
 	t.rt.Stats.Commits++
+	t.ctx.Progress() // a commit is global forward progress (livelock watchdog)
 }
 
 // Free releases a block of simulated memory at commit time. If the
@@ -440,6 +450,15 @@ func (r *Runtime) evictHook(owner *sim.Context, line sim.Addr, wasWrite bool) {
 		}
 		t.bloom.add(line)
 		r.ovf |= bit
+	}
+}
+
+// spuriousHook dooms the caller's in-flight transaction (if any) with the
+// may-retry Spurious cause — the model of an interrupt or TLB shootdown.
+// Fault injection invokes it through the machine's SpuriousAbortHook.
+func (r *Runtime) spuriousHook(c *sim.Context) {
+	if t := r.active[c.ID()]; t != nil {
+		r.doom(t, Spurious, false)
 	}
 }
 

@@ -380,3 +380,35 @@ func TestBloomProperties(t *testing.T) {
 		t.Fatal("empty bloom claims membership")
 	}
 }
+
+// TestSpuriousAbortHook checks the fault-injection entry point New installs
+// on its machine: firing the hook mid-transaction aborts with the Spurious
+// cause and the may-retry hint (an environmental disturbance says nothing
+// about the transaction itself), and firing it with no transaction active is
+// a harmless no-op.
+func TestSpuriousAbortHook(t *testing.T) {
+	m, r := mach()
+	if m.SpuriousAbortHook == nil {
+		t.Fatal("New did not install SpuriousAbortHook")
+	}
+	var cause AbortCause
+	var noRetry bool
+	m.Run(1, func(c *sim.Context) {
+		m.SpuriousAbortHook(c) // outside any transaction: must not panic
+		cause, noRetry = r.Try(c, func(tx *Txn) {
+			tx.Load(tx.Ctx().Machine().Mem.AllocLine(8))
+			m.SpuriousAbortHook(c)
+			tx.Ctx().Compute(10) // notice the doom at the next timed access
+			tx.Load(tx.Ctx().Machine().Mem.AllocLine(8))
+		})
+	})
+	if cause != Spurious {
+		t.Fatalf("cause = %v, want Spurious", cause)
+	}
+	if noRetry {
+		t.Fatal("spurious abort hinted no-retry; it must always be retryable")
+	}
+	if r.Stats.Aborts[Spurious] != 1 {
+		t.Fatalf("Aborts[Spurious] = %d, want 1", r.Stats.Aborts[Spurious])
+	}
+}

@@ -116,7 +116,15 @@ func Submit[T any](e *Engine, key Key, fn func() (T, error)) Future[T] {
 		e.sem <- struct{}{} // acquire a worker slot
 		defer func() {
 			if p := recover(); p != nil {
-				j.err = fmt.Errorf("runner: job %q panicked: %v", key, p)
+				// Containment: one panicking job becomes one failed future;
+				// workers and every other job keep running. Error panics
+				// (e.g. *sim.StallError from a livelock watchdog) are wrapped
+				// so errors.As still reaches the typed cause.
+				if err, ok := p.(error); ok {
+					j.err = fmt.Errorf("runner: job %q panicked: %w", key, err)
+				} else {
+					j.err = fmt.Errorf("runner: job %q panicked: %v", key, p)
+				}
 			}
 			if j.events != 0 {
 				e.mu.Lock()

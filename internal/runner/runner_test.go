@@ -3,9 +3,12 @@ package runner
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
+
+	"tsxhpc/internal/sim"
 )
 
 // TestMemoization is the run-at-most-once guarantee: many submissions of one
@@ -108,6 +111,61 @@ func TestErrorsAndPanicsPropagate(t *testing.T) {
 	}
 	if _, err := Do(e, "panics", func() (int, error) { panic("sim deadlock") }); err == nil {
 		t.Fatal("panicking job returned nil error")
+	}
+}
+
+// TestStallContainment is the graceful-degradation contract: of eight
+// submitted experiment jobs, one drives its simulated machine into a real
+// deadlock (threads blocked with no waker). That job's future must fail with
+// an error chain reaching the typed *sim.StallError — thread-state dump and
+// all — while the other seven complete normally and collect in fixed
+// submission order.
+func TestStallContainment(t *testing.T) {
+	e := New(4)
+	var futs []Future[int]
+	for i := 0; i < 8; i++ {
+		i := i
+		futs = append(futs, Submit(e, Key(fmt.Sprintf("exp/%d", i)), func() (int, error) {
+			if i == 3 {
+				m := sim.New(sim.DefaultConfig())
+				m.Run(2, func(c *sim.Context) {
+					c.Block() // nobody ever wakes anybody: deadlock
+				})
+			}
+			return i * 10, nil
+		}))
+	}
+	var got []int
+	var jobErr error
+	for i, f := range futs {
+		v, err := f.Wait()
+		if i == 3 {
+			jobErr = err
+			continue
+		}
+		if err != nil {
+			t.Fatalf("healthy job %d failed: %v", i, err)
+		}
+		got = append(got, v)
+	}
+	want := []int{0, 10, 20, 40, 50, 60, 70}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fixed-order results = %v, want %v", got, want)
+		}
+	}
+	if jobErr == nil {
+		t.Fatal("deadlocked job returned nil error")
+	}
+	var stall *sim.StallError
+	if !errors.As(jobErr, &stall) {
+		t.Fatalf("error chain does not reach *sim.StallError: %v", jobErr)
+	}
+	if stall.Kind != sim.StallDeadlock || len(stall.Threads) != 2 {
+		t.Fatalf("stall = kind %v with %d thread states, want deadlock with 2", stall.Kind, len(stall.Threads))
+	}
+	if !strings.Contains(jobErr.Error(), "state=blocked") {
+		t.Fatalf("thread-state dump missing from contained error: %v", jobErr)
 	}
 }
 

@@ -192,26 +192,59 @@ func (c *Cache) install(line Addr) int {
 	if s[victim].valid {
 		c.stats.Evictions++
 	}
-	if v := &s[victim]; v.rmask|v.wmask != 0 && c.m.EvictHook != nil {
-		coreID := c.id
-		for slot := 0; slot < 8; slot++ {
-			bit := uint8(1) << uint(slot)
-			if v.wmask&bit != 0 {
-				if owner := c.m.ctxFor(coreID, slot); owner != nil {
-					c.m.EvictHook(owner, v.tag, true)
-				}
-			} else if v.rmask&bit != 0 {
-				if owner := c.m.ctxFor(coreID, slot); owner != nil {
-					c.m.EvictHook(owner, v.tag, false)
-				}
-			}
-		}
-	}
+	c.fireEvictHook(&s[victim])
 place:
 	s[victim] = cline{tag: line, valid: true}
 	c.tags[setOf(line)][victim] = line
 	c.mru[setOf(line)] = uint8(victim)
 	return victim
+}
+
+// fireEvictHook notifies package htm about the transactional marks carried
+// by a line leaving the cache: written lines cause capacity aborts, read
+// lines demote to the secondary tracking structure.
+func (c *Cache) fireEvictHook(v *cline) {
+	if v.rmask|v.wmask == 0 || c.m.EvictHook == nil {
+		return
+	}
+	coreID := c.id
+	for slot := 0; slot < 8; slot++ {
+		bit := uint8(1) << uint(slot)
+		if v.wmask&bit != 0 {
+			if owner := c.m.ctxFor(coreID, slot); owner != nil {
+				c.m.EvictHook(owner, v.tag, true)
+			}
+		} else if v.rmask&bit != 0 {
+			if owner := c.m.ctxFor(coreID, slot); owner != nil {
+				c.m.EvictHook(owner, v.tag, false)
+			}
+		}
+	}
+}
+
+// EvictStorm forcibly evicts up to n randomly chosen valid lines from c's
+// core L1, firing the usual eviction hooks (capacity aborts, read-set
+// demotion) for any transactional marks they carry. pick(k) must return a
+// value in [0,k); fault injection supplies its deterministic PRNG. The
+// return value is how many lines were actually evicted (random picks may
+// land on invalid ways). This models the capacity pressure of an interfering
+// process or kernel activity trashing the cache mid-run.
+func (m *Machine) EvictStorm(c *Context, n int, pick func(k int) int) int {
+	cache := m.caches[c.core]
+	evicted := 0
+	for i := 0; i < n; i++ {
+		set, way := pick(cacheSets), pick(cacheWays)
+		ln := &cache.sets[set][way]
+		if !ln.valid {
+			continue
+		}
+		cache.fireEvictHook(ln)
+		cache.stats.Evictions++
+		*ln = cline{}
+		cache.tags[set][way] = 0
+		evicted++
+	}
+	return evicted
 }
 
 // ClearTxMarks removes the transactional marks context ctx holds on line in

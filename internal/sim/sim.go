@@ -23,7 +23,7 @@ package sim
 import (
 	"fmt"
 	"math/rand"
-	"sort"
+	"sync/atomic"
 )
 
 // Addr is a simulated byte address. Shared mutable state that participates
@@ -50,12 +50,59 @@ type Config struct {
 	// if ThreadsPerCore is 2 (used by the CLOMP-TM experiment, which the
 	// paper runs with Hyper-Threading disabled).
 	DisableHT bool
+
+	// MaxCycles, when nonzero, is a hard per-Run virtual-cycle budget: any
+	// thread's clock passing it raises a *StallError (StallCycleBudget)
+	// instead of letting a runaway region simulate forever.
+	MaxCycles uint64
+	// StallCycles, when nonzero, arms the livelock/starvation watchdog: if
+	// no global progress event (transaction commit, lock acquisition, thread
+	// completion — see Context.Progress) occurs within this many virtual
+	// cycles, the run raises a *StallError (StallLivelock) carrying the
+	// per-thread state dump.
+	StallCycles uint64
+	// Faults, when non-nil, is attached to the machine at creation time.
+	// Package faults implements it with a deterministic, seed-driven
+	// injector; nil means no fault injection and zero overhead.
+	Faults FaultPlan
 }
 
+// FaultPlan is a fault-injection recipe that wires itself into a machine's
+// hooks (TickHook, HoldStretchHook, the htm-installed SpuriousAbortHook).
+// It lives in Config so injection composes with every construction path.
+type FaultPlan interface {
+	Attach(m *Machine)
+}
+
+// RunDefaults are process-wide robustness defaults folded into every
+// DefaultConfig call: the chaos fault plan and the cycle budgets. They exist
+// so command-line tools can arm fault injection and watchdogs for every
+// machine the workload packages construct internally. Set them once before
+// launching simulation jobs (the value is read atomically, so concurrent
+// jobs are race-free either way).
+type RunDefaults struct {
+	Faults      FaultPlan
+	MaxCycles   uint64
+	StallCycles uint64
+}
+
+var runDefaults atomic.Pointer[RunDefaults]
+
+// SetRunDefaults installs process-wide defaults merged into DefaultConfig.
+// Passing the zero value restores the no-faults, no-budget behavior.
+func SetRunDefaults(d RunDefaults) { runDefaults.Store(&d) }
+
 // DefaultConfig returns the machine used throughout the paper: 4 cores x
-// 2 HyperThreads, 32 KB 8-way L1D.
+// 2 HyperThreads, 32 KB 8-way L1D — plus any process-wide RunDefaults
+// (fault plan, cycle budgets).
 func DefaultConfig() Config {
-	return Config{Cores: 4, ThreadsPerCore: 2, Costs: DefaultCosts(), Seed: 1}
+	cfg := Config{Cores: 4, ThreadsPerCore: 2, Costs: DefaultCosts(), Seed: 1}
+	if d := runDefaults.Load(); d != nil {
+		cfg.Faults = d.Faults
+		cfg.MaxCycles = d.MaxCycles
+		cfg.StallCycles = d.StallCycles
+	}
+	return cfg
 }
 
 type ctxState uint8
@@ -82,6 +129,19 @@ type Machine struct {
 	done   chan any // nil on completion; a panic value on fatal error
 	events uint64   // total timed events, for throughput diagnostics
 
+	// Watchdog state: deadline is the virtual clock at which the run stalls
+	// (MaxUint64 when no budget is armed — a single compare in charge);
+	// progressMark is the clock of the last global progress event.
+	deadline     uint64
+	progressMark uint64
+
+	// Poison-unwind state: after a fatal panic escapes a simulated thread,
+	// the remaining parked threads are resumed one at a time with poisoned
+	// set; each unwinds via a poisonSignal panic and acknowledges on
+	// unwindAck, so no simulated goroutine outlives its Run.
+	poisoned  bool
+	unwindAck chan struct{}
+
 	// ConflictHook, when non-nil, is invoked on every timed memory access
 	// (transactional or not) with the accessed line. Package htm installs it
 	// to perform eager, coherence-style conflict detection against all
@@ -96,6 +156,21 @@ type Machine struct {
 	// Package htm installs it to abort in-flight transactions, modeling
 	// instructions that always abort transactional execution.
 	SyscallHook func(c *Context)
+
+	// TickHook, when non-nil, is consulted on every virtual-clock charge
+	// with the charging context and the cycle amount, and returns extra
+	// cycles to add (clock jitter). Package faults installs it as the event
+	// pump that also schedules spurious aborts and eviction storms.
+	TickHook func(c *Context, cyc uint64) uint64
+	// SpuriousAbortHook, installed by package htm, force-aborts c's
+	// in-flight hardware transaction with a may-retry cause — the model of
+	// an interrupt or TLB shootdown landing mid-transaction. Fault injection
+	// calls it; it is a no-op while c runs no transaction.
+	SpuriousAbortHook func(c *Context)
+	// HoldStretchHook, when non-nil, returns extra cycles a lock release
+	// must burn before handing the lock over (fault injection: stretched
+	// fallback-lock hold times). Package ssync consults it in Unlock.
+	HoldStretchHook func(c *Context) uint64
 }
 
 // New creates a machine with the given configuration.
@@ -109,11 +184,15 @@ func New(cfg Config) *Machine {
 	if cfg.Costs == (Costs{}) {
 		cfg.Costs = DefaultCosts()
 	}
-	m := &Machine{Cfg: cfg, Mem: NewMemory(), done: make(chan any, 1)}
+	m := &Machine{Cfg: cfg, Mem: NewMemory(), done: make(chan any, 1), unwindAck: make(chan struct{})}
 	m.Costs = &m.Cfg.Costs
 	m.caches = make([]*Cache, cfg.Cores)
 	for i := range m.caches {
 		m.caches[i] = newCache(m, i)
+	}
+	m.deadline = ^uint64(0)
+	if cfg.Faults != nil {
+		cfg.Faults.Attach(m)
 	}
 	return m
 }
@@ -210,17 +289,25 @@ func (m *Machine) Run(n int, body func(*Context)) Result {
 			c.sibling.sibling = c
 		}
 	}
+	m.progressMark = 0
+	m.armDeadline()
 	for _, c := range m.ctxs {
 		m.heapPush(c)
 		go func(c *Context) {
-			// Panics inside a simulated thread (including deadlock
-			// diagnostics) are forwarded to the Run caller's goroutine.
+			// Panics inside a simulated thread (stall diagnostics, workload
+			// bugs) are forwarded to the Run caller's goroutine; poison
+			// signals from the post-panic unwind are acknowledged instead.
 			defer func() {
 				if p := recover(); p != nil {
+					c.state = ctxDone
+					if _, ok := p.(poisonSignal); ok {
+						m.unwindAck <- struct{}{}
+						return
+					}
 					m.done <- p
 				}
 			}()
-			<-c.resume
+			c.park()
 			body(c)
 			m.finish(c)
 		}(c)
@@ -230,6 +317,18 @@ func (m *Machine) Run(n int, body func(*Context)) Result {
 	first.state = ctxRunning
 	first.resume <- struct{}{}
 	if p := <-m.done; p != nil {
+		// Unwind the surviving simulated threads one at a time before
+		// re-raising, so no goroutine outlives the failed region. Each
+		// resumed thread panics out of its park point (running cleanup
+		// defers along the way, serially) and acknowledges.
+		m.poisoned = true
+		for _, c := range m.ctxs {
+			if c.state != ctxDone {
+				c.resume <- struct{}{}
+				<-m.unwindAck
+			}
+		}
+		m.poisoned = false
 		panic(p)
 	}
 
@@ -243,10 +342,30 @@ func (m *Machine) Run(n int, body func(*Context)) Result {
 	return res
 }
 
+// RunE is Run with stalls returned as errors: a deadlock, livelock-watchdog
+// or cycle-budget *StallError raised during the region is recovered and
+// returned instead of propagating as a panic. Other panics (genuine program
+// errors) still propagate. After a stall the machine's memory and caches are
+// as the fault left them; callers that continue should treat the machine as
+// diagnostic-only.
+func (m *Machine) RunE(n int, body func(*Context)) (res Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			if se, ok := p.(*StallError); ok {
+				err = se
+				return
+			}
+			panic(p)
+		}
+	}()
+	return m.Run(n, body), nil
+}
+
 // finish retires a context whose body returned and hands the core to the
 // next runnable context, or completes the region.
 func (m *Machine) finish(c *Context) {
 	c.state = ctxDone
+	c.Progress()
 	m.nLive--
 	if len(m.heap) > 0 {
 		next := m.heapPop()
@@ -262,14 +381,63 @@ func (m *Machine) finish(c *Context) {
 }
 
 // deadlock reports an unrecoverable situation: no runnable context remains
-// but unfinished (blocked) contexts exist.
+// but unfinished (blocked) contexts exist. It raises a typed *StallError
+// carrying the per-thread state dump; the runner job engine and RunE convert
+// it into a contained per-experiment error.
 func (m *Machine) deadlock(c *Context) {
-	states := make([]string, 0, len(m.ctxs))
-	for _, x := range m.ctxs {
-		states = append(states, fmt.Sprintf("t%d(core %d): state=%d clock=%d", x.id, x.core, x.state, x.clock))
+	panic(m.newStall(StallDeadlock, c, 0))
+}
+
+// poisonSignal unwinds a parked simulated thread after another thread's
+// fatal panic already ended the region; see Run.
+type poisonSignal struct{}
+
+// park blocks until the scheduler hands this context the core, unwinding
+// immediately if the region was poisoned by a fatal panic meanwhile.
+func (c *Context) park() {
+	<-c.resume
+	if c.m.poisoned {
+		panic(poisonSignal{})
 	}
-	sort.Strings(states)
-	panic(fmt.Sprintf("sim: deadlock — no runnable contexts (last running t%d)\n%v", c.id, states))
+}
+
+// Progress records a global forward-progress event (transaction commit,
+// lock acquisition, thread completion) for the livelock watchdog, resetting
+// its no-progress window. It is a cheap no-op when the watchdog is unarmed.
+func (c *Context) Progress() {
+	m := c.m
+	if m.Cfg.StallCycles == 0 {
+		return
+	}
+	if c.clock > m.progressMark {
+		m.progressMark = c.clock
+		m.armDeadline()
+	}
+}
+
+// armDeadline recomputes the virtual clock at which the run is declared
+// stalled: the hard MaxCycles budget and/or the watchdog window past the
+// last progress event, whichever comes first. MaxUint64 means unarmed, so
+// the hot-path check in charge is a single always-false compare.
+func (m *Machine) armDeadline() {
+	d := ^uint64(0)
+	if m.Cfg.MaxCycles != 0 {
+		d = m.Cfg.MaxCycles
+	}
+	if m.Cfg.StallCycles != 0 {
+		if s := m.progressMark + m.Cfg.StallCycles; s < d {
+			d = s
+		}
+	}
+	m.deadline = d
+}
+
+// onDeadline raises the stall the armed deadline represents.
+func (m *Machine) onDeadline(c *Context) {
+	if m.Cfg.MaxCycles != 0 && c.clock >= m.Cfg.MaxCycles {
+		panic(m.newStall(StallCycleBudget, c, m.Cfg.MaxCycles))
+	}
+	panic(m.newStall(StallLivelock, c, m.Cfg.StallCycles))
 }
 
 // maybeYield hands the core over if some other runnable context is at or
@@ -300,7 +468,7 @@ func (c *Context) maybeYield() {
 	m.heapDown(0)
 	next.state = ctxRunning
 	next.resume <- struct{}{}
-	<-c.resume
+	c.park()
 	c.state = ctxRunning
 }
 
@@ -326,7 +494,7 @@ func (c *Context) Block() {
 	next := m.heapPop()
 	next.state = ctxRunning
 	next.resume <- struct{}{}
-	<-c.resume
+	c.park()
 	c.state = ctxRunning
 }
 
@@ -358,13 +526,21 @@ func (c *Context) consumesCore() bool {
 
 // charge advances the virtual clock by cyc cycles, applying the HyperThread
 // co-residency penalty when the sibling hardware thread is actively
-// consuming the core.
+// consuming the core. The fault-injection tick hook may add jitter cycles,
+// and the stall deadline (deadlock watchdog / cycle budget) is enforced
+// here — a single compare against MaxUint64 when unarmed.
 func (c *Context) charge(cyc uint64) {
+	if h := c.m.TickHook; h != nil {
+		cyc += h(c, cyc)
+	}
 	if c.sibling != nil && c.sibling.consumesCore() {
 		cyc = cyc * uint64(c.m.Costs.HTFactorNum) / uint64(c.m.Costs.HTFactorDen)
 	}
 	c.clock += cyc
 	c.m.events++
+	if c.clock >= c.m.deadline {
+		c.m.onDeadline(c)
+	}
 }
 
 // computeQuantum bounds how many cycles one Compute call charges between

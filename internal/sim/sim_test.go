@@ -1,9 +1,12 @@
 package sim
 
 import (
+	"errors"
+	"runtime"
 	"strings"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestRunSingleThreadCharges(t *testing.T) {
@@ -157,6 +160,10 @@ func TestBlockWake(t *testing.T) {
 	}
 }
 
+// TestDeadlockPanics asserts a deadlocked region raises a typed *StallError
+// whose message preserves the old panic's content: the "deadlock" headline
+// with the last running thread, and the per-thread state dump (thread id,
+// core, state, clock) for every context.
 func TestDeadlockPanics(t *testing.T) {
 	m := New(DefaultConfig())
 	defer func() {
@@ -164,8 +171,26 @@ func TestDeadlockPanics(t *testing.T) {
 		if p == nil {
 			t.Fatal("expected deadlock panic")
 		}
-		if !strings.Contains(p.(string), "deadlock") {
-			t.Fatalf("panic = %v", p)
+		se, ok := p.(*StallError)
+		if !ok {
+			t.Fatalf("panic value is %T, want *StallError: %v", p, p)
+		}
+		if se.Kind != StallDeadlock {
+			t.Fatalf("kind = %q, want %q", se.Kind, StallDeadlock)
+		}
+		msg := se.Error()
+		for _, want := range []string{
+			"deadlock — no runnable contexts",
+			"last running t1",
+			"t0(core 0): state=blocked clock=",
+			"t1(core 1): state=done clock=",
+		} {
+			if !strings.Contains(msg, want) {
+				t.Fatalf("stall message missing %q:\n%s", want, msg)
+			}
+		}
+		if len(se.Threads) != 2 {
+			t.Fatalf("thread states = %d, want 2", len(se.Threads))
 		}
 	}()
 	m.Run(2, func(c *Context) {
@@ -173,6 +198,130 @@ func TestDeadlockPanics(t *testing.T) {
 			c.Block() // nobody will wake us
 		}
 	})
+}
+
+// TestRunEContainsDeadlock asserts RunE converts the stall panic into an
+// error and that the simulated goroutines are fully unwound (no leak).
+func TestRunEContainsDeadlock(t *testing.T) {
+	before := runtime.NumGoroutine()
+	m := New(DefaultConfig())
+	_, err := m.RunE(4, func(c *Context) {
+		if c.ID() != 3 {
+			c.Block() // t3 finishes; t0..t2 park forever
+		}
+	})
+	var se *StallError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *StallError", err)
+	}
+	if se.Kind != StallDeadlock {
+		t.Fatalf("kind = %q", se.Kind)
+	}
+	// The three parked goroutines must have been poison-unwound.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Fatalf("goroutines leaked after stall: %d > %d", n, before)
+	}
+}
+
+// TestLivelockWatchdog asserts the no-progress watchdog converts an
+// infinite spin (clocks advancing, nothing committing) into a livelock
+// StallError at the configured virtual-cycle budget.
+func TestLivelockWatchdog(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.StallCycles = 100_000
+	m := New(cfg)
+	_, err := m.RunE(2, func(c *Context) {
+		for { // spin forever: virtual cycles burn, no progress events
+			c.Compute(100)
+		}
+	})
+	var se *StallError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *StallError", err)
+	}
+	if se.Kind != StallLivelock || se.Limit != cfg.StallCycles {
+		t.Fatalf("got kind=%q limit=%d", se.Kind, se.Limit)
+	}
+}
+
+// TestProgressResetsWatchdog asserts progress events keep a long-running but
+// healthy region alive past the watchdog window.
+func TestProgressResetsWatchdog(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.StallCycles = 10_000
+	m := New(cfg)
+	res, err := m.RunE(1, func(c *Context) {
+		for i := 0; i < 20; i++ {
+			c.Compute(8_000) // under the window each leg...
+			c.Progress()     // ...and progress resets it
+		}
+	})
+	if err != nil {
+		t.Fatalf("healthy region stalled: %v", err)
+	}
+	if res.Cycles != 160_000 {
+		t.Fatalf("cycles = %d", res.Cycles)
+	}
+}
+
+// TestMaxCyclesBudget asserts the hard per-run cycle budget fires even while
+// progress events keep arriving.
+func TestMaxCyclesBudget(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxCycles = 50_000
+	m := New(cfg)
+	_, err := m.RunE(1, func(c *Context) {
+		for {
+			c.Compute(1_000)
+			c.Progress()
+		}
+	})
+	var se *StallError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *StallError", err)
+	}
+	if se.Kind != StallCycleBudget || se.Limit != 50_000 {
+		t.Fatalf("got kind=%q limit=%d", se.Kind, se.Limit)
+	}
+}
+
+// TestEvictStormFiresHooks asserts forced eviction notifies the eviction
+// hook for marked lines and leaves the cache consistent.
+func TestEvictStormFiresHooks(t *testing.T) {
+	m := New(DefaultConfig())
+	var evicted []Addr
+	m.EvictHook = func(owner *Context, line Addr, wasWrite bool) {
+		evicted = append(evicted, line)
+	}
+	a := m.Mem.AllocLine(8 * LineSize)
+	m.Run(1, func(c *Context) {
+		for i := 0; i < 4; i++ {
+			c.TxAccess(a+Addr(i*LineSize), false) // mark 4 lines transactional
+		}
+		seq := 0
+		picks := []int{} // deterministic sweep over all sets/ways
+		for s := 0; s < cacheSets; s++ {
+			for w := 0; w < cacheWays; w++ {
+				picks = append(picks, s, w)
+			}
+		}
+		n := m.EvictStorm(c, cacheSets*cacheWays, func(k int) int {
+			v := picks[seq] % k
+			seq++
+			return v
+		})
+		if n == 0 {
+			t.Error("storm evicted nothing")
+		}
+	})
+	if len(evicted) != 4 {
+		t.Fatalf("evict hook fired for %d lines, want 4 (%v)", len(evicted), evicted)
+	}
 }
 
 func TestMemoryAllocAlignment(t *testing.T) {

@@ -50,7 +50,11 @@ func cas01(c *sim.Context, a sim.Addr) bool {
 func (l *Mutex) TryLock(c *sim.Context) bool {
 	costs := c.Machine().Costs
 	c.Compute(costs.MutexLock - costs.Atomic)
-	return cas01(c, l.Addr)
+	if cas01(c, l.Addr) {
+		c.Progress()
+		return true
+	}
+	return false
 }
 
 // Lock acquires the mutex, spinning briefly and then parking on the futex.
@@ -59,6 +63,7 @@ func (l *Mutex) Lock(c *sim.Context) {
 	c.Compute(costs.MutexLock - costs.Atomic)
 	for spin := 0; ; spin++ {
 		if cas01(c, l.Addr) {
+			c.Progress()
 			return
 		}
 		if spin >= costs.MutexSpinTries {
@@ -72,12 +77,22 @@ func (l *Mutex) Lock(c *sim.Context) {
 	l.waiters = append(l.waiters, c)
 	c.Compute(costs.FutexBlock)
 	c.Block()
+	// Ownership was handed over by Unlock while we were parked.
+	c.Progress()
 }
 
 // Unlock releases the mutex, handing ownership to the oldest parked waiter
 // if any (charging the futex wake latency to the waiter's resume time).
 func (l *Mutex) Unlock(c *sim.Context) {
 	costs := c.Machine().Costs
+	if h := c.Machine().HoldStretchHook; h != nil {
+		// Fault injection may stretch the critical section: extra cycles are
+		// burned while the lock word is still set, lengthening the window in
+		// which eliding transactions see LockBusy and waiters stay parked.
+		if extra := h(c); extra != 0 {
+			c.Compute(extra)
+		}
+	}
 	if len(l.waiters) > 0 {
 		w := l.waiters[0]
 		l.waiters = l.waiters[1:]
@@ -106,6 +121,7 @@ func (l *SpinLock) Lock(c *sim.Context) {
 	for {
 		// Test-and-test-and-set: spin on a plain read, then attempt the RMW.
 		if c.Load(l.Addr) == 0 && cas01(c, l.Addr) {
+			c.Progress()
 			return
 		}
 		c.Compute(costs.MutexSpin)
@@ -117,7 +133,11 @@ func (l *SpinLock) TryLock(c *sim.Context) bool {
 	if c.Load(l.Addr) != 0 {
 		return false
 	}
-	return cas01(c, l.Addr)
+	if cas01(c, l.Addr) {
+		c.Progress()
+		return true
+	}
+	return false
 }
 
 // Unlock releases the spinlock.

@@ -195,6 +195,7 @@ func (t *Txn) commit() {
 	}
 	t.commitFrees()
 	t.s.Stats.Commits++
+	c.Progress()
 }
 
 func (t *Txn) commitFrees() {
@@ -203,15 +204,26 @@ func (t *Txn) commitFrees() {
 	}
 }
 
+// tl2MaxAttempts bounds Run's retry loop. TL2 aborts only on real data
+// conflicts, so with randomized exponential backoff some interleaving always
+// commits well before this many attempts; a transaction that genuinely
+// exhausts the budget is livelocked (e.g. under pathological fault
+// injection), and surfacing a typed stall beats spinning forever.
+const tl2MaxAttempts = 1 << 20
+
 // Run executes body as a TL2 transaction, retrying with randomized
 // exponential backoff until it commits. Body must be a re-executable
-// closure.
+// closure. A transaction that fails tl2MaxAttempts times panics with a
+// *sim.StallError (recovered per-experiment by sim.RunE callers).
 func (s *TL2) Run(c *sim.Context, body func(*Txn)) {
 	backoff := uint64(32)
-	for {
+	for attempt := 1; ; attempt++ {
 		committed := s.try(c, body)
 		if committed {
 			return
+		}
+		if attempt >= tl2MaxAttempts {
+			panic(c.NewStall(sim.StallLivelock, tl2MaxAttempts))
 		}
 		c.Compute(uint64(c.Rand.Int63n(int64(backoff))) + 1)
 		if backoff < 8192 {

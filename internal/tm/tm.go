@@ -228,6 +228,14 @@ func (s *System) elide(c *sim.Context, body func(Tx)) {
 		case htm.Conflict:
 			// Brief randomized backoff to break symmetric conflict cycles.
 			c.Compute(uint64(c.Rand.Int63n(int64(16*(attempt+1)))) + 1)
+		case htm.Spurious:
+			// Injected environmental abort (interrupt/TLB shootdown model):
+			// always worth retrying, with bounded exponential backoff so a
+			// burst of disturbances does not burn the whole retry budget
+			// inside the same burst. The budget still bounds total attempts;
+			// exhausting it falls back to the lock, which guarantees
+			// forward progress.
+			c.Compute(uint64(c.Rand.Int63n(SpuriousBackoffMax(attempt))) + 1)
 		}
 	}
 	// Fallback: explicitly acquire the lock. The store to the lock word
@@ -236,6 +244,19 @@ func (s *System) elide(c *sim.Context, body func(Tx)) {
 	s.GLock.Lock(c)
 	s.enter(c, plainTx{c}, body)
 	s.GLock.Unlock(c)
+}
+
+// SpuriousBackoffMax is the bounded exponential backoff ceiling (in cycles)
+// for retry attempt n after a spurious (injected environmental) abort:
+// 32·2ⁿ capped at 4096. Only fault injection produces Spurious aborts, so
+// the branch never executes — and never draws from the thread's RNG — in a
+// faults-off run.
+func SpuriousBackoffMax(attempt int) int64 {
+	max := int64(32) << uint(attempt)
+	if max > 4096 || max <= 0 {
+		max = 4096
+	}
+	return max
 }
 
 // AbortRate returns the transactional abort percentage for the active
