@@ -1,6 +1,8 @@
 // Command apps regenerates the real-world workload results: Figure 4
 // (baseline / tsx.init / tsx.coarsen speedups, default) and the Figure 5
-// conflict-free/granularity comparisons (-fig5a, -fig5b).
+// conflict-free/granularity comparisons (-fig5a, -fig5b). It shares the
+// experiment engine's flags: -parallel, -chaos, -cache (see
+// internal/runopts).
 package main
 
 import (
@@ -8,25 +10,32 @@ import (
 	"fmt"
 	"os"
 
-	"tsxhpc/internal/experiments"
+	"tsxhpc/internal/runopts"
 )
 
 func main() {
+	var o runopts.Options
+	runopts.Register(flag.CommandLine, &o)
 	fig5a := flag.Bool("fig5a", false, "print Figure 5a (histogram: atomic vs privatize vs tsx granularities)")
 	fig5b := flag.Bool("fig5b", false, "print Figure 5b (physicsSolver: mutex vs barrier vs tsx granularities)")
 	flag.Parse()
+	o.Finish(flag.CommandLine)
+
+	suite, _, cleanup := o.Setup(os.Stderr)
+	defer cleanup()
+	o.Banner(os.Stdout)
 
 	switch {
 	case *fig5a:
-		f, err := experiments.Figure5a()
+		f, err := suite.Figure5a()
 		fail(err)
 		fmt.Print(f.Render())
 	case *fig5b:
-		f, err := experiments.Figure5b()
+		f, err := suite.Figure5b()
 		fail(err)
 		fmt.Print(f.Render())
 	default:
-		t, gain, err := experiments.Figure4()
+		t, gain, err := suite.Figure4()
 		fail(err)
 		fmt.Print(t.Render())
 		fmt.Printf("\ntsx.coarsen over baseline at 8 threads (geomean): %.2fx (paper: 1.41x mean)\n", gain)

@@ -1,9 +1,14 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
+
+	"tsxhpc/internal/runopts"
 )
 
 // These tests drive the whole tool in-process through run(). They must not
@@ -49,7 +54,7 @@ func TestRunUnknownOnly(t *testing.T) {
 // the run completes, lists the failures, and exits non-zero.
 func TestRunCycleBudgetContainment(t *testing.T) {
 	var out, errOut strings.Builder
-	code := run(options{only: "E9,A3", benchPath: "", maxCycles: 100_000}, &out, &errOut)
+	code := run(options{Options: runopts.Options{MaxCycles: 100_000}, only: "E9,A3", benchPath: ""}, &out, &errOut)
 	if code != 1 {
 		t.Fatalf("exit = %d, want 1; stderr: %s", code, errOut.String())
 	}
@@ -77,7 +82,7 @@ func TestRunCycleBudgetContainment(t *testing.T) {
 func TestRunChaosDeterministic(t *testing.T) {
 	render := func(seed int64) string {
 		var out, errOut strings.Builder
-		code := run(options{only: "A3", benchPath: "", chaosSet: true, chaosSeed: seed}, &out, &errOut)
+		code := run(options{Options: runopts.Options{ChaosSet: true, ChaosSeed: seed}, only: "A3", benchPath: ""}, &out, &errOut)
 		if code != 0 {
 			t.Fatalf("chaos run exit = %d: %s%s", code, out.String(), errOut.String())
 		}
@@ -93,6 +98,135 @@ func TestRunChaosDeterministic(t *testing.T) {
 	b := render(7)
 	if a != b {
 		t.Fatalf("same chaos seed produced different output:\n%s\n---\n%s", a, b)
+	}
+}
+
+// stripFooter removes the run-variant host-time footer: everything above it
+// is the byte-comparable experiment output.
+func stripFooter(t *testing.T, s string) string {
+	t.Helper()
+	i := strings.LastIndex(s, "\nreproduced all experiments in")
+	if i < 0 {
+		t.Fatalf("missing success footer:\n%s", s)
+	}
+	return s[:i]
+}
+
+func readBench(t *testing.T, path string) benchReport {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestRunWarmColdFullCatalog is the headline cache contract over the whole
+// catalog: a second run against a populated cache simulates nothing — every
+// cell is served from disk — and its stdout is byte-identical to the cold
+// run's, while the bench report records the cold/warm pair with the hit
+// counts.
+func TestRunWarmColdFullCatalog(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full catalog (twice) is too slow for -short")
+	}
+	cache := t.TempDir()
+	bench := filepath.Join(t.TempDir(), "bench.json")
+	do := func() (string, benchReport) {
+		var out, errOut strings.Builder
+		if code := run(options{Options: runopts.Options{Cache: cache}, benchPath: bench}, &out, &errOut); code != 0 {
+			t.Fatalf("exit = %d, stderr: %s", code, errOut.String())
+		}
+		return out.String(), readBench(t, bench)
+	}
+	coldOut, coldRep := do()
+	if coldRep.CacheHits != 0 || coldRep.JobsExecuted == 0 {
+		t.Fatalf("cold run report = %+v, want 0 hits and >0 executed", coldRep)
+	}
+	warmOut, warmRep := do()
+	if stripFooter(t, coldOut) != stripFooter(t, warmOut) {
+		t.Fatal("warm stdout differs from cold stdout")
+	}
+	if warmRep.JobsExecuted != 0 {
+		t.Fatalf("warm run simulated %d cells, want 0", warmRep.JobsExecuted)
+	}
+	if warmRep.CacheHits == 0 || warmRep.CacheMisses != 0 || warmRep.CacheInvalid != 0 {
+		t.Fatalf("warm run cache counts = %d/%d/%d, want all hits",
+			warmRep.CacheHits, warmRep.CacheMisses, warmRep.CacheInvalid)
+	}
+	if warmRep.ColdSeconds != coldRep.ColdSeconds || warmRep.WarmSeconds <= 0 {
+		t.Fatalf("bench did not record the cold/warm pair: cold %.3f→%.3f, warm %.3f",
+			coldRep.ColdSeconds, warmRep.ColdSeconds, warmRep.WarmSeconds)
+	}
+	// Entry decoding is ~three orders of magnitude faster than simulating;
+	// 10x leaves generous headroom for a noisy CI host.
+	if warmRep.WarmSeconds > coldRep.ColdSeconds/10 {
+		t.Fatalf("warm run not >=10x faster: cold %.3fs, warm %.3fs", coldRep.ColdSeconds, warmRep.WarmSeconds)
+	}
+}
+
+// TestRunChaosSeedIsolation: different chaos seeds produce different model
+// fingerprints, so runs never share cache entries — and equal seeds do.
+func TestRunChaosSeedIsolation(t *testing.T) {
+	cache := t.TempDir()
+	benchDir := t.TempDir()
+	do := func(seed int64, name string) benchReport {
+		var out, errOut strings.Builder
+		bench := filepath.Join(benchDir, name)
+		o := options{
+			Options:   runopts.Options{Cache: cache, ChaosSet: true, ChaosSeed: seed},
+			only:      "A3",
+			benchPath: bench,
+			// A partial run: the report is only written because it is forced.
+			benchForce: true,
+		}
+		if code := run(o, &out, &errOut); code != 0 {
+			t.Fatalf("exit = %d, stderr: %s", code, errOut.String())
+		}
+		return readBench(t, bench)
+	}
+	first := do(1, "b1.json")
+	if first.CacheHits != 0 {
+		t.Fatalf("first seed-1 run hit %d entries in an empty cache", first.CacheHits)
+	}
+	other := do(2, "b2.json")
+	if other.CacheHits != 0 {
+		t.Fatalf("seed-2 run shared %d entries with seed 1", other.CacheHits)
+	}
+	if other.Fingerprint == first.Fingerprint {
+		t.Fatal("seeds 1 and 2 share a model fingerprint")
+	}
+	again := do(1, "b3.json")
+	if again.CacheHits == 0 || again.JobsExecuted != 0 {
+		t.Fatalf("repeat seed-1 run did not reuse its entries: %+v", again)
+	}
+}
+
+// TestRunBenchPartialGuard: a -only subset must not clobber the
+// full-catalog bench record unless forced.
+func TestRunBenchPartialGuard(t *testing.T) {
+	bench := filepath.Join(t.TempDir(), "bench.json")
+	var out, errOut strings.Builder
+	if code := run(options{only: "A3", benchPath: bench}, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if _, err := os.Stat(bench); err == nil {
+		t.Fatal("partial run wrote the bench file without -benchforce")
+	}
+	if !strings.Contains(errOut.String(), "partial (-only) run") {
+		t.Fatalf("missing skip note on stderr: %s", errOut.String())
+	}
+	errOut.Reset()
+	if code := run(options{only: "A3", benchPath: bench, benchForce: true}, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	rep := readBench(t, bench)
+	if len(rep.Experiments) != 1 || rep.Experiments[0].ID != "ablation: lockset elision" {
+		t.Fatalf("forced partial report = %+v", rep.Experiments)
 	}
 }
 

@@ -1,17 +1,29 @@
 // Command rmstm regenerates Figure 3: RMS-TM speedups under fine-grained
 // locks, a single global lock, and TSX elision — with native memory
-// management and file I/O inside critical sections.
+// management and file I/O inside critical sections. It shares the
+// experiment engine's flags: -parallel, -chaos, -cache (see
+// internal/runopts).
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
-	"tsxhpc/internal/experiments"
+	"tsxhpc/internal/runopts"
 )
 
 func main() {
-	t, err := experiments.Figure3()
+	var o runopts.Options
+	runopts.Register(flag.CommandLine, &o)
+	flag.Parse()
+	o.Finish(flag.CommandLine)
+
+	suite, _, cleanup := o.Setup(os.Stderr)
+	defer cleanup()
+	o.Banner(os.Stdout)
+
+	t, err := suite.Figure3()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -1,0 +1,182 @@
+package memo
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"hash"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"strings"
+	"sync"
+
+	"tsxhpc/internal/sim"
+)
+
+// ModelFingerprint hashes everything that can change a simulation cell's
+// virtual-cycle result given its key:
+//
+//   - the resolved sim.DefaultConfig() — cost profile, core/HT topology,
+//     RNG seed, and the process-wide run defaults folded into it (fault
+//     plan with its chaos seed and knobs, cycle budgets);
+//   - a fingerprint of the simulator code (CodeFingerprint);
+//   - the store codec schema version.
+//
+// Two processes share cache entries iff their fingerprints match, so a cost
+// table edit, a simulator change, or a different chaos seed each move the
+// store to a fresh namespace automatically. Everything else that
+// distinguishes cells (workload, mode, threads, per-experiment knobs) is in
+// the cell key by the runner's contract.
+//
+// Call it after sim.SetRunDefaults for the run defaults to be captured.
+func ModelFingerprint() (string, error) {
+	code, err := CodeFingerprint()
+	if err != nil {
+		return "", err
+	}
+	return fingerprint(sim.DefaultConfig(), code), nil
+}
+
+// fingerprint combines one resolved machine config with a code fingerprint.
+// %#v renders every cost field and the concrete fault-plan value (chaos
+// knobs included) deterministically.
+func fingerprint(cfg sim.Config, code string) string {
+	h := sha256.Sum256([]byte(fmt.Sprintf("schema=%d\ncode=%s\nmodel=%#v\n", schemaVersion, code, cfg)))
+	return hex.EncodeToString(h[:])[:16]
+}
+
+var codeFP struct {
+	once sync.Once
+	v    string
+	err  error
+}
+
+// CodeFingerprint identifies the simulator build. In order of preference:
+//
+//  1. the VCS revision stamped into the binary, when the tree was clean
+//     ("vcs:<rev>");
+//  2. a hash of every .go source file under the module's internal/ tree
+//     ("src:<hash>") — the dirty-tree and `go run`/`go test` path;
+//  3. a hash of the executable itself ("exe:<hash>") — source tree
+//     unavailable, but the compiled code still invalidates on change.
+//
+// All three are deterministic functions of the code; if none is computable
+// the error tells callers to run without a persistent cache rather than
+// risk serving stale results.
+func CodeFingerprint() (string, error) {
+	codeFP.once.Do(func() { codeFP.v, codeFP.err = computeCodeFingerprint() })
+	return codeFP.v, codeFP.err
+}
+
+func computeCodeFingerprint() (string, error) {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		var rev string
+		modified := true
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				modified = s.Value == "true"
+			}
+		}
+		if rev != "" && !modified {
+			return "vcs:" + rev, nil
+		}
+	}
+	if h, err := sourceHash(); err == nil {
+		return "src:" + h, nil
+	}
+	if exe, err := os.Executable(); err == nil {
+		if h, err := fileHash(exe); err == nil {
+			return "exe:" + h, nil
+		}
+	}
+	return "", errors.New("memo: cannot fingerprint the build (no clean VCS stamp, no source tree, no readable executable); run with the cache off")
+}
+
+// sourceHash hashes every .go file under <module root>/internal, sorted by
+// path, so any simulator edit — including to files not yet compiled into
+// the running test binary's package — changes the fingerprint.
+func sourceHash() (string, error) {
+	root, err := moduleRoot()
+	if err != nil {
+		return "", err
+	}
+	var files []string
+	err = filepath.WalkDir(filepath.Join(root, "internal"), func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(path, ".go") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return "", err
+	}
+	if len(files) == 0 {
+		return "", errors.New("memo: no sources under " + root)
+	}
+	sort.Strings(files)
+	h := sha256.New()
+	for _, f := range files {
+		rel, _ := filepath.Rel(root, f)
+		fmt.Fprintf(h, "%s\n", filepath.ToSlash(rel))
+		if err := hashFileInto(h, f); err != nil {
+			return "", err
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16], nil
+}
+
+// moduleRoot finds the tsxhpc module root by walking up from the working
+// directory and, failing that, from this source file's compile-time path.
+func moduleRoot() (string, error) {
+	var starts []string
+	if wd, err := os.Getwd(); err == nil {
+		starts = append(starts, wd)
+	}
+	if _, file, _, ok := runtime.Caller(0); ok {
+		starts = append(starts, filepath.Dir(file))
+	}
+	for _, start := range starts {
+		for dir := start; ; {
+			if b, err := os.ReadFile(filepath.Join(dir, "go.mod")); err == nil &&
+				strings.HasPrefix(strings.TrimSpace(string(b)), "module tsxhpc") {
+				return dir, nil
+			}
+			parent := filepath.Dir(dir)
+			if parent == dir {
+				break
+			}
+			dir = parent
+		}
+	}
+	return "", errors.New("memo: module root not found")
+}
+
+func hashFileInto(h hash.Hash, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = io.Copy(h, f)
+	return err
+}
+
+func fileHash(path string) (string, error) {
+	h := sha256.New()
+	if err := hashFileInto(h, path); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16], nil
+}

@@ -27,15 +27,64 @@ type Key string
 type Stats struct {
 	// Workers is the host worker-goroutine bound.
 	Workers int
-	// Executed counts jobs actually run (unique keys).
+	// Executed counts jobs actually run (simulated) this process: unique
+	// keys minus persistent-store hits.
 	Executed uint64
-	// Deduped counts submissions served from the memo cache instead of
-	// re-simulating (includes submissions that attached to an in-flight job).
+	// Deduped counts submissions served from the in-process memo table
+	// instead of re-simulating (includes submissions that attached to an
+	// in-flight job).
 	Deduped uint64
 	// Events is the total number of simulated timed events across executed
-	// jobs whose results implement Eventer.
+	// jobs whose results implement Eventer. Persistent-store hits do not
+	// contribute: no simulation ran for them.
 	Events uint64
+
+	// CacheHits counts jobs served from the persistent result store
+	// (runner.Store) instead of being executed.
+	CacheHits uint64
+	// CacheMisses counts jobs the persistent store had no entry for.
+	CacheMisses uint64
+	// CacheInvalid counts persistent-store entries that existed but failed
+	// verification (truncated, corrupt, stale schema); such jobs are
+	// re-executed and the entry rewritten.
+	CacheInvalid uint64
 }
+
+// LoadStatus is the outcome of a Store.Load probe.
+type LoadStatus int
+
+const (
+	// StoreDisabled means no persistent store is configured; the probe is
+	// not counted in Stats.
+	StoreDisabled LoadStatus = iota
+	// StoreHit means out was filled with a fully verified cached result.
+	StoreHit
+	// StoreMiss means the store has no entry for the key.
+	StoreMiss
+	// StoreInvalid means an entry existed but failed verification
+	// (truncated, corrupt checksum, schema or type mismatch). The engine
+	// treats it as a miss and rewrites the entry after re-executing.
+	StoreInvalid
+)
+
+// Store is a persistent, cross-process result cache consulted for every
+// unique key before its job function runs. Load must decode the entry for
+// key into out (a *T for the job's result type T) and report the outcome;
+// Save persists a computed result. Implementations must be safe for
+// concurrent use by multiple worker goroutines, and must only ever return
+// StoreHit for fully verified entries — a corrupt or ambiguous entry is
+// StoreInvalid, never a wrong value. internal/memo provides the on-disk,
+// content-addressed implementation.
+type Store interface {
+	Load(key Key, out any) LoadStatus
+	Save(key Key, v any) error
+}
+
+// nopStore is the default Store: no persistence, zero overhead.
+type nopStore struct{}
+
+func (nopStore) Load(Key, any) LoadStatus { return StoreDisabled }
+func (nopStore) Save(Key, any) error      { return nil }
 
 // Eventer is implemented by job results that can report how many simulated
 // timed events their run processed (sim.Result.Events, threaded through the
@@ -50,13 +99,17 @@ type Eventer interface {
 type Engine struct {
 	workers int
 	sem     chan struct{} // worker slots
+	store   Store
 
 	mu   sync.Mutex
 	jobs map[Key]*job
 
-	executed uint64
-	deduped  uint64
-	events   uint64
+	executed     uint64
+	deduped      uint64
+	events       uint64
+	cacheHits    uint64
+	cacheMisses  uint64
+	cacheInvalid uint64
 }
 
 type job struct {
@@ -75,6 +128,7 @@ func New(workers int) *Engine {
 	return &Engine{
 		workers: workers,
 		sem:     make(chan struct{}, workers),
+		store:   nopStore{},
 		jobs:    make(map[Key]*job),
 	}
 }
@@ -82,13 +136,27 @@ func New(workers int) *Engine {
 // Workers reports the engine's host worker bound.
 func (e *Engine) Workers() int { return e.workers }
 
+// SetStore installs a persistent result store. Call it before the first
+// submission; jobs already in flight keep the store they started with.
+func (e *Engine) SetStore(s Store) {
+	if s == nil {
+		s = nopStore{}
+	}
+	e.mu.Lock()
+	e.store = s
+	e.mu.Unlock()
+}
+
 // Stats returns a snapshot of engine activity. It is safe to call
 // concurrently with submissions, but Events only includes jobs that have
 // finished.
 func (e *Engine) Stats() Stats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return Stats{Workers: e.workers, Executed: e.executed, Deduped: e.deduped, Events: e.events}
+	return Stats{
+		Workers: e.workers, Executed: e.executed, Deduped: e.deduped, Events: e.events,
+		CacheHits: e.cacheHits, CacheMisses: e.cacheMisses, CacheInvalid: e.cacheInvalid,
+	}
 }
 
 // Future is a handle to a submitted job's eventual result.
@@ -98,8 +166,10 @@ type Future[T any] struct {
 
 // Submit schedules fn under key unless a job with that key already ran (or
 // is in flight), in which case the returned future shares its result. fn
-// must be a pure function of key. Submit never blocks on job execution;
-// collect results with Wait.
+// must be a pure function of key. Before running fn the engine consults its
+// persistent Store (if one is set): a verified hit is returned without
+// simulating anything; a miss or invalid entry runs fn and writes the entry
+// back. Submit never blocks on job execution; collect results with Wait.
 func Submit[T any](e *Engine, key Key, fn func() (T, error)) Future[T] {
 	e.mu.Lock()
 	if j, ok := e.jobs[key]; ok {
@@ -109,7 +179,7 @@ func Submit[T any](e *Engine, key Key, fn func() (T, error)) Future[T] {
 	}
 	j := &job{done: make(chan struct{})}
 	e.jobs[key] = j
-	e.executed++
+	store := e.store
 	e.mu.Unlock()
 
 	go func() {
@@ -134,12 +204,35 @@ func Submit[T any](e *Engine, key Key, fn func() (T, error)) Future[T] {
 			<-e.sem
 			close(j.done) // after the event accounting, so Stats() deltas taken post-Wait are exact
 		}()
+		var cached T
+		switch store.Load(key, &cached) {
+		case StoreHit:
+			e.mu.Lock()
+			e.cacheHits++
+			e.mu.Unlock()
+			j.val = cached
+			return
+		case StoreMiss:
+			e.mu.Lock()
+			e.cacheMisses++
+			e.mu.Unlock()
+		case StoreInvalid:
+			e.mu.Lock()
+			e.cacheInvalid++
+			e.mu.Unlock()
+		}
+		e.mu.Lock()
+		e.executed++
+		e.mu.Unlock()
 		v, err := fn()
 		j.val, j.err = v, err
 		if err == nil {
 			if ev, ok := any(v).(Eventer); ok {
 				j.events = ev.SimEvents()
 			}
+			// Best-effort persistence: a failed write (full disk, races with
+			// another process) only costs a future recompute.
+			_ = store.Save(key, v)
 		}
 	}()
 	return Future[T]{j}

@@ -1,0 +1,147 @@
+package runner
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// fakeStore is an in-memory Store with scriptable load outcomes, for
+// testing the engine's store protocol in isolation (the real on-disk
+// implementation is tested in internal/memo, which cannot be imported here
+// without a cycle).
+type fakeStore struct {
+	mu      sync.Mutex
+	entries map[Key]int
+	// invalid marks keys whose entries fail verification.
+	invalid map[Key]bool
+	saves   int
+}
+
+func newFakeStore() *fakeStore {
+	return &fakeStore{entries: make(map[Key]int), invalid: make(map[Key]bool)}
+}
+
+func (s *fakeStore) Load(key Key, out any) LoadStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.invalid[key] {
+		return StoreInvalid
+	}
+	v, ok := s.entries[key]
+	if !ok {
+		return StoreMiss
+	}
+	*(out.(*int)) = v
+	return StoreHit
+}
+
+func (s *fakeStore) Save(key Key, v any) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.entries[key] = v.(int)
+	delete(s.invalid, key)
+	s.saves++
+	return nil
+}
+
+// TestStoreHitSkipsExecution: a persistent-store hit serves the result
+// without running the job function and is counted as a hit, not an
+// execution.
+func TestStoreHitSkipsExecution(t *testing.T) {
+	st := newFakeStore()
+	st.entries["cell"] = 99
+	e := New(1)
+	e.SetStore(st)
+	v, err := Do(e, "cell", func() (int, error) {
+		t.Error("job function ran despite a store hit")
+		return 0, nil
+	})
+	if err != nil || v != 99 {
+		t.Fatalf("Do = %v, %v; want 99", v, err)
+	}
+	s := e.Stats()
+	if s.CacheHits != 1 || s.CacheMisses != 0 || s.Executed != 0 {
+		t.Fatalf("stats = %+v, want 1 hit, 0 misses, 0 executed", s)
+	}
+}
+
+// TestStoreMissExecutesAndSaves: a miss runs the job and writes the entry
+// back, so a fresh engine sharing the store hits.
+func TestStoreMissExecutesAndSaves(t *testing.T) {
+	st := newFakeStore()
+	e := New(1)
+	e.SetStore(st)
+	if v, err := Do(e, "cell", func() (int, error) { return 7, nil }); err != nil || v != 7 {
+		t.Fatalf("Do = %v, %v", v, err)
+	}
+	s := e.Stats()
+	if s.CacheMisses != 1 || s.Executed != 1 || st.saves != 1 {
+		t.Fatalf("stats = %+v, saves = %d; want 1 miss, 1 executed, 1 save", s, st.saves)
+	}
+	e2 := New(1)
+	e2.SetStore(st)
+	if v, err := Do(e2, "cell", func() (int, error) { t.Error("re-ran"); return 0, nil }); err != nil || v != 7 {
+		t.Fatalf("second engine Do = %v, %v", v, err)
+	}
+	if s := e2.Stats(); s.CacheHits != 1 || s.Executed != 0 {
+		t.Fatalf("second engine stats = %+v", s)
+	}
+}
+
+// TestStoreInvalidRecomputesAndRewrites: a corrupt entry is counted as
+// invalid, the job re-executes, and the rewritten entry serves future hits.
+func TestStoreInvalidRecomputesAndRewrites(t *testing.T) {
+	st := newFakeStore()
+	st.entries["cell"] = 1
+	st.invalid["cell"] = true
+	e := New(1)
+	e.SetStore(st)
+	var runs atomic.Int32
+	if v, err := Do(e, "cell", func() (int, error) { runs.Add(1); return 5, nil }); err != nil || v != 5 {
+		t.Fatalf("Do = %v, %v", v, err)
+	}
+	if runs.Load() != 1 {
+		t.Fatalf("runs = %d, want 1", runs.Load())
+	}
+	if s := e.Stats(); s.CacheInvalid != 1 || s.Executed != 1 {
+		t.Fatalf("stats = %+v, want 1 invalid, 1 executed", s)
+	}
+	e2 := New(1)
+	e2.SetStore(st)
+	if v, err := Do(e2, "cell", func() (int, error) { t.Error("re-ran after rewrite"); return 0, nil }); err != nil || v != 5 {
+		t.Fatalf("post-rewrite Do = %v, %v", v, err)
+	}
+}
+
+// TestStoreFailedJobsNotSaved: job errors must never be persisted — the
+// next process retries.
+func TestStoreFailedJobsNotSaved(t *testing.T) {
+	st := newFakeStore()
+	e := New(1)
+	e.SetStore(st)
+	boom := errors.New("boom")
+	if _, err := Do(e, "bad", func() (int, error) { return 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if st.saves != 0 {
+		t.Fatalf("failed job was saved (%d saves)", st.saves)
+	}
+}
+
+// TestNoStoreNoCounters: without a persistent store the cache counters stay
+// zero — probes against the nop store are not misses.
+func TestNoStoreNoCounters(t *testing.T) {
+	e := New(1)
+	if _, err := Do(e, "cell", func() (int, error) { return 1, nil }); err != nil {
+		t.Fatal(err)
+	}
+	s := e.Stats()
+	if s.CacheHits != 0 || s.CacheMisses != 0 || s.CacheInvalid != 0 {
+		t.Fatalf("nop store produced cache counts: %+v", s)
+	}
+	if s.Executed != 1 {
+		t.Fatalf("Executed = %d, want 1", s.Executed)
+	}
+}

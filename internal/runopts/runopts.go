@@ -1,0 +1,119 @@
+// Package runopts is the shared experiment-runner flag plumbing for every
+// cmd binary: host parallelism (-parallel), deterministic fault injection
+// (-chaos), robustness budgets (-maxcycles, -stallcycles), and the
+// persistent result cache (-cache). cmd/reproduce and the per-figure tools
+// (stamp, rmstm, apps, netbench, clomptm) all register the same flags and
+// funnel them through Setup, so a knob added here reaches every binary.
+package runopts
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"runtime"
+
+	"tsxhpc/internal/experiments"
+	"tsxhpc/internal/faults"
+	"tsxhpc/internal/memo"
+	"tsxhpc/internal/sim"
+)
+
+// DefaultCacheDir is where the persistent result cache lives unless -cache
+// overrides it (gitignored; entries are scoped by model fingerprint inside).
+const DefaultCacheDir = ".memo-cache"
+
+// CacheOff is the -cache value that disables the persistent cache.
+const CacheOff = "off"
+
+// DefaultChaosStallCycles is the livelock watchdog window armed when -chaos
+// is on but -stallcycles was not given: generous against the slowest
+// healthy experiment, tiny against a real livelock's unbounded spin.
+const DefaultChaosStallCycles = 200_000_000
+
+// Options are the parsed shared settings. Tools embed it in their own
+// options struct so tests can drive runs in-process without a FlagSet.
+type Options struct {
+	// Parallel is the host worker bound (<=0: GOMAXPROCS).
+	Parallel int
+	// Cache is the persistent result-cache directory; "" or "off" disables.
+	Cache string
+	// ChaosSeed enables deterministic fault injection when ChaosSet.
+	ChaosSeed int64
+	// ChaosSet records whether -chaos was present (seed 0 is valid).
+	ChaosSet bool
+	// MaxCycles bounds each simulated run's virtual cycles (0: unlimited).
+	MaxCycles uint64
+	// StallCycles arms the livelock watchdog (0: chaos default with -chaos,
+	// else off).
+	StallCycles uint64
+}
+
+// Register binds the shared flags into fs. Call Finish after fs.Parse to
+// capture flag presence.
+func Register(fs *flag.FlagSet, o *Options) {
+	fs.IntVar(&o.Parallel, "parallel", runtime.GOMAXPROCS(0), "host worker goroutines for simulation jobs (<=0: GOMAXPROCS)")
+	fs.StringVar(&o.Cache, "cache", DefaultCacheDir, `persistent result-cache directory ("off" disables; entries are scoped by model fingerprint)`)
+	fs.Int64Var(&o.ChaosSeed, "chaos", 0, "enable deterministic fault injection with this seed (same seed, same output)")
+	fs.Uint64Var(&o.MaxCycles, "maxcycles", 0, "virtual-cycle budget per simulated run (0: unlimited)")
+	fs.Uint64Var(&o.StallCycles, "stallcycles", 0, "virtual cycles without progress before a run is declared livelocked (0: chaos default with -chaos, else off)")
+}
+
+// Finish records flag presence (currently: whether -chaos was given).
+func (o *Options) Finish(fs *flag.FlagSet) {
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "chaos" {
+			o.ChaosSet = true
+		}
+	})
+}
+
+// CacheDir resolves the cache directory: "" when the cache is off.
+func (o *Options) CacheDir() string {
+	if o.Cache == CacheOff {
+		return ""
+	}
+	return o.Cache
+}
+
+// Setup installs the process-wide run defaults (fault plan, cycle budgets),
+// opens the persistent result store, and builds an experiment suite wired
+// to it. warn receives non-fatal notes (e.g. the cache being disabled
+// because the build cannot be fingerprinted). The returned cleanup restores
+// the run defaults; call it when the run is over so in-process callers
+// (tests) do not leak fault injection into each other.
+func (o *Options) Setup(warn io.Writer) (suite *experiments.Suite, store *memo.Store, cleanup func()) {
+	stall := o.StallCycles
+	if o.ChaosSet && stall == 0 {
+		stall = DefaultChaosStallCycles
+	}
+	cleanup = func() {}
+	if o.ChaosSet || o.MaxCycles > 0 || stall > 0 {
+		d := sim.RunDefaults{MaxCycles: o.MaxCycles, StallCycles: stall}
+		if o.ChaosSet {
+			d.Faults = faults.Chaos(o.ChaosSeed)
+		}
+		sim.SetRunDefaults(d)
+		cleanup = func() { sim.SetRunDefaults(sim.RunDefaults{}) }
+	}
+	suite = experiments.NewSuite(o.Parallel)
+	if dir := o.CacheDir(); dir != "" {
+		// After SetRunDefaults: the fingerprint must see the armed fault
+		// plan so chaos runs never share entries with fault-free ones.
+		st, err := memo.Open(dir)
+		if err != nil {
+			fmt.Fprintf(warn, "cache disabled: %v\n", err)
+		} else {
+			store = st
+			suite.E.SetStore(st)
+		}
+	}
+	return suite, store, cleanup
+}
+
+// Banner writes the chaos banner exactly as cmd/reproduce always has, so
+// every binary reports fault injection the same way.
+func (o *Options) Banner(w io.Writer) {
+	if o.ChaosSet {
+		fmt.Fprintf(w, "chaos: fault injection enabled (seed %d)\n", o.ChaosSeed)
+	}
+}
