@@ -16,10 +16,12 @@ import (
 	"tsxhpc/internal/clomp"
 	"tsxhpc/internal/experiments"
 	"tsxhpc/internal/harness"
+	"tsxhpc/internal/htm"
 	"tsxhpc/internal/netapps"
 	"tsxhpc/internal/rmstm"
 	"tsxhpc/internal/sim"
 	"tsxhpc/internal/stamp"
+	"tsxhpc/internal/stm"
 	"tsxhpc/internal/tm"
 )
 
@@ -189,6 +191,54 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		events += res.Events
 	}
 	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+}
+
+// BenchmarkL1Lookup measures the innermost simulator primitive — a warm,
+// hitting L1 load — the cost floor under every instrumented access.
+func BenchmarkL1Lookup(b *testing.B) {
+	m := sim.New(sim.DefaultConfig())
+	arr := m.Mem.AllocLine(8 * 32)
+	b.ResetTimer()
+	m.Run(1, func(c *sim.Context) {
+		for i := 0; i < 32; i++ {
+			c.Load(arr + sim.Addr(i*8)) // warm the set
+		}
+		for i := 0; i < b.N; i++ {
+			c.Load(arr + sim.Addr((i%32)*8))
+		}
+	})
+}
+
+// BenchmarkHTMBeginCommit measures the raw speculation path — Begin, one
+// Store, Commit on the htm runtime directly, no elision wrapper or fallback
+// policy above it.
+func BenchmarkHTMBeginCommit(b *testing.B) {
+	m := sim.New(sim.DefaultConfig())
+	r := htm.New(m)
+	a := m.Mem.AllocLine(8)
+	b.ResetTimer()
+	m.Run(1, func(c *sim.Context) {
+		for i := 0; i < b.N; i++ {
+			tx := r.Begin(c)
+			tx.Store(a, uint64(i))
+			tx.Commit()
+		}
+	})
+}
+
+// BenchmarkTL2Commit measures an uncontended TL2 writer transaction end to
+// end: instrumented read, buffered write, commit-time locking, validation,
+// and write-back.
+func BenchmarkTL2Commit(b *testing.B) {
+	m := sim.New(sim.DefaultConfig())
+	s := stm.New(m)
+	a := m.Mem.AllocLine(8)
+	b.ResetTimer()
+	m.Run(1, func(c *sim.Context) {
+		for i := 0; i < b.N; i++ {
+			s.Run(c, func(tx *stm.Txn) { tx.Store(a, tx.Load(a)+1) })
+		}
+	})
 }
 
 // BenchmarkHTMOps measures the hot path of the TSX emulation itself:

@@ -40,8 +40,17 @@ func TestRunUnknownOnly(t *testing.T) {
 	if code != 2 {
 		t.Fatalf("exit = %d, want 2", code)
 	}
-	if !strings.Contains(errOut.String(), "unknown experiment") {
-		t.Fatalf("stderr: %s", errOut.String())
+	msg := errOut.String()
+	if !strings.Contains(msg, `unknown experiment "E99"`) {
+		t.Fatalf("stderr does not name the bad selector: %s", msg)
+	}
+	// The error must teach the fix: every catalog alias listed, in order.
+	aliases := make([]string, 0, len(catalog))
+	for _, ex := range catalog {
+		aliases = append(aliases, ex.alias)
+	}
+	if want := "(valid: " + strings.Join(aliases, ", ") + ")"; !strings.Contains(msg, want) {
+		t.Fatalf("stderr %q does not list the valid ids %q", msg, want)
 	}
 	if out.Len() != 0 {
 		t.Fatalf("unexpected stdout: %s", out.String())

@@ -1,0 +1,129 @@
+// Command verify is the differential correctness harness CLI: it sweeps
+// seeded randomized transactional workloads (internal/check) and requires
+// the synchronization engines — tsx, tl2, coarse, fine — to agree: every
+// committed history must be serializable in its recorded commit order,
+// commutative workloads must land on the analytically predicted final state
+// in every engine, and the machine model's own invariants stay armed
+// throughout. With -chaos the same agreement is enforced under deterministic
+// fault injection. Output is deterministic per (seeds, engines, chaos seed):
+// same flags, same bytes.
+//
+// Exit status: 0 all seeds agree; 1 violations found; 2 usage error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+
+	"tsxhpc/internal/check"
+	"tsxhpc/internal/runopts"
+)
+
+type options struct {
+	runopts.Options
+	seeds   int
+	engines string
+	verbose bool
+}
+
+func main() {
+	var o options
+	runopts.Register(flag.CommandLine, &o.Options)
+	flag.IntVar(&o.seeds, "seeds", 100, "number of randomized workload seeds to cross-check")
+	flag.StringVar(&o.engines, "engines", "tsx,tl2,coarse,fine", "comma-separated engines that must agree")
+	flag.BoolVar(&o.verbose, "v", false, "print every seed's line, not just violations")
+	flag.Parse()
+	o.Finish(flag.CommandLine)
+	os.Exit(run(o, os.Stdout, os.Stderr))
+}
+
+func run(o options, stdout, stderr io.Writer) int {
+	engines, err := check.ParseEngines(o.engines)
+	if err != nil {
+		fmt.Fprintf(stderr, "verify: %v\n", err)
+		return 2
+	}
+	if o.seeds <= 0 {
+		fmt.Fprintf(stderr, "verify: -seeds must be positive (got %d)\n", o.seeds)
+		return 2
+	}
+	opts := check.Opts{
+		Faults:      o.Plan(),
+		MaxCycles:   o.MaxCycles,
+		StallCycles: o.EffectiveStallCycles(),
+	}
+	o.Banner(stdout)
+
+	// Seeds are independent: fan out across host workers, then report in
+	// seed order so output stays byte-deterministic regardless of -parallel.
+	workers := o.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	reports := make([]*check.Report, o.seeds)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := 0; i < o.seeds; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			seed := int64(i + 1)
+			w := check.Generate(seed, check.ShapeFor(seed))
+			reports[i] = check.Differential(w, engines, opts)
+		}(i)
+	}
+	wg.Wait()
+
+	var txns, htmStarts, htmAborts, fallbacks, tl2Aborts uint64
+	badSeeds := 0
+	counts := map[check.ViolationKind]int{}
+	for i, rep := range reports {
+		w := rep.Workload
+		txns += uint64(w.TotalTxns())
+		for _, res := range rep.Results {
+			if res == nil {
+				continue
+			}
+			switch res.Engine {
+			case check.TSX:
+				htmStarts += res.Starts
+				htmAborts += res.Aborts
+				fallbacks += res.Fallbacks
+			case check.TL2:
+				tl2Aborts += res.Aborts
+			}
+		}
+		if rep.Ok() {
+			if o.verbose {
+				fmt.Fprintf(stdout, "seed %4d ok    threads=%d slots=%d txns=%d commutative=%v\n",
+					i+1, w.Threads, w.Slots, w.TotalTxns(), w.Commutative())
+			}
+			continue
+		}
+		badSeeds++
+		fmt.Fprintf(stdout, "seed %4d FAIL  threads=%d slots=%d txns=%d commutative=%v\n",
+			i+1, w.Threads, w.Slots, w.TotalTxns(), w.Commutative())
+		for _, v := range rep.Violations {
+			counts[v.Kind]++
+			fmt.Fprintf(stdout, "  %s\n", v)
+		}
+	}
+	fmt.Fprintf(stdout, "verify: %d seeds x %s: %d divergences, %d serializability violations, %d invariant violations, %d failures\n",
+		o.seeds, o.engines,
+		counts[check.KindDivergence], counts[check.KindSerializability],
+		counts[check.KindInvariant], counts[check.KindFailure])
+	fmt.Fprintf(stdout, "verify: %d transactions per engine; tsx starts %d aborts %d fallbacks %d; tl2 aborts %d\n",
+		txns, htmStarts, htmAborts, fallbacks, tl2Aborts)
+	if badSeeds > 0 {
+		fmt.Fprintf(stdout, "verify: FAILED on %d of %d seeds\n", badSeeds, o.seeds)
+		return 1
+	}
+	fmt.Fprintf(stdout, "verify: OK\n")
+	return 0
+}

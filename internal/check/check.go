@@ -1,0 +1,100 @@
+package check
+
+import (
+	"errors"
+	"fmt"
+
+	"tsxhpc/internal/sim"
+)
+
+// ViolationKind classifies what a differential run caught.
+type ViolationKind string
+
+const (
+	// KindSerializability: an engine's committed history does not replay as
+	// a serial execution (lost update, dirty read, torn commit order, ...).
+	KindSerializability ViolationKind = "serializability"
+	// KindDivergence: an engine's final memory differs from the unique
+	// serializable outcome of a commutative workload.
+	KindDivergence ViolationKind = "divergence"
+	// KindInvariant: the machine model caught itself — an armed sim
+	// invariant (L1 set integrity, clock monotonicity, torn HTM write set,
+	// unheld-mutex unlock) fired during the run.
+	KindInvariant ViolationKind = "invariant"
+	// KindFailure: the engine run failed outright (deadlock, livelock
+	// watchdog, cycle budget).
+	KindFailure ViolationKind = "failure"
+)
+
+// Violation is one caught disagreement or failure.
+type Violation struct {
+	Kind   ViolationKind
+	Engine Engine
+	Msg    string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("[%s] %s: %s", v.Kind, v.Engine, v.Msg)
+}
+
+// Report is the outcome of one differential run: per-engine results (nil
+// where the engine failed) and every violation caught.
+type Report struct {
+	Workload   *Workload
+	Results    []*EngineResult // parallel to the engines argument
+	Violations []Violation
+}
+
+// Differential runs w through each engine on a private machine and checks
+// the three harness properties: per-engine serializability (history replay),
+// machine invariants (armed during the run plus the end-of-run cache audit),
+// and — for commutative workloads — exact cross-engine/final-state
+// agreement with the analytic prediction. It never panics on model-level
+// failures; everything caught lands in the report.
+func Differential(w *Workload, engines []Engine, o Opts) *Report {
+	rep := &Report{Workload: w}
+	for _, e := range engines {
+		res, err := RunEngine(w, e, o)
+		if err != nil {
+			kind := KindFailure
+			var ie *sim.InvariantError
+			if errors.As(err, &ie) {
+				kind = KindInvariant
+			}
+			rep.Violations = append(rep.Violations, Violation{Kind: kind, Engine: e, Msg: err.Error()})
+			rep.Results = append(rep.Results, nil)
+			continue
+		}
+		if err := CheckHistory(w, res.Hist, res.Final); err != nil {
+			rep.Violations = append(rep.Violations, Violation{Kind: KindSerializability, Engine: e, Msg: err.Error()})
+		}
+		rep.Results = append(rep.Results, res)
+	}
+	if w.Commutative() {
+		// Adds commute: there is exactly one serializable final state, and
+		// every engine must land on it. (With blind stores, engines order
+		// them differently and legitimately diverge; there the per-engine
+		// replay-final check above is the whole contract.)
+		want := w.PredictedFinal()
+		for _, res := range rep.Results {
+			if res == nil {
+				continue
+			}
+			for s := range want {
+				if res.Final[s] != want[s] {
+					rep.Violations = append(rep.Violations, Violation{
+						Kind:   KindDivergence,
+						Engine: res.Engine,
+						Msg: fmt.Sprintf("slot %d ended at %d; every serializable execution ends at %d",
+							s, res.Final[s], want[s]),
+					})
+					break
+				}
+			}
+		}
+	}
+	return rep
+}
+
+// Ok reports whether the differential run caught nothing.
+func (r *Report) Ok() bool { return len(r.Violations) == 0 }

@@ -1,0 +1,128 @@
+package check
+
+import (
+	"reflect"
+	"testing"
+
+	"tsxhpc/internal/faults"
+)
+
+// chaosOpts arms fault injection with the watchdog and budget cmd/verify
+// uses, so an injected livelock fails typed instead of hanging the test.
+func chaosOpts(seed int64) Opts {
+	return Opts{Faults: faults.Chaos(seed), MaxCycles: 2_000_000_000, StallCycles: 200_000_000}
+}
+
+// TestDifferentialAgreesAcrossSeeds is the harness's core property test:
+// over a seed sweep covering commutative and store-bearing workloads, every
+// engine's history is serializable and commutative workloads land on the
+// predicted final state in all engines.
+func TestDifferentialAgreesAcrossSeeds(t *testing.T) {
+	seeds := int64(24)
+	if testing.Short() {
+		seeds = 8
+	}
+	for seed := int64(1); seed <= seeds; seed++ {
+		w := Generate(seed, ShapeFor(seed))
+		rep := Differential(w, AllEngines, Opts{})
+		for _, v := range rep.Violations {
+			t.Errorf("seed %d: %s", seed, v)
+		}
+		for _, res := range rep.Results {
+			if res != nil && len(res.Hist) != w.TotalTxns() {
+				t.Errorf("seed %d %s: %d commits, want %d", seed, res.Engine, len(res.Hist), w.TotalTxns())
+			}
+		}
+		if t.Failed() {
+			t.FailNow()
+		}
+	}
+}
+
+// TestDifferentialUnderChaos: the same agreement must hold with fault
+// injection active — spurious aborts, eviction storms and hold stretches may
+// shift which interleaving happens, never what it computes.
+func TestDifferentialUnderChaos(t *testing.T) {
+	seeds := int64(8)
+	if testing.Short() {
+		seeds = 3
+	}
+	for seed := int64(1); seed <= seeds; seed++ {
+		w := Generate(seed, ShapeFor(seed))
+		rep := Differential(w, AllEngines, chaosOpts(seed))
+		for _, v := range rep.Violations {
+			t.Errorf("seed %d under chaos: %s", seed, v)
+		}
+		if t.Failed() {
+			t.FailNow()
+		}
+	}
+}
+
+// TestRunEngineDeterministic: an engine run is a pure function of (workload,
+// engine, opts) — the property that makes every harness failure replayable
+// from its seed.
+func TestRunEngineDeterministic(t *testing.T) {
+	w := Generate(5, ShapeFor(5))
+	for _, e := range AllEngines {
+		a, errA := RunEngine(w, e, Opts{})
+		b, errB := RunEngine(w, e, Opts{})
+		if errA != nil || errB != nil {
+			t.Fatalf("%s: %v / %v", e, errA, errB)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: two runs of the same workload differ", e)
+		}
+	}
+}
+
+// TestOracleCatchesUnsyncedRaces proves the oracle has teeth end-to-end: an
+// engine with no synchronization at all, run on contended multi-threaded
+// workloads, must get caught — by the history replay or by the commutative
+// final-state check.
+func TestOracleCatchesUnsyncedRaces(t *testing.T) {
+	caught := 0
+	tried := 0
+	for seed := int64(1); seed <= 40 && caught == 0; seed++ {
+		g := GenConfig{Threads: 8, Slots: 4, Stride: 8, TxPerThread: 6, OpsPerTx: 4, HotPct: 100}
+		w := Generate(seed, g)
+		tried++
+		res, err := RunEngine(w, Unsynced, Opts{})
+		if err != nil {
+			t.Fatalf("seed %d: unsynced run failed outright: %v", seed, err)
+		}
+		if err := CheckHistory(w, res.Hist, res.Final); err != nil {
+			t.Logf("seed %d caught by replay: %v", seed, err)
+			caught++
+			continue
+		}
+		for s, v := range w.PredictedFinal() {
+			if res.Final[s] != v {
+				t.Logf("seed %d caught by final state: slot %d = %d, want %d", seed, s, res.Final[s], v)
+				caught++
+				break
+			}
+		}
+	}
+	if caught == 0 {
+		t.Fatalf("oracle caught no races in %d unsynchronized contended runs", tried)
+	}
+}
+
+// TestEngineStatsCoherent: the speculative counters must agree with the
+// committed history — every TSX region commits exactly once, either as a
+// hardware commit or under the fallback lock.
+func TestEngineStatsCoherent(t *testing.T) {
+	w := Generate(9, GenConfig{Threads: 8, Slots: 8, Stride: 8, TxPerThread: 8, OpsPerTx: 4, HotPct: 80})
+	res, err := RunEngine(w, TSX, Opts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := uint64(len(res.Hist)); got != uint64(w.TotalTxns()) {
+		t.Fatalf("commits = %d, want %d", got, w.TotalTxns())
+	}
+	hw := uint64(w.TotalTxns()) - res.Fallbacks
+	if res.Starts != hw+res.Aborts {
+		t.Fatalf("starts %d != hardware commits %d + aborts %d", res.Starts, hw, res.Aborts)
+	}
+}

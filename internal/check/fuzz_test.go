@@ -1,0 +1,103 @@
+package check
+
+import (
+	"testing"
+
+	"tsxhpc/internal/faults"
+)
+
+// Fuzz parameters are all int64 and mapped into valid ranges here (rather
+// than trusting the fuzzer), so any input is a meaningful workload and the
+// committed corpus under testdata/fuzz is unambiguous to hand-write.
+
+func pick(v, lo, hi int64) int {
+	span := hi - lo + 1
+	m := v % span
+	if m < 0 {
+		m += span
+	}
+	return int(lo + m)
+}
+
+// fuzzBudget bounds every fuzz-driven run so a pathological input surfaces
+// as a typed stall (a finding) instead of hanging the fuzzer.
+const (
+	fuzzMaxCycles   = 2_000_000_000
+	fuzzStallCycles = 200_000_000
+)
+
+// FuzzDifferential feeds arbitrary workload shapes to the full differential
+// harness: all four engines must agree — serializable histories, predicted
+// final state on commutative shapes — with and without fault injection.
+func FuzzDifferential(f *testing.F) {
+	f.Add(int64(1), int64(4), int64(64), int64(6), int64(4), int64(0), int64(0))
+	f.Add(int64(2), int64(8), int64(16), int64(8), int64(6), int64(40), int64(0))
+	f.Add(int64(3), int64(2), int64(256), int64(4), int64(8), int64(100), int64(1))
+	f.Add(int64(4), int64(7), int64(8), int64(12), int64(3), int64(25), int64(1))
+	f.Add(int64(5), int64(8), int64(1), int64(5), int64(2), int64(0), int64(0))
+	f.Fuzz(func(t *testing.T, seed, threads, slots, txs, ops, storePct, chaos int64) {
+		g := GenConfig{
+			Threads:     pick(threads, 1, 8),
+			Slots:       pick(slots, 1, 512),
+			Stride:      8,
+			TxPerThread: pick(txs, 1, 12),
+			OpsPerTx:    pick(ops, 1, 10),
+			HotPct:      pick(seed, 0, 100),
+			StorePct:    pick(storePct, 0, 100),
+		}
+		if slots%2 == 0 {
+			g.Stride = 64
+		}
+		w := Generate(seed, g)
+		o := Opts{MaxCycles: fuzzMaxCycles, StallCycles: fuzzStallCycles}
+		if chaos%2 != 0 {
+			o.Faults = faults.Chaos(seed)
+		}
+		rep := Differential(w, AllEngines, o)
+		for _, v := range rep.Violations {
+			t.Errorf("seed %d shape %+v: %s", seed, g, v)
+		}
+	})
+}
+
+// FuzzHTMAbortPaths stresses the TSX engine specifically with shapes chosen
+// to exercise the abort machinery — transactions larger than the L1's
+// per-set capacity (capacity aborts, Bloom read-set demotion), heavy
+// contention (conflict aborts, fallback), and optional spurious-abort
+// injection — then checks the committed history is still serializable and
+// the speculation counters stay coherent.
+func FuzzHTMAbortPaths(f *testing.F) {
+	f.Add(int64(1), int64(4), int64(512), int64(32), int64(0))
+	f.Add(int64(2), int64(8), int64(64), int64(56), int64(1))
+	f.Add(int64(3), int64(8), int64(1024), int64(8), int64(0))
+	f.Add(int64(4), int64(2), int64(256), int64(64), int64(1))
+	f.Fuzz(func(t *testing.T, seed, threads, lines, ops, spurious int64) {
+		g := GenConfig{
+			Threads: pick(threads, 1, 8),
+			// Line-granular slots up to twice the 512-line L1: big write sets
+			// must abort by capacity, never commit torn.
+			Slots:       pick(lines, 64, 1024),
+			Stride:      64,
+			TxPerThread: pick(seed, 2, 6),
+			OpsPerTx:    pick(ops, 8, 64),
+			HotPct:      30,
+			StorePct:    50,
+		}
+		w := Generate(seed, g)
+		o := Opts{MaxCycles: fuzzMaxCycles, StallCycles: fuzzStallCycles}
+		if spurious%2 != 0 {
+			o.Faults = faults.Chaos(seed)
+		}
+		res, err := RunEngine(w, TSX, o)
+		if err != nil {
+			t.Fatalf("seed %d shape %+v: %v", seed, g, err)
+		}
+		if err := CheckHistory(w, res.Hist, res.Final); err != nil {
+			t.Fatalf("seed %d shape %+v: %v", seed, g, err)
+		}
+		hw := uint64(w.TotalTxns()) - res.Fallbacks
+		if res.Starts != hw+res.Aborts {
+			t.Fatalf("stats incoherent: starts %d != hardware commits %d + aborts %d", res.Starts, hw, res.Aborts)
+		}
+	})
+}

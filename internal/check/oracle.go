@@ -1,0 +1,144 @@
+package check
+
+// The serializability oracle. Each engine records, per committed
+// transaction, the values its operations observed and produced (RecOp) plus
+// a serialization stamp (Seq) assigned by the engine's commit hook at its
+// true serialization instant. CheckHistory then replays the stamped history
+// in Seq order against a model memory: if every recorded read sees exactly
+// the model value, every write matches the workload's definition of the
+// operation, per-thread program order holds, the history is complete, and
+// the model ends equal to the engine's final memory, then the recorded
+// commit order IS an equivalent serial execution — a constructive witness of
+// serializability. Conversely, a lost update, dirty read, or write skew
+// necessarily surfaces as a read that disagrees with the serial replay or a
+// final-state mismatch, so the check is also complete for this workload
+// class (every committed value is either observed by the next reader in Seq
+// order or still present at the end).
+
+import (
+	"fmt"
+	"sort"
+)
+
+// RecOp is one recorded access of a committed transaction, in program order.
+type RecOp struct {
+	Write bool
+	Slot  int
+	Val   uint64 // value observed (read) or made visible (write)
+}
+
+// TxnRec is one committed transaction's history record.
+type TxnRec struct {
+	Thread int // issuing thread
+	Index  int // position in that thread's transaction list
+	Seq    uint64
+	Ops    []RecOp
+}
+
+// CheckHistory verifies that hist is a serializable execution of w in its
+// recorded commit order, ending in final. It returns nil when the history
+// checks out and a descriptive error naming the first violation otherwise.
+func CheckHistory(w *Workload, hist []TxnRec, final []uint64) error {
+	if len(hist) != w.TotalTxns() {
+		return fmt.Errorf("history incomplete: %d committed transactions, want %d", len(hist), w.TotalTxns())
+	}
+	if len(final) != w.Slots {
+		return fmt.Errorf("final snapshot has %d slots, want %d", len(final), w.Slots)
+	}
+	sorted := make([]TxnRec, len(hist))
+	copy(sorted, hist)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Seq < sorted[j].Seq })
+	model := make([]uint64, w.Slots)
+	next := make([]int, w.Threads)
+	for i, rec := range sorted {
+		if i > 0 && rec.Seq == sorted[i-1].Seq {
+			return fmt.Errorf("commit stamp %d assigned twice", rec.Seq)
+		}
+		if rec.Thread < 0 || rec.Thread >= w.Threads {
+			return fmt.Errorf("record names thread %d of %d", rec.Thread, w.Threads)
+		}
+		if rec.Index != next[rec.Thread] {
+			return fmt.Errorf("program order violated: thread %d committed txn %d while txn %d is next",
+				rec.Thread, rec.Index, next[rec.Thread])
+		}
+		next[rec.Thread]++
+		if err := replayTxn(w.Txns[rec.Thread][rec.Index], rec, model); err != nil {
+			return fmt.Errorf("thread %d txn %d (seq %d): %w", rec.Thread, rec.Index, rec.Seq, err)
+		}
+	}
+	for s := range model {
+		if final[s] != model[s] {
+			return fmt.Errorf("final memory diverges from serial replay: slot %d is %d, replay says %d",
+				s, final[s], model[s])
+		}
+	}
+	return nil
+}
+
+// replayTxn replays one committed transaction against the model memory,
+// checking each recorded access against both the serial order (reads must
+// see the model value) and the workload's definition of the operation
+// (writes must compute what the op says).
+func replayTxn(src Txn, rec TxnRec, model []uint64) error {
+	i := 0
+	take := func() (RecOp, error) {
+		if i >= len(rec.Ops) {
+			return RecOp{}, fmt.Errorf("record has %d accesses, transaction performs more", len(rec.Ops))
+		}
+		op := rec.Ops[i]
+		i++
+		return op, nil
+	}
+	read := func(want Op) (RecOp, error) {
+		r, err := take()
+		if err != nil {
+			return r, err
+		}
+		if r.Write || r.Slot != want.Slot {
+			return r, fmt.Errorf("access %d is write=%v slot %d, want read of slot %d", i-1, r.Write, r.Slot, want.Slot)
+		}
+		if model[r.Slot] != r.Val {
+			return r, fmt.Errorf("non-serializable read: slot %d observed %d, serial replay expects %d",
+				r.Slot, r.Val, model[r.Slot])
+		}
+		return r, nil
+	}
+	write := func(want Op, wantVal uint64, why string) error {
+		wr, err := take()
+		if err != nil {
+			return err
+		}
+		if !wr.Write || wr.Slot != want.Slot {
+			return fmt.Errorf("access %d is write=%v slot %d, want write of slot %d", i-1, wr.Write, wr.Slot, want.Slot)
+		}
+		if wr.Val != wantVal {
+			return fmt.Errorf("slot %d written %d, want %s = %d", wr.Slot, wr.Val, why, wantVal)
+		}
+		model[wr.Slot] = wr.Val
+		return nil
+	}
+	for _, op := range src.Ops {
+		switch op.Kind {
+		case OpRead:
+			if _, err := read(op); err != nil {
+				return err
+			}
+		case OpAdd:
+			r, err := read(op)
+			if err != nil {
+				return err
+			}
+			if err := write(op, r.Val+op.Arg, "read+addend"); err != nil {
+				return err
+			}
+		case OpStore:
+			if err := write(op, op.Arg, "stored token"); err != nil {
+				return err
+			}
+		}
+	}
+	if i != len(rec.Ops) {
+		return fmt.Errorf("record has %d accesses, transaction performs %d", len(rec.Ops), i)
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+package check
+
+import (
+	"strings"
+	"testing"
+)
+
+// twoAdds is a hand-built minimal workload — two threads, one slot, one
+// add each — small enough that histories can be written out by hand.
+func twoAdds() *Workload {
+	return &Workload{
+		Seed: 1, Threads: 2, Slots: 1, Stride: 8, TxPerThread: 1,
+		Txns: [][]Txn{
+			{{Ops: []Op{{Kind: OpAdd, Slot: 0, Arg: 5}}}},
+			{{Ops: []Op{{Kind: OpAdd, Slot: 0, Arg: 3}}}},
+		},
+	}
+}
+
+// rec builds a TxnRec for an add transaction that read r and wrote w.
+func addRec(thread int, seq uint64, r, w uint64) TxnRec {
+	return TxnRec{Thread: thread, Index: 0, Seq: seq,
+		Ops: []RecOp{{Write: false, Slot: 0, Val: r}, {Write: true, Slot: 0, Val: w}}}
+}
+
+// TestOracleAcceptsSerialHistory: a correct interleaving passes.
+func TestOracleAcceptsSerialHistory(t *testing.T) {
+	w := twoAdds()
+	hist := []TxnRec{addRec(0, 0, 0, 5), addRec(1, 1, 5, 8)}
+	if err := CheckHistory(w, hist, []uint64{8}); err != nil {
+		t.Fatalf("valid history rejected: %v", err)
+	}
+}
+
+// expectViolation asserts CheckHistory rejects the history with a message
+// mentioning want.
+func expectViolation(t *testing.T, w *Workload, hist []TxnRec, final []uint64, want string) {
+	t.Helper()
+	err := CheckHistory(w, hist, final)
+	if err == nil {
+		t.Fatalf("oracle accepted a history that should violate %q", want)
+	}
+	if !strings.Contains(err.Error(), want) {
+		t.Fatalf("violation message %q does not mention %q", err, want)
+	}
+}
+
+// TestOracleCatchesLostUpdate: the classic race — both adds read 0, the
+// second write clobbers the first — must be flagged as a non-serializable
+// read.
+func TestOracleCatchesLostUpdate(t *testing.T) {
+	w := twoAdds()
+	hist := []TxnRec{addRec(0, 0, 0, 5), addRec(1, 1, 0, 3)}
+	expectViolation(t, w, hist, []uint64{3}, "non-serializable read")
+}
+
+// TestOracleCatchesIncompleteHistory: a dropped commit record is flagged.
+func TestOracleCatchesIncompleteHistory(t *testing.T) {
+	w := twoAdds()
+	expectViolation(t, w, []TxnRec{addRec(0, 0, 0, 5)}, []uint64{8}, "history incomplete")
+}
+
+// TestOracleCatchesFinalMismatch: a history can replay cleanly yet disagree
+// with the engine's actual memory — e.g. a write that never reached memory.
+func TestOracleCatchesFinalMismatch(t *testing.T) {
+	w := twoAdds()
+	hist := []TxnRec{addRec(0, 0, 0, 5), addRec(1, 1, 5, 8)}
+	expectViolation(t, w, hist, []uint64{5}, "final memory diverges")
+}
+
+// TestOracleCatchesWrongSum: a write that does not equal read+addend means
+// the recorded transaction did not execute the workload's operation.
+func TestOracleCatchesWrongSum(t *testing.T) {
+	w := twoAdds()
+	hist := []TxnRec{addRec(0, 0, 0, 7), addRec(1, 1, 7, 10)}
+	expectViolation(t, w, hist, []uint64{10}, "read+addend")
+}
+
+// TestOracleCatchesProgramOrderViolation: one thread's transactions must
+// serialize in program order.
+func TestOracleCatchesProgramOrderViolation(t *testing.T) {
+	w := &Workload{
+		Seed: 1, Threads: 1, Slots: 1, Stride: 8, TxPerThread: 2,
+		Txns: [][]Txn{{
+			{Ops: []Op{{Kind: OpAdd, Slot: 0, Arg: 5}}},
+			{Ops: []Op{{Kind: OpAdd, Slot: 0, Arg: 3}}},
+		}},
+	}
+	hist := []TxnRec{
+		{Thread: 0, Index: 1, Seq: 0, Ops: []RecOp{{Slot: 0, Val: 0}, {Write: true, Slot: 0, Val: 3}}},
+		{Thread: 0, Index: 0, Seq: 1, Ops: []RecOp{{Slot: 0, Val: 3}, {Write: true, Slot: 0, Val: 8}}},
+	}
+	expectViolation(t, w, hist, []uint64{8}, "program order")
+}
+
+// TestOracleCatchesDuplicateStamp: two records with one serialization stamp
+// cannot define a serial order.
+func TestOracleCatchesDuplicateStamp(t *testing.T) {
+	w := twoAdds()
+	hist := []TxnRec{addRec(0, 3, 0, 5), addRec(1, 3, 5, 8)}
+	expectViolation(t, w, hist, []uint64{8}, "assigned twice")
+}
+
+// TestOracleCatchesShapeMismatch: a record with extra or missing accesses
+// did not execute the generated transaction.
+func TestOracleCatchesShapeMismatch(t *testing.T) {
+	w := twoAdds()
+	short := TxnRec{Thread: 0, Index: 0, Seq: 0, Ops: []RecOp{{Slot: 0, Val: 0}}}
+	expectViolation(t, w, []TxnRec{short, addRec(1, 1, 0, 3)}, []uint64{3}, "accesses")
+}

@@ -1,0 +1,221 @@
+// Package check is the differential correctness harness: it generates seeded
+// randomized transactional workloads and runs each one, bit-for-bit the same,
+// through every synchronization engine the repository models — TSX lock
+// elision (internal/tm over internal/htm), the TL2 software TM
+// (internal/stm), a single coarse lock, and per-slot fine-grained two-phase
+// locking (internal/ssync) — each on its own private simulated machine.
+// It then asserts three independent properties:
+//
+//  1. Serializability: every engine's committed history, captured through
+//     the commit hooks at each engine's true serialization instant, must
+//     replay cleanly as a serial execution (every recorded read sees the
+//     value the serial order dictates) and end in exactly the engine's
+//     final memory.
+//  2. Cross-engine agreement: for commutative workloads (adds only) every
+//     serializable execution has one possible final state, so all engines —
+//     and the analytic prediction — must agree exactly.
+//  3. Machine invariants: every engine machine runs with sim.Config
+//     .Invariants armed (L1 set integrity, virtual-clock monotonicity, no
+//     committed transaction with a torn write set, no unheld-mutex unlock)
+//     plus an end-of-run VerifyCaches sweep.
+//
+// The harness is exposed as go test property tests, native fuzz targets
+// (FuzzDifferential, FuzzHTMAbortPaths), and the cmd/verify binary.
+// DESIGN.md §11 documents the oracle and its soundness argument.
+package check
+
+import "math/rand"
+
+// OpKind is one generated operation's type.
+type OpKind uint8
+
+const (
+	// OpRead observes a slot.
+	OpRead OpKind = iota
+	// OpAdd reads a slot and writes back the sum with Arg. Adds commute, so
+	// workloads built only from reads and adds have a unique serializable
+	// final state.
+	OpAdd
+	// OpStore blindly overwrites a slot with the token Arg. Stores do not
+	// commute: engines may legitimately end in different final states, so
+	// store-bearing workloads are checked per engine (serializability +
+	// replay-final), not for cross-engine equality.
+	OpStore
+)
+
+// Op is one operation of a generated transaction.
+type Op struct {
+	Kind OpKind
+	Slot int
+	Arg  uint64 // addend (OpAdd) or stored token (OpStore); unused for OpRead
+}
+
+// Txn is one generated transaction: its operations in program order, plus
+// private think time before the region so interleavings vary.
+type Txn struct {
+	Ops   []Op
+	Think uint64
+}
+
+// GenConfig tunes the workload generator. Generate clamps every field into
+// its valid range so arbitrary (fuzz-supplied) values are safe.
+type GenConfig struct {
+	// Threads is the simulated thread count (1..8 on the default machine).
+	Threads int
+	// Slots is the shared-array length.
+	Slots int
+	// Stride is the byte distance between slots: 8 packs 8 slots per cache
+	// line (false sharing, line-granular HTM conflicts on distinct slots);
+	// 64 gives each slot a private line.
+	Stride int
+	// TxPerThread is how many transactions each thread executes.
+	TxPerThread int
+	// OpsPerTx is the mean operation count per transaction (actual counts
+	// are uniform in 1..2·OpsPerTx).
+	OpsPerTx int
+	// HotPct is the percentage of operations directed at the hot set (the
+	// first 8 slots) — the contention knob.
+	HotPct int
+	// StorePct is the percentage of update operations that are blind stores
+	// instead of adds; 0 keeps the workload commutative.
+	StorePct int
+}
+
+// Workload is one fully materialized generated workload: the per-thread
+// transaction lists plus the shape they were drawn from.
+type Workload struct {
+	Seed        int64
+	Threads     int
+	Slots       int
+	Stride      int
+	TxPerThread int
+	Txns        [][]Txn // [thread][index]
+
+	hasStores bool
+}
+
+// hotSetSlots is the size of the contended hot set HotPct steers into.
+const hotSetSlots = 8
+
+func clampRange(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Generate materializes the workload for (seed, g) deterministically: the
+// same arguments always yield the same transactions. Every transaction is
+// guaranteed at least one write — TL2's commit hook stamps serialization
+// order at the writer commit path, and read-only TL2 transactions serialize
+// at their snapshot instead (see stm.TL2.CommitHook), so the oracle's
+// commit-order capture is only exact for writers.
+func Generate(seed int64, g GenConfig) *Workload {
+	g.Threads = clampRange(g.Threads, 1, 8)
+	g.Slots = clampRange(g.Slots, 1, 1<<16)
+	if g.Stride < 8 || g.Stride%8 != 0 {
+		g.Stride = 8
+	}
+	g.TxPerThread = clampRange(g.TxPerThread, 1, 1<<12)
+	g.OpsPerTx = clampRange(g.OpsPerTx, 1, 1<<10)
+	g.HotPct = clampRange(g.HotPct, 0, 100)
+	g.StorePct = clampRange(g.StorePct, 0, 100)
+
+	rng := rand.New(rand.NewSource(seed ^ 0x747378687063)) // "tsxhpc"
+	w := &Workload{
+		Seed:        seed,
+		Threads:     g.Threads,
+		Slots:       g.Slots,
+		Stride:      g.Stride,
+		TxPerThread: g.TxPerThread,
+		Txns:        make([][]Txn, g.Threads),
+	}
+	token := uint64(0)
+	for t := 0; t < g.Threads; t++ {
+		w.Txns[t] = make([]Txn, 0, g.TxPerThread)
+		for k := 0; k < g.TxPerThread; k++ {
+			n := 1 + rng.Intn(2*g.OpsPerTx)
+			ops := make([]Op, 0, n+1)
+			wrote := false
+			for i := 0; i < n; i++ {
+				slot := rng.Intn(g.Slots)
+				if g.HotPct > 0 && rng.Intn(100) < g.HotPct {
+					slot = rng.Intn(min(hotSetSlots, g.Slots))
+				}
+				switch {
+				case rng.Intn(100) < 45:
+					ops = append(ops, Op{Kind: OpRead, Slot: slot})
+				case rng.Intn(100) < g.StorePct:
+					// Tokens are distinct from each other and from plausible
+					// add sums, so a misordered replay cannot collide values
+					// by accident and slip past the oracle.
+					token++
+					ops = append(ops, Op{Kind: OpStore, Slot: slot, Arg: token<<32 | 0xfeed})
+					wrote = true
+					w.hasStores = true
+				default:
+					ops = append(ops, Op{Kind: OpAdd, Slot: slot, Arg: uint64(1 + rng.Intn(1000))})
+					wrote = true
+				}
+			}
+			if !wrote {
+				ops = append(ops, Op{Kind: OpAdd, Slot: rng.Intn(g.Slots), Arg: 1})
+			}
+			w.Txns[t] = append(w.Txns[t], Txn{Ops: ops, Think: uint64(rng.Intn(400))})
+		}
+	}
+	return w
+}
+
+// Commutative reports whether the workload contains only reads and adds, in
+// which case every serializable execution reaches the same final state and
+// cross-engine equality is asserted.
+func (w *Workload) Commutative() bool { return !w.hasStores }
+
+// TotalTxns is the committed-transaction count every complete execution
+// must produce.
+func (w *Workload) TotalTxns() int { return w.Threads * w.TxPerThread }
+
+// PredictedFinal returns the unique final slot values a commutative workload
+// must produce under any serializable execution: zeros plus each slot's
+// total addend. Only meaningful when Commutative.
+func (w *Workload) PredictedFinal() []uint64 {
+	final := make([]uint64, w.Slots)
+	for _, txns := range w.Txns {
+		for _, tx := range txns {
+			for _, op := range tx.Ops {
+				if op.Kind == OpAdd {
+					final[op.Slot] += op.Arg
+				}
+			}
+		}
+	}
+	return final
+}
+
+// ShapeFor derives a generator shape from a seed, sweeping thread count,
+// footprint, slot packing, contention, and store mix so a plain seed range
+// (1..N) covers the space. Even seeds stay commutative — cross-engine
+// final-state equality is asserted; odd seeds mix in blind stores —
+// serializability and replay-final only.
+func ShapeFor(seed int64) GenConfig {
+	rng := rand.New(rand.NewSource(seed*2654435761 + 99))
+	g := GenConfig{
+		Threads:     1 + rng.Intn(8),
+		Slots:       8 << rng.Intn(6), // 8..256
+		Stride:      8,
+		TxPerThread: 3 + rng.Intn(10),
+		OpsPerTx:    2 + rng.Intn(6),
+		HotPct:      []int{0, 50, 90}[rng.Intn(3)],
+	}
+	if rng.Intn(2) == 1 {
+		g.Stride = 64
+	}
+	if seed%2 == 1 {
+		g.StorePct = 40
+	}
+	return g
+}

@@ -1,0 +1,107 @@
+package check
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestGenerateDeterministic: the generator is a pure function of its
+// arguments — the property every reproduce-with-seed workflow rests on.
+func TestGenerateDeterministic(t *testing.T) {
+	g := ShapeFor(42)
+	a := Generate(42, g)
+	b := Generate(42, g)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed and shape produced different workloads")
+	}
+	c := Generate(43, g)
+	if reflect.DeepEqual(a.Txns, c.Txns) {
+		t.Fatal("different seeds produced identical transactions")
+	}
+}
+
+// TestGenerateEveryTxnWrites: the oracle's exact commit-order capture relies
+// on no transaction being read-only under TL2 (see stm.TL2.CommitHook), so
+// the generator must guarantee a write in every transaction.
+func TestGenerateEveryTxnWrites(t *testing.T) {
+	for seed := int64(1); seed <= 30; seed++ {
+		w := Generate(seed, ShapeFor(seed))
+		for tid, txns := range w.Txns {
+			for k, tx := range txns {
+				wrote := false
+				for _, op := range tx.Ops {
+					if op.Kind != OpRead {
+						wrote = true
+					}
+					if op.Slot < 0 || op.Slot >= w.Slots {
+						t.Fatalf("seed %d t%d txn %d: slot %d out of range %d", seed, tid, k, op.Slot, w.Slots)
+					}
+				}
+				if !wrote {
+					t.Fatalf("seed %d t%d txn %d is read-only", seed, tid, k)
+				}
+			}
+		}
+	}
+}
+
+// TestGenerateClampsHostileShapes: fuzz-supplied shapes can be arbitrary
+// garbage; Generate must clamp them into a valid workload rather than
+// panic or emit out-of-range threads/slots.
+func TestGenerateClampsHostileShapes(t *testing.T) {
+	hostile := []GenConfig{
+		{},
+		{Threads: -5, Slots: -1, Stride: -64, TxPerThread: -2, OpsPerTx: -9, HotPct: -50, StorePct: 900},
+		{Threads: 1 << 20, Slots: 1 << 30, Stride: 7, TxPerThread: 1 << 30, OpsPerTx: 1 << 20, HotPct: 101},
+	}
+	for i, g := range hostile {
+		// Huge clamped maxima would make the workload enormous; shrink the
+		// unbounded dimensions to keep the test fast while still exercising
+		// the clamp path for the rest.
+		if g.TxPerThread > 1000 {
+			g.TxPerThread = 2
+		}
+		if g.OpsPerTx > 100 {
+			g.OpsPerTx = 3
+		}
+		if g.Slots > 1<<10 {
+			g.Slots = 16
+		}
+		w := Generate(int64(i), g)
+		if w.Threads < 1 || w.Threads > 8 {
+			t.Fatalf("case %d: threads = %d", i, w.Threads)
+		}
+		if w.Slots < 1 || w.Stride < 8 || w.Stride%8 != 0 {
+			t.Fatalf("case %d: slots %d stride %d", i, w.Slots, w.Stride)
+		}
+		if len(w.Txns) != w.Threads || w.TotalTxns() < w.Threads {
+			t.Fatalf("case %d: txn table shape wrong", i)
+		}
+	}
+}
+
+// TestPredictedFinal: the analytic final state of a commutative workload is
+// the per-slot addend sum, and even ShapeFor seeds are commutative while odd
+// ones are not.
+func TestPredictedFinal(t *testing.T) {
+	w := Generate(2, ShapeFor(2))
+	if !w.Commutative() {
+		t.Fatal("even seed produced a non-commutative workload")
+	}
+	want := make([]uint64, w.Slots)
+	for _, txns := range w.Txns {
+		for _, tx := range txns {
+			for _, op := range tx.Ops {
+				if op.Kind == OpAdd {
+					want[op.Slot] += op.Arg
+				}
+			}
+		}
+	}
+	if !reflect.DeepEqual(w.PredictedFinal(), want) {
+		t.Fatal("PredictedFinal does not equal the addend sums")
+	}
+	if odd := Generate(3, ShapeFor(3)); odd.Commutative() {
+		t.Fatal("odd seed produced no stores")
+	}
+}

@@ -134,6 +134,13 @@ type Runtime struct {
 	ltFree []*lineTrack // recycled lineTracks (one is born per newly tracked line)
 	ovf    uint16       // bitmask of thread ids whose read set overflowed to Bloom
 	Stats  Stats
+
+	// CommitHook, when set, is invoked once per successful Commit, after the
+	// buffered writes became architecturally visible but still inside the
+	// indivisible commit instant (no scheduling points have passed). The
+	// differential harness (internal/check) uses it to stamp serialization
+	// order; the hook must not perform timed simulated work.
+	CommitHook func(c *sim.Context)
 }
 
 // New creates the TSX runtime for m and installs its conflict, eviction and
@@ -284,11 +291,36 @@ func (t *Txn) Commit() {
 	t.check()
 	t.ctx.Compute(t.rt.m.Costs.XCommit)
 	t.check()
+	if t.rt.m.Cfg.Invariants {
+		// No committed transaction may have a torn write set: every written
+		// line must still be registered in the runtime's directory, and must
+		// still carry this thread's L1 write mark — losing the line was
+		// obliged to deliver a capacity abort (eviction) or a conflict doom
+		// (remote write). The one legitimate exception is a conflicting
+		// access currently in flight: its cache mutation has landed but its
+		// conflict hook (the model's defined conflict instant) has not run
+		// yet, and this commit wins the race (requester-wins semantics are
+		// decided at the hook, see sim.Context.access).
+		bit := uint16(1) << uint(t.ctx.ID())
+		for line := range t.writeLines {
+			if lt := t.rt.lines[line]; lt == nil || lt.writers&bit == 0 {
+				panic(&sim.InvariantError{Point: "htm-writeset", Thread: t.ctx.ID(), Clock: t.ctx.Now(),
+					Detail: fmt.Sprintf("committing with write-set line %#x missing from the conflict directory", line)})
+			}
+			if !t.rt.m.TxMarked(t.ctx, line, true) && !t.rt.m.AccessInFlight(t.ctx, line) {
+				panic(&sim.InvariantError{Point: "htm-writeset", Thread: t.ctx.ID(), Clock: t.ctx.Now(),
+					Detail: fmt.Sprintf("committing with write-set line %#x no longer write-marked in L1 (torn write set)", line)})
+			}
+		}
+	}
 	for a, v := range t.writeBuf {
 		t.rt.m.Mem.WriteRaw(a, v)
 	}
 	for _, f := range t.frees {
 		t.rt.m.Mem.Free(f.addr, f.size)
+	}
+	if h := t.rt.CommitHook; h != nil {
+		h(t.ctx)
 	}
 	t.cleanup()
 	t.rt.Stats.Commits++

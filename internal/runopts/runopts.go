@@ -75,6 +75,26 @@ func (o *Options) CacheDir() string {
 	return o.Cache
 }
 
+// Plan returns the deterministic fault plan -chaos selects, or nil when
+// chaos is off. Tools that build machines explicitly (cmd/verify) use it
+// instead of the process-wide defaults Setup installs.
+func (o *Options) Plan() sim.FaultPlan {
+	if !o.ChaosSet {
+		return nil
+	}
+	return faults.Chaos(o.ChaosSeed)
+}
+
+// EffectiveStallCycles resolves the livelock-watchdog window: an explicit
+// -stallcycles wins; otherwise -chaos arms the default, and faults-off runs
+// leave the watchdog disarmed.
+func (o *Options) EffectiveStallCycles() uint64 {
+	if o.StallCycles == 0 && o.ChaosSet {
+		return DefaultChaosStallCycles
+	}
+	return o.StallCycles
+}
+
 // Setup installs the process-wide run defaults (fault plan, cycle budgets),
 // opens the persistent result store, and builds an experiment suite wired
 // to it. warn receives non-fatal notes (e.g. the cache being disabled
@@ -82,16 +102,10 @@ func (o *Options) CacheDir() string {
 // the run defaults; call it when the run is over so in-process callers
 // (tests) do not leak fault injection into each other.
 func (o *Options) Setup(warn io.Writer) (suite *experiments.Suite, store *memo.Store, cleanup func()) {
-	stall := o.StallCycles
-	if o.ChaosSet && stall == 0 {
-		stall = DefaultChaosStallCycles
-	}
+	stall := o.EffectiveStallCycles()
 	cleanup = func() {}
 	if o.ChaosSet || o.MaxCycles > 0 || stall > 0 {
-		d := sim.RunDefaults{MaxCycles: o.MaxCycles, StallCycles: stall}
-		if o.ChaosSet {
-			d.Faults = faults.Chaos(o.ChaosSeed)
-		}
+		d := sim.RunDefaults{MaxCycles: o.MaxCycles, StallCycles: stall, Faults: o.Plan()}
 		sim.SetRunDefaults(d)
 		cleanup = func() { sim.SetRunDefaults(sim.RunDefaults{}) }
 	}

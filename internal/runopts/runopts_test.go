@@ -1,0 +1,166 @@
+package runopts
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tsxhpc/internal/sim"
+)
+
+// parse registers the shared flags on a fresh FlagSet, parses args, and runs
+// Finish — the exact sequence every cmd binary performs.
+func parse(t *testing.T, args ...string) (*Options, error) {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(&strings.Builder{}) // silence usage spam
+	var o Options
+	Register(fs, &o)
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	o.Finish(fs)
+	return &o, nil
+}
+
+func TestFlagParsing(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string // substring of the parse error; "" means success
+		check   func(t *testing.T, o *Options)
+	}{
+		{
+			name: "defaults",
+			args: nil,
+			check: func(t *testing.T, o *Options) {
+				if o.ChaosSet {
+					t.Error("ChaosSet true without -chaos")
+				}
+				if o.Cache != DefaultCacheDir {
+					t.Errorf("Cache = %q, want %q", o.Cache, DefaultCacheDir)
+				}
+				if o.MaxCycles != 0 || o.StallCycles != 0 {
+					t.Errorf("budgets = %d/%d, want 0/0", o.MaxCycles, o.StallCycles)
+				}
+			},
+		},
+		{
+			name: "chaos seed zero is armed",
+			args: []string{"-chaos", "0"},
+			check: func(t *testing.T, o *Options) {
+				if !o.ChaosSet || o.ChaosSeed != 0 {
+					t.Errorf("ChaosSet=%v ChaosSeed=%d, want true/0", o.ChaosSet, o.ChaosSeed)
+				}
+			},
+		},
+		{
+			name:    "bad chaos value",
+			args:    []string{"-chaos", "banana"},
+			wantErr: `invalid value "banana" for flag -chaos`,
+		},
+		{
+			name:    "bad maxcycles value",
+			args:    []string{"-maxcycles", "-1"},
+			wantErr: `invalid value "-1" for flag -maxcycles`,
+		},
+		{
+			name: "cache off",
+			args: []string{"-cache", "off"},
+			check: func(t *testing.T, o *Options) {
+				if o.CacheDir() != "" {
+					t.Errorf("CacheDir() = %q, want empty for -cache off", o.CacheDir())
+				}
+			},
+		},
+		{
+			name: "negative parallel accepted and resolved later",
+			args: []string{"-parallel", "-3"},
+			check: func(t *testing.T, o *Options) {
+				if o.Parallel != -3 {
+					t.Errorf("Parallel = %d, want -3", o.Parallel)
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o, err := parse(t, tc.args...)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("err = %v, want mention of %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			tc.check(t, o)
+		})
+	}
+}
+
+func TestPlanAndStallResolution(t *testing.T) {
+	cases := []struct {
+		name      string
+		o         Options
+		wantPlan  bool
+		wantStall uint64
+	}{
+		{"faults off", Options{}, false, 0},
+		{"explicit stall without chaos", Options{StallCycles: 7}, false, 7},
+		{"chaos arms default watchdog", Options{ChaosSet: true}, true, DefaultChaosStallCycles},
+		{"explicit stall wins over chaos default", Options{ChaosSet: true, StallCycles: 9}, true, 9},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.o.Plan() != nil; got != tc.wantPlan {
+				t.Errorf("Plan() non-nil = %v, want %v", got, tc.wantPlan)
+			}
+			if got := tc.o.EffectiveStallCycles(); got != tc.wantStall {
+				t.Errorf("EffectiveStallCycles() = %d, want %d", got, tc.wantStall)
+			}
+		})
+	}
+}
+
+// TestSetupCacheUnopenable: a -cache path that cannot be a directory (it is a
+// file) degrades to a warning, not a failure — the suite still works.
+func TestSetupCacheUnopenable(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(bad, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	o := Options{Parallel: 1, Cache: bad}
+	var warn strings.Builder
+	suite, store, cleanup := o.Setup(&warn)
+	defer cleanup()
+	if suite == nil {
+		t.Fatal("Setup returned nil suite")
+	}
+	if store != nil {
+		t.Fatalf("store = %v, want nil for unopenable cache", store)
+	}
+	if !strings.Contains(warn.String(), "cache disabled") {
+		t.Fatalf("warning %q does not mention cache disabled", warn.String())
+	}
+}
+
+// TestSetupCleanupRestoresDefaults: chaos Setup installs process-wide run
+// defaults; cleanup must restore the zero value so in-process callers do not
+// leak fault injection into each other. (Not parallel: process-wide state.)
+func TestSetupCleanupRestoresDefaults(t *testing.T) {
+	o := Options{Parallel: 1, Cache: CacheOff, ChaosSet: true, ChaosSeed: 5}
+	var warn strings.Builder
+	_, _, cleanup := o.Setup(&warn)
+	if d := sim.GetRunDefaults(); d.Faults == nil || d.StallCycles != DefaultChaosStallCycles {
+		cleanup()
+		t.Fatalf("armed defaults = %+v, want chaos plan + default watchdog", d)
+	}
+	cleanup()
+	if d := sim.GetRunDefaults(); d != (sim.RunDefaults{}) {
+		t.Fatalf("defaults after cleanup = %+v, want zero", d)
+	}
+}

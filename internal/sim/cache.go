@@ -12,6 +12,8 @@ package sim
 // the paper's observation that Hyper-Threading compounds the capacity issue
 // (Table 1).
 
+import "fmt"
+
 const (
 	cacheSets = 64
 	cacheWays = 8
@@ -197,6 +199,12 @@ place:
 	s[victim] = cline{tag: line, valid: true}
 	c.tags[setOf(line)][victim] = line
 	c.mru[setOf(line)] = uint8(victim)
+	if c.m.Cfg.Invariants {
+		if d := c.checkSet(setOf(line)); d != "" {
+			panic(&InvariantError{Point: "l1-set",
+				Detail: fmt.Sprintf("core %d set %d after install of %#x: %s", c.id, setOf(line), line, d)})
+		}
+	}
 	return victim
 }
 

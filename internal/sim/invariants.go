@@ -1,0 +1,126 @@
+package sim
+
+// Machine-model self-checks. The simulator's answers are only as good as its
+// internal consistency: a duplicated L1 tag or a wrapped virtual clock would
+// silently corrupt every cost and every transactional conflict downstream.
+// With Config.Invariants set, the hot paths verify themselves inline (set
+// integrity after every line install, clock monotonicity on every charge,
+// and package htm's committed-write-set residency check) and panic with a
+// typed *InvariantError on the first violation. The checks are off by
+// default; the differential harness (internal/check) always arms them.
+
+import "fmt"
+
+// InvariantError reports a violated machine-model invariant. It is delivered
+// by panic from inside a simulated region (the model is wrong — there is no
+// meaningful way to continue the run), carrying enough context to localize
+// the failure: which check fired, on which simulated thread, at what virtual
+// time.
+type InvariantError struct {
+	// Point names the check that fired: "l1-set", "clock", "htm-writeset",
+	// "mutex-unlock".
+	Point string
+	// Thread is the simulated thread id on whose behalf the check ran.
+	Thread int
+	// Clock is that thread's virtual time at the failure.
+	Clock uint64
+	// Detail describes the violation.
+	Detail string
+}
+
+func (e *InvariantError) Error() string {
+	return fmt.Sprintf("sim: invariant violated [%s] thread %d @ cycle %d: %s",
+		e.Point, e.Thread, e.Clock, e.Detail)
+}
+
+// checkSet verifies one set's structural invariants and returns a
+// description of the first violation, or "". Occupancy ≤ associativity is
+// enforced by construction (the ways array is fixed at cacheWays), so the
+// checks that can actually fail are: every valid way maps to this set, no
+// two valid ways carry the same tag (a duplicated line would double-count
+// capacity and split transactional marks), and the packed tag mirror agrees
+// with the authoritative cline state (a stale mirror makes lookup disagree
+// with install).
+func (c *Cache) checkSet(set int) string {
+	ways := &c.sets[set]
+	for w := range ways {
+		ln := &ways[w]
+		if !ln.valid {
+			if c.tags[set][w] != 0 {
+				return fmt.Sprintf("way %d invalid but tag mirror holds %#x", w, c.tags[set][w])
+			}
+			continue
+		}
+		if ln.tag == 0 {
+			return fmt.Sprintf("way %d valid with zero tag", w)
+		}
+		if c.tags[set][w] != ln.tag {
+			return fmt.Sprintf("way %d tag mirror %#x != line tag %#x", w, c.tags[set][w], ln.tag)
+		}
+		if setOf(ln.tag) != set {
+			return fmt.Sprintf("way %d holds line %#x which maps to set %d", w, ln.tag, setOf(ln.tag))
+		}
+		for w2 := w + 1; w2 < cacheWays; w2++ {
+			if ways[w2].valid && ways[w2].tag == ln.tag {
+				return fmt.Sprintf("ways %d and %d both hold line %#x", w, w2, ln.tag)
+			}
+		}
+	}
+	return ""
+}
+
+// VerifyCaches sweeps every set of every core's L1 with the same structural
+// checks the Invariants hot path runs incrementally, returning the first
+// violation as an error (nil when clean). The differential harness calls it
+// after each engine run as an end-state audit; it is cheap enough (4 caches
+// × 64 sets × 8 ways) to run after every workload.
+func (m *Machine) VerifyCaches() error {
+	for _, c := range m.caches {
+		for set := 0; set < cacheSets; set++ {
+			if d := c.checkSet(set); d != "" {
+				return &InvariantError{Point: "l1-set",
+					Detail: fmt.Sprintf("core %d set %d: %s", c.id, set, d)}
+			}
+		}
+	}
+	return nil
+}
+
+// AccessInFlight reports whether a context other than ctx is currently
+// mid-access to line: its cache-state mutation (which may have invalidated
+// ctx's copy and dropped its transactional marks) has happened, but its
+// conflict hook — the model's defined conflict instant, deliberately placed
+// after the scheduling point (see Context.access) — has not yet run. A
+// transaction committing inside that window with the line unmarked is
+// legitimate requester-wins racing, not lost speculative state; outside it,
+// a missing mark means the model dropped state without aborting anyone.
+// Only maintained under Config.Invariants.
+func (m *Machine) AccessInFlight(ctx *Context, line Addr) bool {
+	for _, c := range m.ctxs {
+		if c != ctx && c.pendingLine == line {
+			return true
+		}
+	}
+	return false
+}
+
+// TxMarked reports whether ctx's core L1 currently holds line with ctx's
+// transactional write (or read) mark. Package htm's commit path uses it,
+// under Config.Invariants, to assert no transaction commits a torn write
+// set: every line a committing transaction wrote must still be resident and
+// write-marked (or a conflicting access must be in flight, about to doom
+// someone — see AccessInFlight); otherwise the model was obliged to deliver
+// a capacity abort instead.
+func (m *Machine) TxMarked(ctx *Context, line Addr, write bool) bool {
+	c := m.caches[ctx.core]
+	w := c.lookup(line)
+	if w < 0 {
+		return false
+	}
+	ln := &c.sets[setOf(line)][w]
+	bit := uint8(1) << uint(ctx.slot)
+	if write {
+		return ln.wmask&bit != 0
+	}
+	return ln.rmask&bit != 0
+}

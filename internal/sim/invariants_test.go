@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// invariantConfig is DefaultConfig with the self-checks armed.
+func invariantConfig() Config {
+	cfg := Config{Cores: 4, ThreadsPerCore: 2, Costs: DefaultCosts(), Seed: 1, Invariants: true}
+	return cfg
+}
+
+// expectInvariant runs f and asserts it panics with an *InvariantError whose
+// Point matches.
+func expectInvariant(t *testing.T, point string, f func()) {
+	t.Helper()
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatalf("no %s invariant violation raised", point)
+		}
+		ie, ok := p.(*InvariantError)
+		if !ok {
+			panic(p)
+		}
+		if ie.Point != point {
+			t.Fatalf("violation point = %q, want %q (%v)", ie.Point, point, ie)
+		}
+		if !strings.Contains(ie.Error(), "invariant violated") {
+			t.Fatalf("error text: %v", ie)
+		}
+	}()
+	f()
+}
+
+// TestVerifyCachesCleanRun: a healthy workload passes both the inline
+// install-time checks and the end-of-run sweep.
+func TestVerifyCachesCleanRun(t *testing.T) {
+	m := New(invariantConfig())
+	arr := m.Mem.AllocArray(256, 8)
+	m.Run(4, func(c *Context) {
+		for i := 0; i < 400; i++ {
+			a := arr + Addr(((i*7+c.ID()*13)%256)*8)
+			if i%3 == 0 {
+				c.Store(a, uint64(i))
+			} else {
+				c.Load(a)
+			}
+		}
+	})
+	if err := m.VerifyCaches(); err != nil {
+		t.Fatalf("clean run failed the cache audit: %v", err)
+	}
+}
+
+// TestCacheAuditCatchesDuplicateTag: planting the same line in two ways of a
+// set — the corruption the inline install check and VerifyCaches exist for —
+// is reported.
+func TestCacheAuditCatchesDuplicateTag(t *testing.T) {
+	m := New(invariantConfig())
+	a := m.Mem.AllocLine(8)
+	line := LineOf(a)
+	m.Run(1, func(c *Context) { c.Load(a) })
+	set := setOf(line)
+	cache := m.caches[0]
+	w2 := (cache.lookup(line) + 1) % cacheWays
+	cache.sets[set][w2] = cline{tag: line, valid: true}
+	cache.tags[set][w2] = line
+	err := m.VerifyCaches()
+	if err == nil {
+		t.Fatal("duplicate tag not caught")
+	}
+	var ie *InvariantError
+	if !errors.As(err, &ie) || ie.Point != "l1-set" || !strings.Contains(err.Error(), "both hold") {
+		t.Fatalf("unexpected audit error: %v", err)
+	}
+}
+
+// TestCacheAuditCatchesStaleMirror: the packed tag mirror disagreeing with
+// the authoritative line state is reported.
+func TestCacheAuditCatchesStaleMirror(t *testing.T) {
+	m := New(invariantConfig())
+	a := m.Mem.AllocLine(8)
+	m.Run(1, func(c *Context) { c.Load(a) })
+	line := LineOf(a)
+	cache := m.caches[0]
+	cache.tags[setOf(line)][cache.lookup(line)] = line + LineSize
+	if err := m.VerifyCaches(); err == nil || !strings.Contains(err.Error(), "mirror") {
+		t.Fatalf("stale mirror not caught: %v", err)
+	}
+}
+
+// TestInstallChecksFireInline: with Invariants armed, corruption is caught by
+// the next install into the damaged set, not just by an explicit audit.
+func TestInstallChecksFireInline(t *testing.T) {
+	m := New(invariantConfig())
+	a := m.Mem.AllocLine(8)
+	line := LineOf(a)
+	expectInvariant(t, "l1-set", func() {
+		m.Run(1, func(c *Context) {
+			c.Load(a)
+			cache := m.caches[0]
+			w2 := (cache.lookup(line) + 1) % cacheWays
+			cache.sets[setOf(line)][w2] = cline{tag: line, valid: true}
+			cache.tags[setOf(line)][w2] = line
+			// Same set, different line: the install re-verifies the set.
+			c.Load(a + cacheSets*LineSize)
+		})
+	})
+}
+
+// TestClockMonotonicityCheck: a virtual clock wrap is caught at the charge.
+func TestClockMonotonicityCheck(t *testing.T) {
+	m := New(invariantConfig())
+	expectInvariant(t, "clock", func() {
+		m.Run(1, func(c *Context) {
+			c.clock = ^uint64(0) - 5
+			c.Compute(100)
+		})
+	})
+}
+
+// TestTxMarkTracking: TxMarked reflects transactional access marks and
+// ClearTxMarks removes exactly the caller's.
+func TestTxMarkTracking(t *testing.T) {
+	m := New(invariantConfig())
+	a := m.Mem.AllocLine(8)
+	line := LineOf(a)
+	m.Run(1, func(c *Context) {
+		if m.TxMarked(c, line, true) || m.TxMarked(c, line, false) {
+			t.Error("marks present before any access")
+		}
+		c.TxAccess(a, false)
+		if !m.TxMarked(c, line, false) || m.TxMarked(c, line, true) {
+			t.Error("read mark wrong after transactional read")
+		}
+		c.TxAccess(a, true)
+		if !m.TxMarked(c, line, true) {
+			t.Error("write mark missing after transactional write")
+		}
+		m.ClearTxMarks(c, line)
+		if m.TxMarked(c, line, true) || m.TxMarked(c, line, false) {
+			t.Error("marks survived ClearTxMarks")
+		}
+	})
+}

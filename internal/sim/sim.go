@@ -51,6 +51,15 @@ type Config struct {
 	// paper runs with Hyper-Threading disabled).
 	DisableHT bool
 
+	// Invariants, when true, arms the machine's inline self-checks: L1 set
+	// integrity (occupancy bounded by associativity, no duplicate tags, tag
+	// mirror coherent) verified on every line install, virtual-clock
+	// monotonicity verified on every charge, and the no-torn-write-set check
+	// package htm performs at commit. A violation panics with a typed
+	// *InvariantError. Off by default — the checks cost a few percent — and
+	// always armed by the differential harness (internal/check).
+	Invariants bool
+
 	// MaxCycles, when nonzero, is a hard per-Run virtual-cycle budget: any
 	// thread's clock passing it raises a *StallError (StallCycleBudget)
 	// instead of letting a runaway region simulate forever.
@@ -91,6 +100,15 @@ var runDefaults atomic.Pointer[RunDefaults]
 // SetRunDefaults installs process-wide defaults merged into DefaultConfig.
 // Passing the zero value restores the no-faults, no-budget behavior.
 func SetRunDefaults(d RunDefaults) { runDefaults.Store(&d) }
+
+// GetRunDefaults returns the currently installed process-wide defaults (the
+// zero value when none were set), so tests can assert install/restore pairs.
+func GetRunDefaults() RunDefaults {
+	if d := runDefaults.Load(); d != nil {
+		return *d
+	}
+	return RunDefaults{}
+}
 
 // DefaultConfig returns the machine used throughout the paper: 4 cores x
 // 2 HyperThreads, 32 KB 8-way L1D — plus any process-wide RunDefaults
@@ -232,6 +250,12 @@ type Context struct {
 	// parked (the futex "don't sleep if a wake raced ahead" rule).
 	wakePending bool
 	wakeAt      uint64
+
+	// pendingLine, maintained only under Config.Invariants, is the line of
+	// this context's in-flight timed access between its cache-state mutation
+	// and its conflict-hook delivery (0 otherwise; line addresses start at
+	// 64). See Machine.AccessInFlight.
+	pendingLine Addr
 }
 
 // ID returns the simulated thread id (0-based, dense).
@@ -536,7 +560,12 @@ func (c *Context) charge(cyc uint64) {
 	if c.sibling != nil && c.sibling.consumesCore() {
 		cyc = cyc * uint64(c.m.Costs.HTFactorNum) / uint64(c.m.Costs.HTFactorDen)
 	}
+	before := c.clock
 	c.clock += cyc
+	if c.m.Cfg.Invariants && c.clock < before {
+		panic(&InvariantError{Point: "clock", Thread: c.id, Clock: c.clock,
+			Detail: fmt.Sprintf("virtual clock wrapped: %d + %d cycles", before, cyc)})
+	}
 	c.m.events++
 	if c.clock >= c.m.deadline {
 		c.m.onDeadline(c)
@@ -586,11 +615,23 @@ func (c *Context) Syscall(extra uint64) {
 // mid-flight, breaking lock elision's mutual exclusion.
 func (c *Context) access(a Addr, write, tx bool) {
 	line := LineOf(a)
+	inv := c.m.Cfg.Invariants
+	if inv {
+		// The whole access — cache mutation through conflict-hook delivery —
+		// is one logical event split around a scheduling point. Publishing
+		// the in-flight line lets the commit-time write-set invariant tell a
+		// pending conflict (legitimate) from silently lost speculative state
+		// (a model bug). See Machine.AccessInFlight.
+		c.pendingLine = line
+	}
 	cost := c.m.caches[c.core].access(c, line, write, tx)
 	c.charge(cost)
 	c.maybeYield()
 	if c.m.ConflictHook != nil {
 		c.m.ConflictHook(c, line, write)
+	}
+	if inv {
+		c.pendingLine = 0
 	}
 }
 

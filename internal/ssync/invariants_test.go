@@ -1,0 +1,70 @@
+package ssync
+
+import (
+	"testing"
+
+	"tsxhpc/internal/sim"
+)
+
+// expectUnlockViolation asserts body panics with the mutex-unlock invariant.
+func expectUnlockViolation(t *testing.T, m *sim.Machine, body func(c *sim.Context)) {
+	t.Helper()
+	defer func() {
+		p := recover()
+		ie, ok := p.(*sim.InvariantError)
+		if !ok {
+			t.Fatalf("recovered %v, want *sim.InvariantError", p)
+		}
+		if ie.Point != "mutex-unlock" {
+			t.Fatalf("violation point = %q, want mutex-unlock", ie.Point)
+		}
+	}()
+	m.Run(1, body)
+	t.Fatal("unheld unlock raised no violation")
+}
+
+// TestUnlockUnheldMutexCaught: releasing a mutex nobody holds is always a
+// caller bug and panics with the typed invariant error.
+func TestUnlockUnheldMutexCaught(t *testing.T) {
+	m := sim.New(sim.DefaultConfig())
+	l := NewMutex(m.Mem)
+	expectUnlockViolation(t, m, func(c *sim.Context) { l.Unlock(c) })
+}
+
+// TestUnlockUnheldSpinLockCaught: same contract for the spinlock.
+func TestUnlockUnheldSpinLockCaught(t *testing.T) {
+	m := sim.New(sim.DefaultConfig())
+	l := NewSpinLock(m.Mem)
+	expectUnlockViolation(t, m, func(c *sim.Context) { l.Unlock(c) })
+}
+
+// TestUnlockDoubleCaught: a double unlock trips the guard on the second
+// release, while a correct lock/unlock pair (including a handoff-heavy
+// sequence) does not.
+func TestUnlockDoubleCaught(t *testing.T) {
+	m := sim.New(sim.DefaultConfig())
+	l := NewMutex(m.Mem)
+	expectUnlockViolation(t, m, func(c *sim.Context) {
+		l.Lock(c)
+		l.Unlock(c)
+		l.Unlock(c)
+	})
+}
+
+// TestUnlockGuardAllowsHandoff: under contention the lock word legitimately
+// stays 1 across direct handoffs to parked waiters; the guard must not fire.
+func TestUnlockGuardAllowsHandoff(t *testing.T) {
+	m := sim.New(sim.DefaultConfig())
+	l := NewMutex(m.Mem)
+	ctr := m.Mem.AllocLine(8)
+	m.Run(8, func(c *sim.Context) {
+		for i := 0; i < 50; i++ {
+			l.Lock(c)
+			c.Store(ctr, c.Load(ctr)+1)
+			l.Unlock(c)
+		}
+	})
+	if got := m.Mem.ReadRaw(ctr); got != 400 {
+		t.Fatalf("counter = %d, want 400", got)
+	}
+}

@@ -100,8 +100,21 @@ func (l *Mutex) Unlock(c *sim.Context) {
 		c.Wake(w, c.Now()+costs.FutexWake)
 		return
 	}
+	l.checkHeld(c)
 	c.Compute(costs.MutexUnlock)
 	c.Store(l.Addr, 0)
+}
+
+// checkHeld panics with an *sim.InvariantError if the lock word is clear:
+// unlocking an unheld mutex is always a caller bug (with waiters present the
+// word legitimately stays 1 across handoffs, so the check only applies on
+// the word-clearing path). The probe is an untimed ReadRaw, so healthy runs
+// are bit-for-bit unaffected.
+func (l *Mutex) checkHeld(c *sim.Context) {
+	if c.Machine().Mem.ReadRaw(l.Addr) == 0 {
+		panic(&sim.InvariantError{Point: "mutex-unlock", Thread: c.ID(), Clock: c.Now(),
+			Detail: "unlock of unheld mutex (lock word already clear)"})
+	}
 }
 
 // SpinLock is a test-and-test-and-set spinlock that never parks; waiting
@@ -142,6 +155,10 @@ func (l *SpinLock) TryLock(c *sim.Context) bool {
 
 // Unlock releases the spinlock.
 func (l *SpinLock) Unlock(c *sim.Context) {
+	if c.Machine().Mem.ReadRaw(l.Addr) == 0 {
+		panic(&sim.InvariantError{Point: "mutex-unlock", Thread: c.ID(), Clock: c.Now(),
+			Detail: "unlock of unheld spinlock (lock word already clear)"})
+	}
 	c.Compute(c.Machine().Costs.MutexUnlock)
 	c.Store(l.Addr, 0)
 }

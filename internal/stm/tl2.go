@@ -47,6 +47,31 @@ type TL2 struct {
 	orecs []orec
 	pool  []*Txn // recycled per-thread Txn objects (try is hot; see try)
 	Stats Stats
+
+	// CommitHook, when set, is invoked once per committed transaction, for a
+	// writer after read-set validation succeeds (the transaction can no
+	// longer abort) and before write-back. Note this instant is NOT the
+	// serialization point: the validation loop contains scheduling points, so
+	// two commits can fire their hooks in the opposite order of their write
+	// versions. Callers that need the exact serial order must use
+	// SerializeHook and order by wv. The hook must not perform timed
+	// simulated work.
+	CommitHook func(c *sim.Context)
+
+	// SerializeHook, when set, is invoked the instant a writer acquires its
+	// write version — immediately after the global-clock advance, with no
+	// scheduling point in between — which is the transaction's position in
+	// TL2's serial order: all its reads are proved (by the validation that
+	// follows) unmodified from its snapshot through this instant, and
+	// per-location write order matches wv order because write locks are held
+	// from before the advance until after write-back. The attempt can still
+	// fail read-set validation afterwards, so consumers must treat the stamp
+	// as tentative and discard it unless CommitHook confirms the commit.
+	// Read-only transactions serialize at their snapshot (rv), never acquire
+	// a wv, and never fire this hook (internal/check generates writers-only
+	// workloads for exactly this reason — see DESIGN.md §11). The hook must
+	// not perform timed simulated work.
+	SerializeHook func(c *sim.Context, wv uint64)
 }
 
 // New creates a TL2 instance for machine m.
@@ -132,6 +157,9 @@ func (t *Txn) commit() {
 	if len(t.writeSet) == 0 {
 		// Read-only transactions commit without validation in TL2.
 		c.Compute(costs.TL2Commit)
+		if h := t.s.CommitHook; h != nil {
+			h(c)
+		}
 		t.commitFrees()
 		t.s.Stats.Commits++
 		return
@@ -170,6 +198,9 @@ func (t *Txn) commit() {
 	c.Compute(costs.Atomic)
 	t.s.gv++
 	wv := t.s.gv
+	if h := t.s.SerializeHook; h != nil {
+		h(c, wv)
+	}
 	// Validate the read set.
 	for _, oi := range t.readSet {
 		c.Compute(costs.TL2PerRead)
@@ -182,6 +213,11 @@ func (t *Txn) commit() {
 			}
 			t.abort()
 		}
+	}
+	// Validation passed and every write-set orec is held: the transaction is
+	// now irrevocable, ordered at wv (stamped by SerializeHook above).
+	if h := t.s.CommitHook; h != nil {
+		h(c)
 	}
 	// Write back and release.
 	c.Compute(costs.TL2Commit)

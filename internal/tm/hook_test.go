@@ -1,0 +1,63 @@
+package tm
+
+import (
+	"testing"
+
+	"tsxhpc/internal/sim"
+)
+
+// TestCommitHookFiresOncePerRegion: across every mode, the hook installed by
+// SetCommitHook observes exactly one commit per top-level atomic region, and
+// at a point where the region's writes are already visible — including TSX
+// regions that commit through the fallback lock.
+func TestCommitHookFiresOncePerRegion(t *testing.T) {
+	const perThread = 25
+	for _, mode := range []Mode{SGL, TL2, TSX} {
+		t.Run(mode.String(), func(t *testing.T) {
+			m := sim.New(sim.Config{Cores: 4, ThreadsPerCore: 2, Costs: sim.DefaultCosts(), Seed: 1})
+			s := NewSystem(m, mode)
+			a := m.Mem.AllocLine(8)
+			fired := 0
+			s.SetCommitHook(func(c *sim.Context) { fired++ })
+			m.Run(8, func(c *sim.Context) {
+				for i := 0; i < perThread; i++ {
+					s.Atomic(c, func(tx Tx) {
+						tx.Store(a, tx.Load(a)+1)
+					})
+				}
+			})
+			if fired != 8*perThread {
+				t.Fatalf("hook fired %d times, want %d", fired, 8*perThread)
+			}
+			if got := m.Mem.ReadRaw(a); got != 8*perThread {
+				t.Fatalf("counter = %d, want %d (mini-differential)", got, 8*perThread)
+			}
+			if mode == TSX {
+				hw := s.HTM.Stats.Commits + s.HTM.Stats.Fallback
+				if hw != 8*perThread {
+					t.Fatalf("hardware commits %d + fallbacks %d != regions %d",
+						s.HTM.Stats.Commits, s.HTM.Stats.Fallback, 8*perThread)
+				}
+			}
+		})
+	}
+}
+
+// TestCommitHookRawAndNesting: Raw regions fire the hook too (after the
+// body), and flat-nested inner regions do not fire separately.
+func TestCommitHookRawAndNesting(t *testing.T) {
+	m := sim.New(sim.Config{Cores: 4, ThreadsPerCore: 2, Costs: sim.DefaultCosts(), Seed: 1})
+	s := NewSystem(m, Raw)
+	a := m.Mem.AllocLine(8)
+	fired := 0
+	s.SetCommitHook(func(c *sim.Context) { fired++ })
+	m.Run(1, func(c *sim.Context) {
+		s.Atomic(c, func(tx Tx) {
+			tx.Store(a, 1)
+			s.Atomic(c, func(inner Tx) { inner.Store(a, 2) }) // flattens
+		})
+	})
+	if fired != 1 {
+		t.Fatalf("hook fired %d times for one top-level region, want 1", fired)
+	}
+}

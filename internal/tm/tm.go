@@ -93,6 +93,10 @@ type System struct {
 	GLock *ssync.Mutex
 
 	cur []Tx // per-thread current region, for flat nesting
+
+	// commitHook, when set via SetCommitHook, observes every region's commit
+	// instant regardless of mode.
+	commitHook func(*sim.Context)
 }
 
 // NewSystem creates a synchronization library instance over machine m.
@@ -111,6 +115,23 @@ func NewSystem(m *sim.Machine, mode Mode) *System {
 		s.STM = stm.New(m)
 	}
 	return s
+}
+
+// SetCommitHook arranges for h to run once per committed top-level region,
+// at the instant that fixes the region's place in the serial order: inside
+// the hardware commit for TSX (and, on the fallback path, while the global
+// lock is still held), at TL2's serialization point (see stm.TL2.CommitHook),
+// while the lock is held for SGL, and directly after the body for Raw. The
+// differential harness (internal/check) uses it to capture commit order; h
+// must not perform timed simulated work.
+func (s *System) SetCommitHook(h func(*sim.Context)) {
+	s.commitHook = h
+	if s.HTM != nil {
+		s.HTM.CommitHook = h
+	}
+	if s.STM != nil {
+		s.STM.CommitHook = h
+	}
 }
 
 // plainTx accesses memory directly; exclusion comes from a held lock (or,
@@ -171,9 +192,17 @@ func (s *System) Atomic(c *sim.Context, body func(Tx)) {
 	switch s.Mode {
 	case Raw:
 		s.enter(c, plainTx{c}, body)
+		if s.commitHook != nil {
+			s.commitHook(c)
+		}
 	case SGL:
 		s.GLock.Lock(c)
 		s.enter(c, plainTx{c}, body)
+		if s.commitHook != nil {
+			// Commit point: the region's writes are visible and the lock is
+			// still held, so no later region can order ahead of this one.
+			s.commitHook(c)
+		}
 		s.GLock.Unlock(c)
 	case TL2:
 		s.STM.Run(c, func(t *stm.Txn) {
@@ -243,6 +272,11 @@ func (s *System) elide(c *sim.Context, body func(Tx)) {
 	s.HTM.Stats.Fallback++
 	s.GLock.Lock(c)
 	s.enter(c, plainTx{c}, body)
+	if s.commitHook != nil {
+		// Same commit point as SGL: hook before release, while the fallback
+		// lock still excludes both elided and fallback regions.
+		s.commitHook(c)
+	}
 	s.GLock.Unlock(c)
 }
 

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Coverage ratchet: every package listed in coverage_baseline.txt must keep
+# its short-mode statement coverage at or above its committed floor.
+#
+#   scripts/cover_ratchet.sh            enforce the floors (CI)
+#   scripts/cover_ratchet.sh -print     print current coverage per package
+#
+# Floors only move up: when a package's tests improve, tighten its line in
+# coverage_baseline.txt (measured coverage minus ~2 points of slack).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+baseline=coverage_baseline.txt
+mode=${1:-}
+fail=0
+
+while read -r pkg floor; do
+  case $pkg in ''|\#*) continue ;; esac
+  line=$(go test -short -cover "./${pkg#tsxhpc/}" 2>&1 | grep -E '^ok' || true)
+  got=$(sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p' <<<"$line")
+  if [ -z "$got" ]; then
+    echo "FAIL  $pkg: no coverage result (test failure?)"
+    go test -short -cover "./${pkg#tsxhpc/}" || true
+    fail=1
+    continue
+  fi
+  if [ "$mode" = "-print" ]; then
+    printf '%-28s %6s%% (floor %s%%)\n' "$pkg" "$got" "$floor"
+    continue
+  fi
+  if awk -v g="$got" -v f="$floor" 'BEGIN { exit !(g < f) }'; then
+    echo "FAIL  $pkg: coverage ${got}% fell below floor ${floor}%"
+    fail=1
+  else
+    echo "ok    $pkg: ${got}% >= ${floor}%"
+  fi
+done <"$baseline"
+
+if [ "$fail" -ne 0 ]; then
+  echo "coverage ratchet: FAILED (floors live in $baseline)"
+  exit 1
+fi
+[ "$mode" = "-print" ] || echo "coverage ratchet: OK"
