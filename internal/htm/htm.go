@@ -115,13 +115,12 @@ func (s *Stats) AbortRate() float64 {
 // Reset zeroes the counters.
 func (s *Stats) Reset() { *s = Stats{} }
 
-// lineTrack records which in-flight transactions (by thread id bit) hold a
-// line in their read set and write set. It is the model's stand-in for the
-// coherence directory state the hardware consults.
-type lineTrack struct {
-	readers uint16
-	writers uint16
-}
+// The conflict directory (Runtime.lines) records which in-flight
+// transactions (by thread id bit) hold each line in their read set and write
+// set: reader bits occupy the low 16 bits of the packed tracking word,
+// writer bits the high 16 (see dirReaderBit/dirWriterBit).
+func dirReaderBit(id int) uint32 { return 1 << uint(id) }
+func dirWriterBit(id int) uint32 { return 1 << (16 + uint(id)) }
 
 // Runtime is the per-machine TSX emulation state. Creating a Runtime
 // installs the machine hooks; only one Runtime may be active per Machine.
@@ -130,9 +129,8 @@ type Runtime struct {
 	active []*Txn // indexed by thread id
 	pool   []*Txn // recycled per-thread Txn objects (Begin is hot; see Begin)
 	nTxns  int
-	lines  map[sim.Addr]*lineTrack
-	ltFree []*lineTrack // recycled lineTracks (one is born per newly tracked line)
-	ovf    uint16       // bitmask of thread ids whose read set overflowed to Bloom
+	lines  lineDir // conflict directory: line → packed reader/writer bits
+	ovf    uint16  // bitmask of thread ids whose read set overflowed to Bloom
 	Stats  Stats
 
 	// CommitHook, when set, is invoked once per successful Commit, after the
@@ -150,9 +148,12 @@ func New(m *sim.Machine) *Runtime {
 		m:      m,
 		active: make([]*Txn, 64),
 		pool:   make([]*Txn, 64),
-		lines:  make(map[sim.Addr]*lineTrack),
 	}
-	m.ConflictHook = r.conflictHook
+	r.lines.init(lineDirMinSize)
+	// ConflictHook is toggled by Begin/cleanup so it is installed only while
+	// a transaction is in flight: the hook fires on every timed access in
+	// the machine, and outside transactional phases (serial regions, lock
+	// workloads) it would be a dead indirect call on the hottest path.
 	m.EvictHook = r.evictHook
 	m.SyscallHook = r.syscallHook
 	m.SpuriousAbortHook = r.spuriousHook
@@ -164,9 +165,13 @@ type Txn struct {
 	rt  *Runtime
 	ctx *sim.Context
 
-	readLines  map[sim.Addr]struct{}
-	writeLines map[sim.Addr]struct{}
-	writeBuf   map[sim.Addr]uint64 // word address -> speculative value
+	// readLines/writeLines list the lines this transaction tracks, for
+	// cleanup sweeps; membership itself is authoritative in the runtime's
+	// conflict directory (this thread's reader/writer bit), so the slices
+	// are append-only and duplicate-free by construction.
+	readLines  []sim.Addr
+	writeLines []sim.Addr
+	writeBuf   wordMap // word address -> speculative value
 	bloom      bloom
 	frees      []pendingFree // deferred until commit (TM_FREE discipline)
 
@@ -198,16 +203,14 @@ func (r *Runtime) Begin(c *sim.Context) *Txn {
 	// reallocated; a thread runs at most one transaction at a time.
 	t := r.pool[c.ID()]
 	if t == nil {
-		t = &Txn{
-			readLines:  make(map[sim.Addr]struct{}, 16),
-			writeLines: make(map[sim.Addr]struct{}, 8),
-			writeBuf:   make(map[sim.Addr]uint64, 8),
-		}
+		t = &Txn{}
+		t.writeBuf.init(wordMapMinSize)
 		r.pool[c.ID()] = t
 	} else {
-		clear(t.readLines)
-		clear(t.writeLines)
-		clear(t.writeBuf)
+		poolCheckTxn(r, t)
+		t.readLines = t.readLines[:0]
+		t.writeLines = t.writeLines[:0]
+		t.writeBuf.reset()
 		t.frees = t.frees[:0]
 		t.bloom = bloom{}
 		t.doomed = false
@@ -217,6 +220,10 @@ func (r *Runtime) Begin(c *sim.Context) *Txn {
 	t.rt = r
 	t.ctx = c
 	r.active[c.ID()] = t
+	if r.nTxns == 0 {
+		// First in-flight transaction: arm coherence conflict detection.
+		r.m.ConflictHook = r.conflictHook
+	}
 	r.nTxns++
 	c.InTxn = true
 	c.TxnData = t
@@ -248,17 +255,20 @@ func (t *Txn) finishAbort() {
 // event; registering first is the conservative equivalent).
 func (t *Txn) Load(a sim.Addr) uint64 {
 	t.check()
-	if len(t.writeBuf) != 0 {
-		if v, ok := t.writeBuf[a]; ok {
+	if t.writeBuf.n != 0 {
+		if v, ok := t.writeBuf.get(a); ok {
 			// Store-to-load forwarding from the speculative buffer.
 			t.ctx.Compute(t.rt.m.Costs.TxAccess)
 			return v
 		}
 	}
 	line := sim.LineOf(a)
-	if _, ok := t.readLines[line]; !ok && !t.bloom.has(line) {
-		t.readLines[line] = struct{}{}
-		t.rt.track(line).readers |= 1 << uint(t.ctx.ID())
+	bit := dirReaderBit(t.ctx.ID())
+	if i := t.rt.lines.find(line); i < 0 || t.rt.lines.vals[i]&bit == 0 {
+		if !t.bloom.has(line) {
+			t.rt.lines.vals[t.rt.lines.place(line)] |= bit
+			t.readLines = append(t.readLines, line)
+		}
 	}
 	t.ctx.TxAccess(a, false)
 	t.check()
@@ -272,13 +282,14 @@ func (t *Txn) Load(a sim.Addr) uint64 {
 func (t *Txn) Store(a sim.Addr, v uint64) {
 	t.check()
 	line := sim.LineOf(a)
-	if _, ok := t.writeLines[line]; !ok {
-		t.writeLines[line] = struct{}{}
-		t.rt.track(line).writers |= 1 << uint(t.ctx.ID())
+	bit := dirWriterBit(t.ctx.ID())
+	if i := t.rt.lines.find(line); i < 0 || t.rt.lines.vals[i]&bit == 0 {
+		t.rt.lines.vals[t.rt.lines.place(line)] |= bit
+		t.writeLines = append(t.writeLines, line)
 	}
 	t.ctx.TxAccess(a, true)
 	t.check()
-	t.writeBuf[a] = v
+	t.writeBuf.put(a, v)
 }
 
 // Commit attempts to commit (XEND). On success all buffered writes become
@@ -301,9 +312,9 @@ func (t *Txn) Commit() {
 		// conflict hook (the model's defined conflict instant) has not run
 		// yet, and this commit wins the race (requester-wins semantics are
 		// decided at the hook, see sim.Context.access).
-		bit := uint16(1) << uint(t.ctx.ID())
-		for line := range t.writeLines {
-			if lt := t.rt.lines[line]; lt == nil || lt.writers&bit == 0 {
+		bit := dirWriterBit(t.ctx.ID())
+		for _, line := range t.writeLines {
+			if i := t.rt.lines.find(line); i < 0 || t.rt.lines.vals[i]&bit == 0 {
 				panic(&sim.InvariantError{Point: "htm-writeset", Thread: t.ctx.ID(), Clock: t.ctx.Now(),
 					Detail: fmt.Sprintf("committing with write-set line %#x missing from the conflict directory", line)})
 			}
@@ -313,8 +324,10 @@ func (t *Txn) Commit() {
 			}
 		}
 	}
-	for a, v := range t.writeBuf {
-		t.rt.m.Mem.WriteRaw(a, v)
+	for i, a := range t.writeBuf.keys {
+		if a != 0 {
+			t.rt.m.Mem.WriteRaw(a, t.writeBuf.vals[i])
+		}
 	}
 	for _, f := range t.frees {
 		t.rt.m.Mem.Free(f.addr, f.size)
@@ -356,52 +369,32 @@ func (t *Txn) Ctx() *sim.Context { return t.ctx }
 func (t *Txn) cleanup() {
 	r := t.rt
 	id := t.ctx.ID()
-	bit := uint16(1) << uint(id)
-	for line := range t.readLines {
+	rbit, wbit := dirReaderBit(id), dirWriterBit(id)
+	for _, line := range t.readLines {
 		r.m.ClearTxMarks(t.ctx, line)
-		if lt := r.lines[line]; lt != nil {
-			lt.readers &^= bit
-			if lt.readers|lt.writers == 0 {
-				r.untrack(line, lt)
+		if i := r.lines.find(line); i >= 0 {
+			if r.lines.vals[i] &^= rbit; r.lines.vals[i] == 0 {
+				r.lines.remove(i)
 			}
 		}
 	}
-	for line := range t.writeLines {
+	for _, line := range t.writeLines {
 		r.m.ClearTxMarks(t.ctx, line)
-		if lt := r.lines[line]; lt != nil {
-			lt.writers &^= bit
-			if lt.readers|lt.writers == 0 {
-				r.untrack(line, lt)
+		if i := r.lines.find(line); i >= 0 {
+			if r.lines.vals[i] &^= wbit; r.lines.vals[i] == 0 {
+				r.lines.remove(i)
 			}
 		}
 	}
-	r.ovf &^= bit
+	r.ovf &^= uint16(1) << uint(id)
 	r.active[id] = nil
-	r.nTxns--
+	if r.nTxns--; r.nTxns == 0 {
+		// Last in-flight transaction gone: disarm conflict detection so
+		// non-transactional stretches pay no hook call per access.
+		r.m.ConflictHook = nil
+	}
 	t.ctx.InTxn = false
 	t.ctx.TxnData = nil
-}
-
-func (r *Runtime) track(line sim.Addr) *lineTrack {
-	lt := r.lines[line]
-	if lt == nil {
-		if n := len(r.ltFree); n > 0 {
-			lt = r.ltFree[n-1]
-			r.ltFree = r.ltFree[:n-1]
-			*lt = lineTrack{}
-		} else {
-			lt = &lineTrack{}
-		}
-		r.lines[line] = lt
-	}
-	return lt
-}
-
-// untrack removes a line's tracking entry once no transaction holds it,
-// recycling the lineTrack for the next track call.
-func (r *Runtime) untrack(line sim.Addr, lt *lineTrack) {
-	delete(r.lines, line)
-	r.ltFree = append(r.ltFree, lt)
 }
 
 // doom marks a transaction for abort; the victim unwinds when it next
@@ -423,12 +416,14 @@ func (r *Runtime) conflictHook(c *sim.Context, line sim.Addr, write bool) {
 		return
 	}
 	self := uint16(1) << uint(c.ID())
-	if lt, ok := r.lines[line]; ok {
+	if i := r.lines.find(line); i >= 0 {
+		v := r.lines.vals[i]
+		readers, writers := uint16(v), uint16(v>>16)
 		var victims uint16
 		if write {
-			victims = (lt.readers | lt.writers) &^ self
+			victims = (readers | writers) &^ self
 		} else {
-			victims = lt.writers &^ self
+			victims = writers &^ self
 		}
 		for victims != 0 {
 			id := trailingZeros16(victims)
@@ -471,17 +466,23 @@ func (r *Runtime) evictHook(owner *sim.Context, line sim.Addr, wasWrite bool) {
 		r.doom(t, Capacity, false)
 		return
 	}
-	if _, ok := t.readLines[line]; ok {
-		delete(t.readLines, line)
-		bit := uint16(1) << uint(owner.ID())
-		if lt := r.lines[line]; lt != nil {
-			lt.readers &^= bit
-			if lt.readers|lt.writers == 0 {
-				r.untrack(line, lt)
+	rbit := dirReaderBit(owner.ID())
+	if i := r.lines.find(line); i >= 0 && r.lines.vals[i]&rbit != 0 {
+		if r.lines.vals[i] &^= rbit; r.lines.vals[i] == 0 {
+			r.lines.remove(i)
+		}
+		// Drop the line from the cleanup list; the order of readLines is
+		// never observable, so a swap-remove suffices.
+		for k, l := range t.readLines {
+			if l == line {
+				last := len(t.readLines) - 1
+				t.readLines[k] = t.readLines[last]
+				t.readLines = t.readLines[:last]
+				break
 			}
 		}
 		t.bloom.add(line)
-		r.ovf |= bit
+		r.ovf |= 1 << uint(owner.ID())
 	}
 }
 

@@ -1,0 +1,8 @@
+//go:build !slabcheck
+
+package htm
+
+// Without the slabcheck build tag the pool assertions compile away; see
+// slab_check.go.
+
+func poolCheckTxn(*Runtime, *Txn) {}

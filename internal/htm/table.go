@@ -1,0 +1,180 @@
+package htm
+
+// Open-addressing hash tables for the transactional hot path. The emulation
+// consults the conflict directory on every timed access and the speculative
+// write buffer on every transactional load; Go's built-in map costs a hash,
+// a bucket walk, and (for the per-transaction tables) a full clear on every
+// transaction attempt. These tables store keys and values in flat slices
+// with linear probing — one multiply-shift hash, then sequential memory —
+// and exploit a property of simulated addresses: address 0 never occurs
+// (simulated memory reserves the first line; Alloc starts at 64), so a zero
+// key marks an empty slot and no occupancy metadata is needed.
+
+import "tsxhpc/internal/sim"
+
+// hashAddr spreads a simulated address (a multiple of 8 or 64) over the
+// table via Fibonacci multiplicative hashing; the caller takes the top bits.
+func hashAddr(a sim.Addr) uint64 {
+	return uint64(a) * 0x9e3779b97f4a7c15
+}
+
+// lineDir is the conflict directory: line address → packed tracking word
+// (reader thread-id bits in the low 16, writer bits in the high 16). It is
+// the model's stand-in for the coherence directory state the hardware
+// consults, replacing the former map[Addr]*lineTrack + free-list — the
+// tracking words live inline in the table, so a directory hit costs no
+// pointer chase and entry recycling is free.
+type lineDir struct {
+	keys  []sim.Addr
+	vals  []uint32
+	n     int
+	shift uint // 64 - log2(len(keys))
+}
+
+const lineDirMinSize = 256
+
+func (d *lineDir) init(size int) {
+	d.keys = make([]sim.Addr, size)
+	d.vals = make([]uint32, size)
+	d.n = 0
+	d.shift = 64
+	for s := size; s > 1; s >>= 1 {
+		d.shift--
+	}
+}
+
+func (d *lineDir) slot(a sim.Addr) int { return int(hashAddr(a) >> d.shift) }
+
+// find returns the slot index holding line, or -1.
+func (d *lineDir) find(line sim.Addr) int {
+	mask := len(d.keys) - 1
+	for i := d.slot(line); ; i = (i + 1) & mask {
+		switch d.keys[i] {
+		case line:
+			return i
+		case 0:
+			return -1
+		}
+	}
+}
+
+// place returns the slot index for line, inserting an empty entry if absent.
+func (d *lineDir) place(line sim.Addr) int {
+	if d.n >= len(d.keys)-len(d.keys)/4 {
+		d.grow()
+	}
+	mask := len(d.keys) - 1
+	for i := d.slot(line); ; i = (i + 1) & mask {
+		switch d.keys[i] {
+		case line:
+			return i
+		case 0:
+			d.keys[i] = line
+			d.n++
+			return i
+		}
+	}
+}
+
+func (d *lineDir) grow() {
+	old, oldVals := d.keys, d.vals
+	d.init(len(d.keys) * 2)
+	for i, k := range old {
+		if k != 0 {
+			d.vals[d.place(k)] = oldVals[i]
+		}
+	}
+}
+
+// remove deletes the entry at slot i with backward-shift compaction, so
+// probe chains stay tombstone-free no matter how many lines churn through
+// the directory over a run.
+func (d *lineDir) remove(i int) {
+	mask := len(d.keys) - 1
+	d.n--
+	j := i
+	for {
+		j = (j + 1) & mask
+		if d.keys[j] == 0 {
+			break
+		}
+		// Shift keys[j] into the hole if its probe chain spans it.
+		if (j-d.slot(d.keys[j]))&mask >= (j-i)&mask {
+			d.keys[i], d.vals[i] = d.keys[j], d.vals[j]
+			i = j
+		}
+	}
+	d.keys[i], d.vals[i] = 0, 0
+}
+
+// wordMap is the speculative write buffer: word address → buffered value.
+// Entries are only inserted and looked up during a transaction and swept at
+// commit; reset discards everything, so no deletion support is needed.
+type wordMap struct {
+	keys  []sim.Addr
+	vals  []uint64
+	n     int
+	shift uint
+}
+
+const wordMapMinSize = 16
+
+func (w *wordMap) init(size int) {
+	w.keys = make([]sim.Addr, size)
+	w.vals = make([]uint64, size)
+	w.n = 0
+	w.shift = 64
+	for s := size; s > 1; s >>= 1 {
+		w.shift--
+	}
+}
+
+// get returns the buffered value for word address a.
+func (w *wordMap) get(a sim.Addr) (uint64, bool) {
+	mask := len(w.keys) - 1
+	for i := int(hashAddr(a) >> w.shift); ; i = (i + 1) & mask {
+		switch w.keys[i] {
+		case a:
+			return w.vals[i], true
+		case 0:
+			return 0, false
+		}
+	}
+}
+
+// put inserts or overwrites the buffered value for word address a.
+func (w *wordMap) put(a sim.Addr, v uint64) {
+	if w.n >= len(w.keys)-len(w.keys)/4 {
+		old, oldVals := w.keys, w.vals
+		w.init(len(w.keys) * 2)
+		for i, k := range old {
+			if k != 0 {
+				w.put(k, oldVals[i])
+			}
+		}
+	}
+	mask := len(w.keys) - 1
+	for i := int(hashAddr(a) >> w.shift); ; i = (i + 1) & mask {
+		switch w.keys[i] {
+		case a:
+			w.vals[i] = v
+			return
+		case 0:
+			w.keys[i] = a
+			w.vals[i] = v
+			w.n++
+			return
+		}
+	}
+}
+
+// reset empties the buffer for the next transaction attempt, shedding any
+// outsized allocation a pathological write set left behind.
+func (w *wordMap) reset() {
+	if len(w.keys) > 4*wordMapMinSize {
+		w.init(wordMapMinSize)
+		return
+	}
+	clear(w.keys)
+	w.n = 0
+}

@@ -1,0 +1,67 @@
+package sim
+
+import "testing"
+
+// Scheduler micro-benchmarks. These isolate the three costs the
+// continuation scheduler is built around — the coroutine handoff itself,
+// the batched no-switch fast path, and run-queue maintenance under
+// contention — so a regression in any one of them is visible before it
+// washes out into the full-reproduce events/s number.
+//
+// Configs are spelled out rather than taken from DefaultConfig so the
+// benchmarks are immune to process-wide RunDefaults (fault injection,
+// watchdogs) that tests may have installed.
+
+func benchConfig(cores, threadsPerCore int) Config {
+	return Config{Cores: cores, ThreadsPerCore: threadsPerCore, Costs: DefaultCosts(), Seed: 1}
+}
+
+// BenchmarkHandoffPingPong: two contexts on distinct cores alternate
+// single-cycle events, so every scheduling point hands the core over.
+// One op is one event on one side — i.e. one coroutine switch plus the
+// run-queue swap around it. This is the price the direct context→context
+// handoff pays; it must stay an order of magnitude below a Go-scheduler
+// crossing.
+func BenchmarkHandoffPingPong(b *testing.B) {
+	m := New(benchConfig(2, 1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	m.Run(2, func(c *Context) {
+		for i := 0; i < b.N/2; i++ {
+			c.Compute(1)
+		}
+	})
+}
+
+// BenchmarkSameContextBatch: a single context holds the strict clock
+// minimum forever, so every maybeYield takes the no-switch fast path (one
+// comparison against the cached queue minimum). One op is one batched
+// event — the floor for all event processing.
+func BenchmarkSameContextBatch(b *testing.B) {
+	m := New(benchConfig(1, 1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	m.Run(1, func(c *Context) {
+		for i := 0; i < b.N; i++ {
+			c.Compute(1)
+		}
+	})
+}
+
+// BenchmarkRunQueueContended: sixteen contexts with staggered event costs
+// keep the run queue full and force a swap-and-rescan on most scheduling
+// points, exercising qpush/popMin/rescanMin at realistic occupancy (the
+// full catalog runs 4-16 threads). One op is one event.
+func BenchmarkRunQueueContended(b *testing.B) {
+	const threads = 16
+	m := New(benchConfig(8, 2))
+	per := b.N/threads + 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	m.Run(threads, func(c *Context) {
+		cyc := uint64(1 + c.ID()%7)
+		for i := 0; i < per; i++ {
+			c.Compute(cyc)
+		}
+	})
+}

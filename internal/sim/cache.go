@@ -12,26 +12,32 @@ package sim
 // the paper's observation that Hyper-Threading compounds the capacity issue
 // (Table 1).
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 const (
 	cacheSets = 64
 	cacheWays = 8
 )
 
-type cline struct {
-	tag   Addr // line base address
-	lru   uint64
-	valid bool
-	// excl records that no other cache holds this line (MESI E/M state).
-	// It is set when a probe of the other caches comes back empty (or a
-	// write invalidates every other copy) and cleared when a remote read
-	// miss is served from this cache. Writes hitting an exclusive line skip
-	// the coherence probe entirely — the probe provably finds nothing.
-	excl  bool
-	rmask uint8 // per-HT-slot transactional-read marks
-	wmask uint8 // per-HT-slot transactional-write marks
-}
+// Per-way metadata is packed into one uint32 word (see Cache.meta):
+//
+//	bits 0-7   per-HT-slot transactional-read marks (rmask)
+//	bits 8-15  per-HT-slot transactional-write marks (wmask)
+//	bit 16     exclusive ownership (MESI E/M state)
+//
+// The excl bit records that no other cache holds this line. It is set when a
+// probe of the other caches comes back empty (or a write invalidates every
+// other copy) and cleared when a remote read miss is served from this cache.
+// Writes hitting an exclusive line skip the coherence probe entirely — the
+// probe provably finds nothing.
+const (
+	metaWShift = 8       // wmask bit position
+	metaExcl   = 1 << 16 // exclusive-ownership bit
+	metaMarks  = 0xffff  // rmask|wmask bits
+)
 
 // CacheStats aggregates cache-model event counts (useful for analyzing why
 // a synchronization scheme behaves as it does — e.g. lock-line ping-pong
@@ -43,17 +49,25 @@ type CacheStats struct {
 	Evictions uint64 // lines displaced by capacity/associativity
 }
 
-// Cache is one core's L1 data cache model.
+// Cache is one core's L1 data cache model. The per-line state is kept in
+// structure-of-arrays form — parallel tags/meta/lru planes indexed
+// [set][way] — so each phase of an access touches only the plane it needs:
+// lookup scans a set's 8 tags packed into a single host cache line, the
+// mark/excl updates hit one meta word, and only LRU victim selection reads
+// the lru plane.
 type Cache struct {
-	m    *Machine
-	id   int
-	sets [cacheSets][cacheWays]cline
-	// tags mirrors sets[s][w].tag for valid ways and is 0 for invalid ones,
-	// packing a set's tags into one cache line so lookup scans 8 words
-	// instead of striding through the cline structs. Line address 0 never
-	// occurs: simulated memory reserves the first line (Alloc starts at 64),
-	// so tag 0 unambiguously means "invalid way".
-	tags  [cacheSets][cacheWays]Addr
+	m  *Machine
+	id int
+	// tags is authoritative: the line base address held by each way, or 0
+	// for an invalid way. Line address 0 never occurs — simulated memory
+	// reserves the first line (Alloc starts at 64) — so tag 0 unambiguously
+	// means "invalid way".
+	tags [cacheSets][cacheWays]Addr
+	// meta packs each way's transactional marks and MESI excl bit (layout
+	// above the meta* constants).
+	meta [cacheSets][cacheWays]uint32
+	// lru holds each way's last-touch tick for victim selection.
+	lru   [cacheSets][cacheWays]uint64
 	mru   [cacheSets]uint8 // way of each set's last hit, probed first in lookup
 	ticks uint64
 	stats CacheStats
@@ -87,8 +101,10 @@ func (c *Cache) lookup(line Addr) int {
 func (c *Cache) invalidate(line Addr) bool {
 	if w := c.lookup(line); w >= 0 {
 		set := setOf(line)
-		c.sets[set][w] = cline{}
 		c.tags[set][w] = 0
+		c.meta[set][w] = 0
+		c.lru[set][w] = 0
+		c.m.pres.drop(line, c.id)
 		return true
 	}
 	return false
@@ -117,16 +133,20 @@ func (c *Cache) access(ctx *Context, line Addr, write, tx bool) uint64 {
 	var cost uint64
 	remote := false
 	probed := false
-	if (write || w < 0) && !(write && w >= 0 && c.sets[set][w].excl) {
+	if (write || w < 0) && !(write && w >= 0 && c.meta[set][w]&metaExcl != 0) {
 		// A write needs exclusive ownership; a read miss may be served by a
 		// cache-to-cache transfer. Either way, probe the other cores — unless
 		// this is a write hitting a line already held exclusively, in which
 		// case no other cache can hold a copy and the probe is skipped.
 		probed = true
-		for _, other := range m.caches {
-			if other == c {
-				continue
-			}
+		// The presence directory names the cores holding a copy; iterate
+		// them in ascending core order (matching a full scan) and skip the
+		// rest. Most lines are private, so the mask is usually empty.
+		others := m.pres.get(line) &^ (1 << uint(c.id))
+		for others != 0 {
+			core := bits.TrailingZeros64(others)
+			others &^= 1 << uint(core)
+			other := m.caches[core]
 			if write {
 				if other.invalidate(line) {
 					remote = true
@@ -134,7 +154,7 @@ func (c *Cache) access(ctx *Context, line Addr, write, tx bool) uint64 {
 			} else if ow := other.lookup(line); ow >= 0 {
 				remote = true
 				// The remote copy is no longer the only one.
-				other.sets[set][ow].excl = false
+				other.meta[set][ow] &^= metaExcl
 			}
 		}
 	}
@@ -157,19 +177,19 @@ func (c *Cache) access(ctx *Context, line Addr, write, tx bool) uint64 {
 	if w < 0 {
 		w = c.install(line)
 	}
-	ln := &c.sets[set][w]
+	meta := &c.meta[set][w]
 	if probed && (write || !remote) {
 		// Either every other copy was just invalidated (write) or the probe
 		// found no other holder (read miss): this cache is now the sole one.
-		ln.excl = true
+		*meta |= metaExcl
 	}
-	ln.lru = c.ticks
+	c.lru[set][w] = c.ticks
 	if tx {
-		bit := uint8(1) << uint(ctx.slot)
+		bit := uint32(1) << uint(ctx.slot)
 		if write {
-			ln.wmask |= bit
+			*meta |= bit << metaWShift
 		} else {
-			ln.rmask |= bit
+			*meta |= bit
 		}
 	}
 	return cost
@@ -180,29 +200,33 @@ func (c *Cache) access(ctx *Context, line Addr, write, tx bool) uint64 {
 // written lines cause capacity aborts; read lines demote to the secondary
 // tracking structure.
 func (c *Cache) install(line Addr) int {
-	s := &c.sets[setOf(line)]
+	set := setOf(line)
+	tags := &c.tags[set]
+	lru := &c.lru[set]
 	victim := 0
-	for w := range s {
-		if !s[w].valid {
+	for w := range tags {
+		if tags[w] == 0 {
 			victim = w
 			goto place
 		}
-		if s[w].lru < s[victim].lru {
+		if lru[w] < lru[victim] {
 			victim = w
 		}
 	}
-	if s[victim].valid {
-		c.stats.Evictions++
-	}
-	c.fireEvictHook(&s[victim])
+	// No invalid way: the victim is a live line being displaced.
+	c.stats.Evictions++
+	c.m.pres.drop(tags[victim], c.id)
+	c.fireEvictHook(tags[victim], c.meta[set][victim])
 place:
-	s[victim] = cline{tag: line, valid: true}
-	c.tags[setOf(line)][victim] = line
-	c.mru[setOf(line)] = uint8(victim)
+	c.m.pres.add(line, c.id)
+	tags[victim] = line
+	c.meta[set][victim] = 0
+	lru[victim] = 0
+	c.mru[set] = uint8(victim)
 	if c.m.Cfg.Invariants {
-		if d := c.checkSet(setOf(line)); d != "" {
+		if d := c.checkSet(set); d != "" {
 			panic(&InvariantError{Point: "l1-set",
-				Detail: fmt.Sprintf("core %d set %d after install of %#x: %s", c.id, setOf(line), line, d)})
+				Detail: fmt.Sprintf("core %d set %d after install of %#x: %s", c.id, set, line, d)})
 		}
 	}
 	return victim
@@ -211,20 +235,20 @@ place:
 // fireEvictHook notifies package htm about the transactional marks carried
 // by a line leaving the cache: written lines cause capacity aborts, read
 // lines demote to the secondary tracking structure.
-func (c *Cache) fireEvictHook(v *cline) {
-	if v.rmask|v.wmask == 0 || c.m.EvictHook == nil {
+func (c *Cache) fireEvictHook(tag Addr, meta uint32) {
+	if meta&metaMarks == 0 || c.m.EvictHook == nil {
 		return
 	}
 	coreID := c.id
 	for slot := 0; slot < 8; slot++ {
-		bit := uint8(1) << uint(slot)
-		if v.wmask&bit != 0 {
+		bit := uint32(1) << uint(slot)
+		if meta&(bit<<metaWShift) != 0 {
 			if owner := c.m.ctxFor(coreID, slot); owner != nil {
-				c.m.EvictHook(owner, v.tag, true)
+				c.m.EvictHook(owner, tag, true)
 			}
-		} else if v.rmask&bit != 0 {
+		} else if meta&bit != 0 {
 			if owner := c.m.ctxFor(coreID, slot); owner != nil {
-				c.m.EvictHook(owner, v.tag, false)
+				c.m.EvictHook(owner, tag, false)
 			}
 		}
 	}
@@ -242,14 +266,15 @@ func (m *Machine) EvictStorm(c *Context, n int, pick func(k int) int) int {
 	evicted := 0
 	for i := 0; i < n; i++ {
 		set, way := pick(cacheSets), pick(cacheWays)
-		ln := &cache.sets[set][way]
-		if !ln.valid {
+		if cache.tags[set][way] == 0 {
 			continue
 		}
-		cache.fireEvictHook(ln)
+		m.pres.drop(cache.tags[set][way], cache.id)
+		cache.fireEvictHook(cache.tags[set][way], cache.meta[set][way])
 		cache.stats.Evictions++
-		*ln = cline{}
 		cache.tags[set][way] = 0
+		cache.meta[set][way] = 0
+		cache.lru[set][way] = 0
 		evicted++
 	}
 	return evicted
@@ -259,12 +284,10 @@ func (m *Machine) EvictStorm(c *Context, n int, pick func(k int) int) int {
 // its core's cache; package htm calls it when a transaction commits or
 // aborts. The line itself stays cached (commit does not flush data).
 func (m *Machine) ClearTxMarks(ctx *Context, line Addr) {
-	c := m.caches[ctx.core]
+	c := ctx.cache
 	if w := c.lookup(line); w >= 0 {
-		ln := &c.sets[setOf(line)][w]
-		bit := uint8(1) << uint(ctx.slot)
-		ln.rmask &^= bit
-		ln.wmask &^= bit
+		bit := uint32(1) << uint(ctx.slot)
+		c.meta[setOf(line)][w] &^= bit | bit<<metaWShift
 	}
 }
 
@@ -272,9 +295,11 @@ func (m *Machine) ClearTxMarks(ctx *Context, line Addr) {
 // experiment repetitions for independence).
 func (m *Machine) FlushCaches() {
 	for _, c := range m.caches {
-		c.sets = [cacheSets][cacheWays]cline{}
 		c.tags = [cacheSets][cacheWays]Addr{}
+		c.meta = [cacheSets][cacheWays]uint32{}
+		c.lru = [cacheSets][cacheWays]uint64{}
 	}
+	m.pres.reset()
 }
 
 // CacheStats returns the machine-wide aggregate of cache events.

@@ -1,0 +1,44 @@
+package sim
+
+// The scheduler's stack switches run on a symmetric coroutine slot, the
+// semantics of the runtime's coro primitive (runtime/coro.go, the machinery
+// under iter.Pull). A coro always holds exactly one parked goroutine:
+// coroswitch(c) releases the goroutine parked in c and parks the caller
+// there in its place; when the goroutine newcoro created returns from its
+// function, it releases whichever party is parked in its creation coro and
+// exits.
+//
+// Going through the raw slot rather than iter.Pull matters for two reasons:
+//
+//   - iter.Pull is strictly two-party — yield always returns to the last
+//     next() caller — so every handoff between simulated threads had to
+//     bounce through the dispatcher: two stack switches per handoff. The raw
+//     slot is symmetric, so the running context switches straight to its
+//     successor's slot: one switch per handoff, and the driver goroutine is
+//     only involved at region start, teardown, and drain.
+//   - iter.Pull wraps each switch in state-machine bookkeeping (panic
+//     replumbing, done/racer flags) that showed up as ~15% of a full
+//     reproduce run. The scheduler needs none of it: carrier panics are
+//     contained in the carrier wrapper (see startCarrier) and poison unwind
+//     is a flag checked after each switch.
+//
+// Two implementations provide the slot:
+//
+//   - coro_runtime.go (amd64, default): the runtime's own coros, entered by
+//     discovered entry PC through an assembly thunk (coro_amd64.s). A switch
+//     is ~100ns — a few CAS and a register swap, no Go-scheduler crossing.
+//     See coro_runtime.go for why discovery is needed.
+//   - coro_portable.go (other architectures, or the nocorolink build tag):
+//     the same slot semantics built from one channel handshake per switch.
+//     Slower — every switch crosses the Go scheduler — but portable, pure
+//     Go, and a debugging reference for the fast path.
+//
+// The scheduler layered on top (sim.go) owns the invariants iter.Pull used
+// to enforce. The party that resumes a goroutine must park itself in the
+// same slot it switched on (tracked via Context.parkedIn and
+// Machine.dispParked), a finished carrier must not return from its outer
+// function until the region drain (its exit releases whoever sits in the
+// carrier's creation slot, which is only predictable once every carrier is
+// parked in its finish park — see drainCarriers), and under the race
+// detector each switch must be bracketed by an explicit release/acquire
+// pair (race_race.go) because the fast path carries no happens-before edge.

@@ -1,0 +1,107 @@
+//go:build amd64 && !nocorolink
+
+package sim
+
+// Fast implementation of the symmetric coroutine slot (see coro.go): the
+// runtime's own coro primitive, runtime.newcoro and runtime.coroswitch.
+//
+// Neither function can be reached at link time: both are on the linker's
+// blocked-linkname list (reserved to package iter), and assembly references
+// are classified as linknames too. Their entry PCs are public information,
+// however — the runtime's own symbol table reports them through
+// runtime.FuncForPC — so coroInit discovers the PCs once at startup by
+// walking the text segment, and callcoro (coro_amd64.s) makes an
+// ABIInternal call to a raw PC. The thunk is the only
+// architecture-specific piece; other architectures use coro_portable.go.
+//
+// The discovery is deliberately conservative: it walks function by function
+// from the base of the text segment (the runtime is always linked first)
+// and fails loudly — falling back is not an option once sim.go's scheduler
+// is built on slot semantics, and a silent mismatch could never be
+// debugged. If a future toolchain renames or removes the primitives, every
+// test in this package fails immediately with the panic below, and the
+// nocorolink build tag restores the portable path while the thunk is
+// updated.
+
+import (
+	"fmt"
+	"iter"
+	"reflect"
+	"runtime"
+)
+
+type coro struct{}
+
+var (
+	newcoroPC    uintptr // entry of runtime.newcoro
+	coroswitchPC uintptr // entry of runtime.coroswitch
+)
+
+func init() { coroInit() }
+
+func coroInit() {
+	// The primitives are only linked into the binary when something reaches
+	// them: run one iter.Pull round trip so dead-code elimination keeps
+	// them (and as a live check that the coroutine machinery works).
+	next, stop := iter.Pull(func(yield func(struct{}) bool) { yield(struct{}{}) })
+	if _, ok := next(); !ok {
+		panic("sim: iter.Pull round trip failed")
+	}
+	stop()
+
+	// Any runtime function gives a PC inside the text segment; runtime.GC is
+	// exported and sits well past the coroutine code (mgc.go vs coro.go).
+	anchor := reflect.ValueOf(runtime.GC).Pointer()
+	// Probe downward page by page to the base of the text segment: FuncForPC
+	// resolves every text address (inter-function gaps map to the preceding
+	// function) and returns nil below the segment.
+	lo := anchor &^ 0xfff
+	for lo > 0 && runtime.FuncForPC(lo-0x1000) != nil {
+		lo -= 0x1000
+	}
+	// Hop function to function until both entries are found. The scan is
+	// bounded by the end of the text segment; in practice coro.go's code
+	// sits in the first megabyte of the runtime and the walk ends early.
+	for pc := lo; newcoroPC == 0 || coroswitchPC == 0; {
+		f := runtime.FuncForPC(pc)
+		if f == nil {
+			if pc > anchor {
+				panic(fmt.Sprintf("sim: runtime coroutine entry points not found in text segment %#x-%#x; "+
+					"build with -tags nocorolink and update coro_runtime.go for this toolchain (%s)",
+					lo, pc, runtime.Version()))
+			}
+			pc += 16
+			continue
+		}
+		switch f.Name() {
+		case "runtime.newcoro":
+			newcoroPC = f.Entry()
+		case "runtime.coroswitch":
+			coroswitchPC = f.Entry()
+		}
+		// Advance past this function: FuncForPC reports the same entry for
+		// every address it covers.
+		for e := f.Entry(); ; {
+			pc += 16
+			if g := runtime.FuncForPC(pc); g == nil || g.Entry() != e {
+				break
+			}
+		}
+	}
+}
+
+// callNewcoro and callCoroswitch (coro_amd64.s) make an ABIInternal call to
+// the runtime primitive at pc, with the second argument in the first
+// argument register. The Go declarations also give the thunk frames precise
+// argument pointer maps, so f and c stay visible to the garbage collector
+// while a carrier goroutine is parked inside the runtime.
+func callNewcoro(pc uintptr, f func(*coro)) *coro
+func callCoroswitch(pc uintptr, c *coro)
+
+// newcoro creates a coro holding a fresh goroutine that runs f on its first
+// switch-in; when f returns, the goroutine releases whichever party is then
+// parked in the creation coro and exits.
+func newcoro(f func(*coro)) *coro { return callNewcoro(newcoroPC, f) }
+
+// coroswitch releases the goroutine parked in c and parks the caller there.
+func coroswitch(c *coro) { callCoroswitch(coroswitchPC, c) }

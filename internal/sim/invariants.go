@@ -36,33 +36,26 @@ func (e *InvariantError) Error() string {
 // checkSet verifies one set's structural invariants and returns a
 // description of the first violation, or "". Occupancy ≤ associativity is
 // enforced by construction (the ways array is fixed at cacheWays), so the
-// checks that can actually fail are: every valid way maps to this set, no
-// two valid ways carry the same tag (a duplicated line would double-count
-// capacity and split transactional marks), and the packed tag mirror agrees
-// with the authoritative cline state (a stale mirror makes lookup disagree
-// with install).
+// checks that can actually fail are: every valid way's tag maps to this set,
+// no two valid ways carry the same tag (a duplicated line would double-count
+// capacity and split transactional marks), and an invalid way carries no
+// metadata (orphaned marks or excl state would resurrect on the next
+// install into that way).
 func (c *Cache) checkSet(set int) string {
-	ways := &c.sets[set]
-	for w := range ways {
-		ln := &ways[w]
-		if !ln.valid {
-			if c.tags[set][w] != 0 {
-				return fmt.Sprintf("way %d invalid but tag mirror holds %#x", w, c.tags[set][w])
+	tags := &c.tags[set]
+	for w := range tags {
+		if tags[w] == 0 {
+			if c.meta[set][w] != 0 {
+				return fmt.Sprintf("way %d invalid but meta plane holds %#x", w, c.meta[set][w])
 			}
 			continue
 		}
-		if ln.tag == 0 {
-			return fmt.Sprintf("way %d valid with zero tag", w)
-		}
-		if c.tags[set][w] != ln.tag {
-			return fmt.Sprintf("way %d tag mirror %#x != line tag %#x", w, c.tags[set][w], ln.tag)
-		}
-		if setOf(ln.tag) != set {
-			return fmt.Sprintf("way %d holds line %#x which maps to set %d", w, ln.tag, setOf(ln.tag))
+		if setOf(tags[w]) != set {
+			return fmt.Sprintf("way %d holds line %#x which maps to set %d", w, tags[w], setOf(tags[w]))
 		}
 		for w2 := w + 1; w2 < cacheWays; w2++ {
-			if ways[w2].valid && ways[w2].tag == ln.tag {
-				return fmt.Sprintf("ways %d and %d both hold line %#x", w, w2, ln.tag)
+			if tags[w2] == tags[w] {
+				return fmt.Sprintf("ways %d and %d both hold line %#x", w, w2, tags[w])
 			}
 		}
 	}
@@ -81,6 +74,45 @@ func (m *Machine) VerifyCaches() error {
 				return &InvariantError{Point: "l1-set",
 					Detail: fmt.Sprintf("core %d set %d: %s", c.id, set, d)}
 			}
+		}
+	}
+	return m.verifyPresence()
+}
+
+// verifyPresence audits the line-presence directory against the tag planes:
+// every resident line must carry its holder's bit, and every directory entry
+// must name exactly the caches that hold the line. The directory is a pure
+// lookup accelerator for the coherence probe, so any drift from the tags
+// would silently skip invalidations — exactly the corruption this sweep is
+// for.
+func (m *Machine) verifyPresence() error {
+	for _, c := range m.caches {
+		for set := 0; set < cacheSets; set++ {
+			for w := 0; w < cacheWays; w++ {
+				tag := c.tags[set][w]
+				if tag != 0 && m.pres.get(tag)&(1<<uint(c.id)) == 0 {
+					return &InvariantError{Point: "l1-presence",
+						Detail: fmt.Sprintf("core %d holds line %#x but the presence directory has no bit for it", c.id, tag)}
+				}
+			}
+		}
+	}
+	for i, k := range m.pres.keys {
+		if k == 0 {
+			continue
+		}
+		var want uint64
+		for _, c := range m.caches {
+			tags := &c.tags[setOf(k)]
+			for w := range tags {
+				if tags[w] == k {
+					want |= 1 << uint(c.id)
+				}
+			}
+		}
+		if want != m.pres.vals[i] {
+			return &InvariantError{Point: "l1-presence",
+				Detail: fmt.Sprintf("presence directory entry for line %#x claims cores %#x, tags say %#x", k, m.pres.vals[i], want)}
 		}
 	}
 	return nil
@@ -117,10 +149,10 @@ func (m *Machine) TxMarked(ctx *Context, line Addr, write bool) bool {
 	if w < 0 {
 		return false
 	}
-	ln := &c.sets[setOf(line)][w]
-	bit := uint8(1) << uint(ctx.slot)
+	meta := c.meta[setOf(line)][w]
+	bit := uint32(1) << uint(ctx.slot)
 	if write {
-		return ln.wmask&bit != 0
+		return meta&(bit<<metaWShift) != 0
 	}
-	return ln.rmask&bit != 0
+	return meta&bit != 0
 }

@@ -66,7 +66,6 @@ func TestCacheAuditCatchesDuplicateTag(t *testing.T) {
 	set := setOf(line)
 	cache := m.caches[0]
 	w2 := (cache.lookup(line) + 1) % cacheWays
-	cache.sets[set][w2] = cline{tag: line, valid: true}
 	cache.tags[set][w2] = line
 	err := m.VerifyCaches()
 	if err == nil {
@@ -78,17 +77,34 @@ func TestCacheAuditCatchesDuplicateTag(t *testing.T) {
 	}
 }
 
-// TestCacheAuditCatchesStaleMirror: the packed tag mirror disagreeing with
-// the authoritative line state is reported.
-func TestCacheAuditCatchesStaleMirror(t *testing.T) {
+// TestCacheAuditCatchesForeignTag: a way holding a line that maps to a
+// different set (a corrupted tag word) is reported.
+func TestCacheAuditCatchesForeignTag(t *testing.T) {
 	m := New(invariantConfig())
 	a := m.Mem.AllocLine(8)
 	m.Run(1, func(c *Context) { c.Load(a) })
 	line := LineOf(a)
 	cache := m.caches[0]
 	cache.tags[setOf(line)][cache.lookup(line)] = line + LineSize
-	if err := m.VerifyCaches(); err == nil || !strings.Contains(err.Error(), "mirror") {
-		t.Fatalf("stale mirror not caught: %v", err)
+	if err := m.VerifyCaches(); err == nil || !strings.Contains(err.Error(), "maps to set") {
+		t.Fatalf("foreign tag not caught: %v", err)
+	}
+}
+
+// TestCacheAuditCatchesOrphanedMeta: metadata surviving on an invalidated
+// way (marks or excl state that would resurrect on the next install) is
+// reported.
+func TestCacheAuditCatchesOrphanedMeta(t *testing.T) {
+	m := New(invariantConfig())
+	a := m.Mem.AllocLine(8)
+	m.Run(1, func(c *Context) { c.Load(a) })
+	line := LineOf(a)
+	cache := m.caches[0]
+	w := cache.lookup(line)
+	cache.tags[setOf(line)][w] = 0 // invalidate without clearing meta
+	cache.meta[setOf(line)][w] = metaExcl
+	if err := m.VerifyCaches(); err == nil || !strings.Contains(err.Error(), "meta plane") {
+		t.Fatalf("orphaned meta not caught: %v", err)
 	}
 }
 
@@ -103,7 +119,6 @@ func TestInstallChecksFireInline(t *testing.T) {
 			c.Load(a)
 			cache := m.caches[0]
 			w2 := (cache.lookup(line) + 1) % cacheWays
-			cache.sets[setOf(line)][w2] = cline{tag: line, valid: true}
 			cache.tags[setOf(line)][w2] = line
 			// Same set, different line: the install re-verifies the set.
 			c.Load(a + cacheSets*LineSize)

@@ -1,0 +1,9 @@
+//go:build !race
+
+package sim
+
+// Without the race detector the switch annotations compile away; see
+// race_race.go.
+
+func (m *Machine) raceRelease() {}
+func (m *Machine) raceAcquire() {}

@@ -1,0 +1,18 @@
+//go:build race
+
+package sim
+
+import (
+	"runtime"
+	"unsafe"
+)
+
+// Raw coroswitch establishes no happens-before edge (iter.Pull adds its own
+// annotations; the scheduler switches beneath them — see coro.go), so under
+// the race detector every switch is bracketed by a release before parking
+// and an acquire after resuming, all on one per-machine sync object. Control
+// transfer is strictly serial, so the chain of release/acquire pairs orders
+// every carrier access exactly as it executes.
+
+func (m *Machine) raceRelease() { runtime.RaceReleaseMerge(unsafe.Pointer(&m.racer)) }
+func (m *Machine) raceAcquire() { runtime.RaceAcquire(unsafe.Pointer(&m.racer)) }

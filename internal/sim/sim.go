@@ -6,12 +6,19 @@
 // HyperThreads per core — with per-thread virtual cycle clocks, a 32 KB 8-way
 // L1 data cache per core, and cache-line-granularity sharing costs.
 //
-// Simulated threads are goroutines, but exactly one runs at a time: the
-// scheduler always resumes the runnable context with the smallest virtual
-// clock, so every execution is deterministic and race-free by construction
-// while still exhibiting genuine fine-grained interleaving of memory
-// accesses. All timing is expressed in virtual cycles; wall-clock time is
-// never used for results.
+// Simulated threads are coroutines (continuation carriers), and exactly one
+// runs at a time: the runnable context with the smallest virtual clock always
+// holds the core, so every execution is deterministic and race-free by
+// construction while still exhibiting genuine fine-grained interleaving of
+// memory accesses. Handoffs between contexts are single direct stack
+// switches on the runtime's raw coroutine primitive (see coro.go) — the
+// running context switches straight to its successor without bouncing
+// through a dispatcher, and the Go scheduler, channels, futexes and
+// run-queue locks never appear on the hot path. The Run caller's goroutine
+// drives only region start, teardown and drain. A context that strictly
+// holds the minimum clock batches consecutive events without leaving its
+// carrier at all (see Context.maybeYield). All timing is expressed in
+// virtual cycles; wall-clock time is never used for results.
 //
 // Higher layers build the machine model on top of the hooks exposed here:
 // package htm installs the transactional conflict/eviction/syscall hooks to
@@ -22,6 +29,7 @@ package sim
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand"
 	"sync/atomic"
 )
@@ -125,9 +133,12 @@ func DefaultConfig() Config {
 
 type ctxState uint8
 
+// ctxRunnable covers both the context currently holding the core and those
+// waiting in the run queue — the scheduler never needs to distinguish them
+// (stall dumps name the running thread separately via LastRunning), and not
+// tracking the distinction saves two state stores per handoff.
 const (
 	ctxRunnable ctxState = iota
-	ctxRunning
 	ctxBlocked
 	ctxDone
 )
@@ -141,11 +152,48 @@ type Machine struct {
 	Costs *Costs
 
 	caches []*Cache // one per core
-	ctxs   []*Context
-	heap   ctxHeap  // runnable contexts, min virtual clock first
-	nLive  int      // contexts that have not finished their body
-	done   chan any // nil on completion; a panic value on fatal error
-	events uint64   // total timed events, for throughput diagnostics
+	// pres is the machine-level line-presence directory (which cores hold
+	// each line); the coherence probe in Cache.access consults it to visit
+	// only caches that actually hold the line.
+	pres    presenceTab
+	ctxs    []*Context
+	ctxSlab []*Context // Context records recycled across Run calls (slab)
+	// runq holds the runnable (not running) contexts as compact value
+	// entries (the scheduling key snapshot plus the context pointer),
+	// unordered; qtopIdx caches the index of the (clock, id) minimum so the
+	// batching fast path in maybeYield is one comparison. With at most
+	// MaxThreads entries, an argmin rescan over the packed entries on each
+	// handoff beats both a heap and chasing Context pointers.
+	runq []runqEnt
+	// qtopKey/qtopIdx cache the queue minimum: the key for the one-compare
+	// fast path (MaxUint64 when empty, so the compare needs no emptiness
+	// branch), the index for O(1) extraction.
+	qtopKey uint64
+	qtopIdx int
+	nLive   int // contexts that have not finished their body
+	// htNum/htDen/htMagic cache the HyperThread co-residency factor for
+	// charge, with ⌊2^64/den⌋+1 as the reciprocal for divide-free scaling
+	// (refreshed per region in attach, so cost edits after New are honored).
+	htNum   uint64
+	htDen   uint64
+	htMagic uint64
+	body    func(*Context)
+	// dispParked is the coro in which Run's goroutine sits while simulated
+	// threads hold the core; a carrier switches to it to hand control back
+	// to the region driver (region completion, fatal panic, drain).
+	dispParked *coro
+	// fatal holds the first panic value a carrier recorded this region; Run
+	// re-raises it after poisoning the survivors and draining the carriers.
+	fatal any
+	// poisoned makes every carrier resumed at a park point unwind via
+	// poisonSignal (set for the duration of poisonAll); draining tells
+	// carriers resumed at their finish park to exit their goroutines.
+	poisoned bool
+	draining bool
+	// racer is the sync object the race-build switch annotations release and
+	// acquire on (race_race.go); unused otherwise.
+	racer  int
+	events uint64 // total timed events, for throughput diagnostics
 
 	// Watchdog state: deadline is the virtual clock at which the run stalls
 	// (MaxUint64 when no budget is armed — a single compare in charge);
@@ -153,12 +201,10 @@ type Machine struct {
 	deadline     uint64
 	progressMark uint64
 
-	// Poison-unwind state: after a fatal panic escapes a simulated thread,
-	// the remaining parked threads are resumed one at a time with poisoned
-	// set; each unwinds via a poisonSignal panic and acknowledges on
-	// unwindAck, so no simulated goroutine outlives its Run.
-	poisoned  bool
-	unwindAck chan struct{}
+	// tainted records that a region ended in poison-unwind; the slabcheck
+	// build tag uses it to skip recycling assertions on diagnostic-only
+	// machines.
+	tainted bool
 
 	// ConflictHook, when non-nil, is invoked on every timed memory access
 	// (transactional or not) with the accessed line. Package htm installs it
@@ -202,12 +248,20 @@ func New(cfg Config) *Machine {
 	if cfg.Costs == (Costs{}) {
 		cfg.Costs = DefaultCosts()
 	}
-	m := &Machine{Cfg: cfg, Mem: NewMemory(), done: make(chan any, 1), unwindAck: make(chan struct{})}
+	m := &Machine{Cfg: cfg, Mem: NewMemory()}
 	m.Costs = &m.Cfg.Costs
 	m.caches = make([]*Cache, cfg.Cores)
 	for i := range m.caches {
 		m.caches[i] = newCache(m, i)
 	}
+	// Size the presence directory so the worst case (every way of every
+	// cache valid, all lines distinct) stays under 25% load — no growth on
+	// the hot path.
+	presSize := 1024
+	for presSize < cfg.Cores*cacheSets*cacheWays*4 {
+		presSize *= 2
+	}
+	m.pres.init(presSize)
 	m.deadline = ^uint64(0)
 	if cfg.Faults != nil {
 		cfg.Faults.Attach(m)
@@ -224,16 +278,35 @@ func (m *Machine) MaxThreads() int {
 }
 
 // Context is one simulated hardware thread executing a workload body.
+// Context records live in a per-machine slab and are recycled across Run
+// calls; the coroutine carrier executing the body is per-region.
 type Context struct {
-	m       *Machine
+	// The first fields are the per-event hot set (charge + maybeYield touch
+	// m, key, clock; access adds cache; the sibling pointer feeds the
+	// HyperThread co-residency check), ordered to share the leading host
+	// cache line.
+	m *Machine
+	// key is the packed scheduling key, clock<<keyIDBits | id, kept in sync
+	// with clock at every write. The (clock, id) lexicographic order the
+	// scheduler needs is a single unsigned compare on keys, and charge
+	// maintains the key with one shifted add — the maybeYield fast path
+	// (almost every timed event) touches exactly one Machine word.
+	key     uint64
+	clock   uint64
+	cache   *Cache // this core's L1 (m.caches[core], cached for the access path)
+	sibling *Context
+	state   ctxState
 	id      int
 	core    int
 	slot    int // hardware-thread slot within the core (0 or 1)
-	sibling *Context
-	clock   uint64
-	state   ctxState
-	resume  chan struct{}
-	hpos    int // index in the runnable heap, -1 if absent
+
+	// parkedIn is the coro this context's carrier goroutine is parked in
+	// while it is not running: whoever resumes the carrier switches on this
+	// slot and thereby parks itself there (see coro.go). Set per region by
+	// startCarrier; nil between regions.
+	parkedIn *coro
+	// exited records that the carrier goroutine has returned (region drain).
+	exited bool
 
 	// Rand is a deterministic per-thread random source.
 	Rand *rand.Rand
@@ -291,70 +364,27 @@ func (m *Machine) Run(n int, body func(*Context)) Result {
 	if n <= 0 || n > m.MaxThreads() {
 		panic(fmt.Sprintf("sim: thread count %d out of range 1..%d", n, m.MaxThreads()))
 	}
-	m.ctxs = make([]*Context, n)
-	m.heap = m.heap[:0]
-	m.nLive = n
-	for i := 0; i < n; i++ {
-		c := &Context{
-			m:      m,
-			id:     i,
-			core:   i % m.Cfg.Cores,
-			slot:   i / m.Cfg.Cores,
-			resume: make(chan struct{}, 1),
-			hpos:   -1,
-			Rand:   rand.New(rand.NewSource(m.Cfg.Seed + int64(i)*7919)),
-			state:  ctxRunnable,
-		}
-		m.ctxs[i] = c
-	}
-	for _, c := range m.ctxs {
-		if c.slot > 0 {
-			c.sibling = m.ctxs[c.id-m.Cfg.Cores]
-			c.sibling.sibling = c
-		}
-	}
+	m.body = body
+	m.attach(n)
 	m.progressMark = 0
 	m.armDeadline()
-	for _, c := range m.ctxs {
-		m.heapPush(c)
-		go func(c *Context) {
-			// Panics inside a simulated thread (stall diagnostics, workload
-			// bugs) are forwarded to the Run caller's goroutine; poison
-			// signals from the post-panic unwind are acknowledged instead.
-			defer func() {
-				if p := recover(); p != nil {
-					c.state = ctxDone
-					if _, ok := p.(poisonSignal); ok {
-						m.unwindAck <- struct{}{}
-						return
-					}
-					m.done <- p
-				}
-			}()
-			c.park()
-			body(c)
-			m.finish(c)
-		}(c)
-	}
-	// Kick the first context and wait for the region to drain.
-	first := m.heapPop()
-	first.state = ctxRunning
-	first.resume <- struct{}{}
-	if p := <-m.done; p != nil {
+	m.fatal = nil
+	// Hand the core to the earliest context. Control returns here only when
+	// a carrier switched back to this goroutine: the last body finished, or
+	// a fatal panic was recorded in m.fatal.
+	m.resumeCtx(m.popMin())
+	if p := m.fatal; p != nil {
 		// Unwind the surviving simulated threads one at a time before
-		// re-raising, so no goroutine outlives the failed region. Each
-		// resumed thread panics out of its park point (running cleanup
-		// defers along the way, serially) and acknowledges.
-		m.poisoned = true
-		for _, c := range m.ctxs {
-			if c.state != ctxDone {
-				c.resume <- struct{}{}
-				<-m.unwindAck
-			}
-		}
-		m.poisoned = false
+		// re-raising, so no carrier outlives the failed region. Each
+		// poisoned carrier panics out of its park point (running cleanup
+		// defers along the way, serially), then the drain retires the
+		// carrier goroutines.
+		m.poisonAll()
+		m.drainCarriers()
+		m.fatal = nil
 		panic(p)
 	}
+	m.drainCarriers()
 
 	res := Result{PerThread: make([]uint64, n), Events: m.events}
 	for i, c := range m.ctxs {
@@ -364,6 +394,152 @@ func (m *Machine) Run(n int, body func(*Context)) Result {
 		}
 	}
 	return res
+}
+
+// attach prepares n contexts for a region: records come from the per-machine
+// slab (allocated once, recycled across Run calls), are reset to their
+// initial state, pushed on the run queue, and given a fresh coroutine
+// carrier for the body.
+func (m *Machine) attach(n int) {
+	for len(m.ctxSlab) < n {
+		m.ctxSlab = append(m.ctxSlab, &Context{m: m})
+	}
+	if n > 1<<keyIDBits {
+		panic(fmt.Sprintf("sim: %d threads exceed the packed scheduling key's %d-id capacity", n, 1<<keyIDBits))
+	}
+	m.ctxs = m.ctxSlab[:n]
+	m.runq = m.runq[:0]
+	m.qtopKey = ^uint64(0)
+	m.qtopIdx = -1
+	m.htNum = uint64(m.Costs.HTFactorNum)
+	m.htDen = uint64(m.Costs.HTFactorDen)
+	if m.htDen > 1 {
+		m.htMagic = ^uint64(0)/m.htDen + 1
+	} else {
+		m.htMagic = 0 // ⌊2^64/1⌋+1 overflows; charge falls back to the divide
+	}
+	m.nLive = n
+	for i, c := range m.ctxs {
+		slabCheckContext(c)
+		c.id = i
+		c.core = i % m.Cfg.Cores
+		c.slot = i / m.Cfg.Cores
+		c.cache = m.caches[c.core]
+		c.sibling = nil
+		c.clock = 0
+		c.key = uint64(i)
+		c.state = ctxRunnable
+		c.wakePending = false
+		c.wakeAt = 0
+		c.InTxn = false
+		c.TxnData = nil
+		c.STMData = nil
+		c.pendingLine = 0
+		seed := m.Cfg.Seed + int64(i)*7919
+		if c.Rand == nil {
+			c.Rand = rand.New(rand.NewSource(seed))
+		} else {
+			c.Rand.Seed(seed) // identical state to a fresh NewSource(seed)
+		}
+	}
+	for _, c := range m.ctxs {
+		if c.slot > 0 {
+			c.sibling = m.ctxs[c.id-m.Cfg.Cores]
+			c.sibling.sibling = c
+		}
+	}
+	for _, c := range m.ctxs {
+		m.qpush(c)
+		m.startCarrier(c)
+	}
+}
+
+// startCarrier creates the coroutine carrier that executes c's body for this
+// region. The wrapper contains every panic a body can raise: the
+// poison-unwind signal retires the carrier quietly, anything else (stall
+// diagnostics, invariant violations, workload bugs) is recorded in m.fatal
+// for Run to re-raise — either way the carrier hands control back to the
+// region driver and waits at its finish park until the drain lets the
+// goroutine exit.
+func (m *Machine) startCarrier(c *Context) {
+	body := m.body
+	c.exited = false
+	c.parkedIn = newcoro(func(*coro) {
+		m.raceAcquire()
+		normal := func() (ok bool) {
+			defer func() {
+				if p := recover(); p != nil {
+					c.state = ctxDone
+					if _, isPoison := p.(poisonSignal); !isPoison && m.fatal == nil {
+						m.fatal = p
+					}
+				}
+			}()
+			body(c)
+			m.finish(c) // parks until the drain
+			return true
+		}()
+		if !normal {
+			// Unwound by poison or a fatal panic: give control back to the
+			// region driver and wait for the drain.
+			c.finishPark(m.dispParked)
+		}
+		c.exited = true
+		m.raceRelease()
+		// Returning exits the carrier goroutine via the runtime's coroexit,
+		// which releases whichever party is parked in this carrier's
+		// creation coro — the next link of the drain chain (see
+		// drainCarriers).
+	})
+}
+
+// resumeCtx hands the core from the region driver (Run's goroutine) to
+// carrier c, parking the driver where c was parked. Control returns when
+// some carrier switches back to the driver's slot.
+func (m *Machine) resumeCtx(c *Context) {
+	co := c.parkedIn
+	m.dispParked = co
+	m.raceRelease()
+	coroswitch(co)
+	m.raceAcquire()
+}
+
+// poisonAll unwinds every carrier still parked at a scheduling point after a
+// fatal panic ended the region: with m.poisoned set, a resumed carrier's
+// park converts the switch-back into a poisonSignal panic that runs the
+// body's defers and is recovered at the carrier top, which then returns
+// control here. The already-dead panicking carrier is skipped (ctxDone).
+func (m *Machine) poisonAll() {
+	m.tainted = true
+	m.poisoned = true
+	for _, c := range m.ctxs {
+		if c.state != ctxDone {
+			m.resumeCtx(c)
+		}
+	}
+	m.poisoned = false
+}
+
+// drainCarriers retires every carrier goroutine at region end. All bodies
+// have finished by now, so every carrier sits at its finish park; resuming
+// one lets its wrapper return, and the runtime's coroexit then releases
+// whichever party is parked in that carrier's creation coro — another
+// finish-parked carrier (which exits in turn, continuing the chain) or the
+// region driver (which picks the next not-yet-exited carrier). Each carrier
+// parks in exactly the slot its last resumer switched on, so the creation
+// coros of live carriers are always occupied and the chain never touches an
+// exited coro.
+func (m *Machine) drainCarriers() {
+	m.draining = true
+	for _, c := range m.ctxs {
+		if !c.exited {
+			m.resumeCtx(c)
+		}
+	}
+	m.draining = false
+	for _, c := range m.ctxs {
+		c.parkedIn = nil // carriers have exited; drop the coros
+	}
 }
 
 // RunE is Run with stalls returned as errors: a deadlock, livelock-watchdog
@@ -385,23 +561,21 @@ func (m *Machine) RunE(n int, body func(*Context)) (res Result, err error) {
 	return m.Run(n, body), nil
 }
 
-// finish retires a context whose body returned and hands the core to the
-// next runnable context, or completes the region.
+// finish retires a context whose body returned: it hands the core straight
+// to the next runnable context (or back to the region driver when it was the
+// last), then waits at the finish park until the drain exits the carrier.
 func (m *Machine) finish(c *Context) {
 	c.state = ctxDone
 	c.Progress()
 	m.nLive--
-	if len(m.heap) > 0 {
-		next := m.heapPop()
-		next.state = ctxRunning
-		next.resume <- struct{}{}
+	if len(m.runq) > 0 {
+		c.finishPark(m.popMin().parkedIn)
 		return
 	}
-	if m.nLive == 0 {
-		m.done <- nil
-		return
+	if m.nLive != 0 {
+		m.deadlock(c)
 	}
-	m.deadlock(c)
+	c.finishPark(m.dispParked)
 }
 
 // deadlock reports an unrecoverable situation: no runnable context remains
@@ -413,15 +587,36 @@ func (m *Machine) deadlock(c *Context) {
 }
 
 // poisonSignal unwinds a parked simulated thread after another thread's
-// fatal panic already ended the region; see Run.
+// fatal panic already ended the region (m.poisoned set); see poisonAll.
 type poisonSignal struct{}
 
-// park blocks until the scheduler hands this context the core, unwinding
-// immediately if the region was poisoned by a fatal panic meanwhile.
-func (c *Context) park() {
-	<-c.resume
-	if c.m.poisoned {
+// parkOn suspends this context's carrier by switching on co — the slot
+// holding the party due to run next — and records that this carrier now
+// waits there, so its own resumer parks itself in the same slot in turn. A
+// single direct stack switch; no Go-scheduler crossing. If the region was
+// poisoned while parked, the resumption unwinds the body via poisonSignal.
+func (c *Context) parkOn(co *coro) {
+	c.parkedIn = co
+	m := c.m
+	m.raceRelease()
+	coroswitch(co)
+	m.raceAcquire()
+	if m.poisoned {
 		panic(poisonSignal{})
+	}
+}
+
+// finishPark is the terminal park of a carrier whose body is done (finished
+// or unwound): it hands the core to co and waits until the region drain
+// resumes the carrier so its goroutine can exit.
+func (c *Context) finishPark(co *coro) {
+	c.parkedIn = co
+	m := c.m
+	m.raceRelease()
+	coroswitch(co)
+	m.raceAcquire()
+	if !m.draining {
+		panic(fmt.Sprintf("sim: finished context t%d resumed outside the region drain", c.id))
 	}
 }
 
@@ -467,33 +662,29 @@ func (m *Machine) onDeadline(c *Context) {
 // maybeYield hands the core over if some other runnable context is at or
 // behind the current virtual time (ties break toward the lower thread id,
 // giving strict round-robin among equal clocks). Keeping the current context
-// running while it strictly holds the minimum clock batches events and keeps
-// the simulation fast without changing the deterministic interleaving.
+// running while it strictly holds the minimum clock batches consecutive
+// same-context events — the common serial stretch never leaves the running
+// carrier — without changing the deterministic interleaving.
 //
 // The fast path — the current context still holds the minimum — costs one
-// comparison and no heap traffic or channel ping-pong. The handover path
-// swaps c with the heap minimum in a single sift-down instead of a full
-// push + pop pair; the next context is the same either way (extraction
-// order depends only on the (clock, id) key set, and the fast path above
-// guarantees c is not the minimum here), so the schedule is unchanged.
+// comparison against the cached queue minimum and no coroutine switch. The
+// handover path replaces the departing minimum with c in place and rescans
+// for the new minimum; the successor depends only on the (clock, id) key
+// set, so the schedule is unchanged.
 func (c *Context) maybeYield() {
 	m := c.m
-	if len(m.heap) == 0 {
+	if c.key < m.qtopKey {
+		// Still the strict (clock, id) minimum — qtopKey is MaxUint64 when
+		// the queue is empty, so the empty case needs no extra branch. Keys
+		// are unique (unique thread ids), so equality can only mean another
+		// context is due.
 		return
 	}
-	next := m.heap[0]
-	if c.clock < next.clock || (c.clock == next.clock && c.id < next.id) {
-		return
-	}
-	next.hpos = -1
-	m.heap[0] = c
-	c.hpos = 0
-	c.state = ctxRunnable
-	m.heapDown(0)
-	next.state = ctxRunning
-	next.resume <- struct{}{}
-	c.park()
-	c.state = ctxRunning
+	top := &m.runq[m.qtopIdx]
+	next := top.ctx
+	*top = runqEnt{key: c.key, ctx: c}
+	m.rescanMin()
+	c.parkOn(next.parkedIn)
 }
 
 // Block parks the context until another context calls Wake on it.
@@ -507,19 +698,16 @@ func (c *Context) Block() {
 		c.wakePending = false
 		if c.clock < c.wakeAt {
 			c.clock = c.wakeAt
+			c.key = c.clock<<keyIDBits | uint64(c.id)
 		}
 		c.maybeYield()
 		return
 	}
 	c.state = ctxBlocked
-	if len(m.heap) == 0 {
+	if len(m.runq) == 0 {
 		m.deadlock(c)
 	}
-	next := m.heapPop()
-	next.state = ctxRunning
-	next.resume <- struct{}{}
-	c.park()
-	c.state = ctxRunning
+	c.parkOn(m.popMin().parkedIn)
 }
 
 // Wake makes a blocked context runnable no earlier than virtual time at.
@@ -536,16 +724,17 @@ func (c *Context) Wake(target *Context, at uint64) {
 	}
 	if target.clock < at {
 		target.clock = at
+		target.key = target.clock<<keyIDBits | uint64(target.id)
 	}
 	target.state = ctxRunnable
-	c.m.heapPush(target)
+	c.m.qpush(target)
 }
 
 // consumesCore reports whether the context currently occupies execution
 // resources on its core. Blocked (futex-parked) and finished threads release
 // the core to their HyperThread sibling; runnable and spinning threads do not.
 func (c *Context) consumesCore() bool {
-	return c.state == ctxRunnable || c.state == ctxRunning
+	return c.state == ctxRunnable
 }
 
 // charge advances the virtual clock by cyc cycles, applying the HyperThread
@@ -554,21 +743,30 @@ func (c *Context) consumesCore() bool {
 // and the stall deadline (deadlock watchdog / cycle budget) is enforced
 // here — a single compare against MaxUint64 when unarmed.
 func (c *Context) charge(cyc uint64) {
-	if h := c.m.TickHook; h != nil {
+	m := c.m
+	if h := m.TickHook; h != nil {
 		cyc += h(c, cyc)
 	}
-	if c.sibling != nil && c.sibling.consumesCore() {
-		cyc = cyc * uint64(c.m.Costs.HTFactorNum) / uint64(c.m.Costs.HTFactorDen)
+	if s := c.sibling; s != nil && s.consumesCore() {
+		// cyc*num/den with den fixed per machine: a reciprocal multiply
+		// (exact for x < 2^32 — see New) replaces the hardware divide that
+		// would otherwise run on every HyperThread-co-resident event.
+		if x := cyc * m.htNum; x < 1<<32 && m.htMagic != 0 {
+			cyc, _ = bits.Mul64(x, m.htMagic)
+		} else {
+			cyc = x / m.htDen
+		}
 	}
 	before := c.clock
 	c.clock += cyc
-	if c.m.Cfg.Invariants && c.clock < before {
+	c.key += cyc << keyIDBits
+	if m.Cfg.Invariants && (c.clock < before || c.clock >= 1<<(64-keyIDBits)) {
 		panic(&InvariantError{Point: "clock", Thread: c.id, Clock: c.clock,
-			Detail: fmt.Sprintf("virtual clock wrapped: %d + %d cycles", before, cyc)})
+			Detail: fmt.Sprintf("virtual clock wrapped or exceeded the packed-key range: %d + %d cycles", before, cyc)})
 	}
-	c.m.events++
-	if c.clock >= c.m.deadline {
-		c.m.onDeadline(c)
+	m.events++
+	if c.clock >= m.deadline {
+		m.onDeadline(c)
 	}
 }
 
@@ -624,7 +822,7 @@ func (c *Context) access(a Addr, write, tx bool) {
 		// (a model bug). See Machine.AccessInFlight.
 		c.pendingLine = line
 	}
-	cost := c.m.caches[c.core].access(c, line, write, tx)
+	cost := c.cache.access(c, line, write, tx)
 	c.charge(cost)
 	c.maybeYield()
 	if c.m.ConflictHook != nil {
@@ -670,66 +868,61 @@ func (c *Context) TxAccess(a Addr, write bool) {
 	c.access(a, write, true)
 }
 
-// ctxHeap is a binary min-heap of runnable contexts ordered by virtual
-// clock, with thread id as the deterministic tie-break.
-type ctxHeap []*Context
+// The runnable queue is an unordered slice with a cached minimum. Packed
+// keys are unique (unique thread ids), so the minimum is unique and
+// independent of scan order; extraction therefore depends only on the key
+// set, exactly as with the heap it replaces. With at most MaxThreads
+// (typically 8) runnable contexts, the rescan on each handoff is a short
+// loop over contiguous 16-byte entries — cheaper than heap sift-downs, and
+// the fast path (one compare against the cached minimum key) costs nothing
+// at all.
 
-func (m *Machine) heapLess(a, b *Context) bool {
-	if a.clock != b.clock {
-		return a.clock < b.clock
-	}
-	return a.id < b.id
+// keyIDBits is the width of the thread-id field in the packed scheduling
+// key (key = clock<<keyIDBits | id). 8 bits bounds regions to 256 threads
+// and virtual clocks to 2^56 cycles; attach and the Invariants clock check
+// enforce the limits.
+const keyIDBits = 8
+
+// runqEnt is one runnable-queue entry: the context's packed scheduling key,
+// snapshotted at enqueue time, plus the context itself. A queued context's
+// key never changes (only the running context is charged, and Wake adjusts
+// the clock before enqueueing), so the snapshot cannot go stale.
+type runqEnt struct {
+	key uint64
+	ctx *Context
 }
 
-func (m *Machine) heapPush(c *Context) {
-	m.heap = append(m.heap, c)
-	i := len(m.heap) - 1
-	c.hpos = i
-	for i > 0 {
-		p := (i - 1) / 2
-		if !m.heapLess(m.heap[i], m.heap[p]) {
-			break
-		}
-		m.heapSwap(i, p)
-		i = p
+// qpush appends c to the runnable queue, updating the cached minimum.
+func (m *Machine) qpush(c *Context) {
+	m.runq = append(m.runq, runqEnt{key: c.key, ctx: c})
+	if c.key < m.qtopKey {
+		m.qtopKey = c.key
+		m.qtopIdx = len(m.runq) - 1
 	}
 }
 
-func (m *Machine) heapPop() *Context {
-	h := m.heap
-	top := h[0]
-	last := len(h) - 1
-	h[0] = h[last]
-	h[0].hpos = 0
-	m.heap = h[:last]
-	top.hpos = -1
-	m.heapDown(0)
+// popMin removes and returns the queue minimum. The caller must ensure the
+// queue is nonempty.
+func (m *Machine) popMin() *Context {
+	top := m.runq[m.qtopIdx].ctx
+	last := len(m.runq) - 1
+	m.runq[m.qtopIdx] = m.runq[last]
+	m.runq = m.runq[:last]
+	m.rescanMin()
 	return top
 }
 
-func (m *Machine) heapSwap(i, j int) {
-	h := m.heap
-	h[i], h[j] = h[j], h[i]
-	h[i].hpos = i
-	h[j].hpos = j
-}
-
-func (m *Machine) heapDown(i int) {
-	h := m.heap
-	n := len(h)
-	for {
-		l, r := 2*i+1, 2*i+2
-		small := i
-		if l < n && m.heapLess(h[l], h[small]) {
-			small = l
+// rescanMin recomputes the cached queue minimum (MaxUint64 / -1 when the
+// queue is empty).
+func (m *Machine) rescanMin() {
+	minKey := ^uint64(0)
+	minIdx := -1
+	for i := range m.runq {
+		if k := m.runq[i].key; k < minKey {
+			minKey = k
+			minIdx = i
 		}
-		if r < n && m.heapLess(h[r], h[small]) {
-			small = r
-		}
-		if small == i {
-			return
-		}
-		m.heapSwap(i, small)
-		i = small
 	}
+	m.qtopKey = minKey
+	m.qtopIdx = minIdx
 }

@@ -290,6 +290,116 @@ func TestMaxCyclesBudget(t *testing.T) {
 	}
 }
 
+// TestFinishWithEmptyQueue covers the terminal handoff: the last runnable
+// context finishes while the run queue is empty, so finish must hand
+// control back to the region driver (not a successor), and the machine must
+// come out clean enough to run further regions on recycled contexts.
+func TestFinishWithEmptyQueue(t *testing.T) {
+	m := New(DefaultConfig())
+	res := m.Run(1, func(c *Context) {}) // empty body: finish sees an empty queue at clock 0
+	if res.Cycles != 0 || len(res.PerThread) != 1 {
+		t.Fatalf("result = %+v", res)
+	}
+	// Staggered finishes: each finisher but the last hands off to a
+	// successor; the last again finds the queue empty. Reusing m also
+	// checks the drain left no stale carrier state behind.
+	res = m.Run(3, func(c *Context) {
+		c.Compute(uint64(10 * (c.ID() + 1)))
+	})
+	if res.Cycles != 30 {
+		t.Fatalf("cycles = %d, want 30", res.Cycles)
+	}
+}
+
+// TestPoisonUnwindMidBatch: a fatal panic ends the region while the other
+// contexts are parked mid-batch (between Compute quanta). The poison unwind
+// must resume each parked context exactly once, run its deferred cleanup,
+// and re-raise the original panic value from Run — with no carrier
+// goroutine leaked.
+func TestPoisonUnwindMidBatch(t *testing.T) {
+	before := runtime.NumGoroutine()
+	m := New(DefaultConfig())
+	boom := errors.New("boom")
+	unwound := make(map[int]int)
+	func() {
+		defer func() {
+			if p := recover(); p != boom {
+				t.Fatalf("recovered %v, want the original panic value", p)
+			}
+		}()
+		m.Run(4, func(c *Context) {
+			if c.ID() == 3 {
+				c.Compute(5_000) // let the others park first
+				panic(boom)
+			}
+			defer func() { unwound[c.ID()]++ }()
+			for {
+				c.Compute(400) // long batched stretch, parks on every yield
+			}
+		})
+		t.Fatal("Run returned instead of re-panicking")
+	}()
+	for id := 0; id < 3; id++ {
+		if unwound[id] != 1 {
+			t.Fatalf("context %d unwound %d times, want 1", id, unwound[id])
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Fatalf("goroutines leaked after poison unwind: %d > %d", n, before)
+	}
+}
+
+// TestWakeBeforeBlock covers the wake/park race: Wake targets a context
+// that is still runnable (it has not reached its Block call yet). The wake
+// must be recorded as pending and consumed by the later Block, which
+// returns immediately with the clock advanced to the wake time — parking
+// there would deadlock, since the waker is already gone.
+func TestWakeBeforeBlock(t *testing.T) {
+	m := New(DefaultConfig())
+	var target *Context
+	res := m.Run(2, func(c *Context) {
+		if c.ID() == 0 {
+			target = c
+			c.Compute(100) // yield to t1, which wakes us while we are runnable
+			c.Block()      // must consume the pending wake, not park
+			return
+		}
+		c.Wake(target, 250) // t0 is runnable at clock 100, not blocked
+	})
+	if target.Now() != 250 {
+		t.Fatalf("target clock = %d, want 250 (pending wake not honored)", target.Now())
+	}
+	if res.Cycles != 250 {
+		t.Fatalf("cycles = %d, want 250", res.Cycles)
+	}
+}
+
+// TestWatchdogFiresMidBatch: a single context never leaves the batched
+// fast path (no other context ever preempts it), so the watchdog deadline
+// must be enforced by the event charge itself, not by the handoff path.
+func TestWatchdogFiresMidBatch(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.StallCycles = 50_000
+	m := New(cfg)
+	_, err := m.RunE(1, func(c *Context) {
+		for {
+			c.Compute(100) // batched: maybeYield never switches with one thread
+		}
+	})
+	var se *StallError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *StallError", err)
+	}
+	if se.Kind != StallLivelock || se.Limit != cfg.StallCycles {
+		t.Fatalf("got kind=%q limit=%d", se.Kind, se.Limit)
+	}
+}
+
 // TestEvictStormFiresHooks asserts forced eviction notifies the eviction
 // hook for marked lines and leaves the cache consistent.
 func TestEvictStormFiresHooks(t *testing.T) {

@@ -1,0 +1,35 @@
+//go:build slabcheck
+
+// Slab-pool self-checks, armed by the slabcheck build tag (CI runs the race
+// detector with it). The simulator recycles hot per-event records — Context
+// records here, Txn records and lineTrack entries in package htm, free-list
+// blocks in Memory — and a recycling bug (state leaking across regions, a
+// double free) would corrupt results silently. These assertions make such
+// bugs loud; they are compiled out entirely without the tag.
+
+package sim
+
+import "fmt"
+
+// slabCheck reports whether the slab-pool assertions are armed; other
+// packages (htm, memory) gate their own pool checks on it.
+const slabCheck = true
+
+// slabCheckContext asserts a context record leaving the slab is quiescent:
+// either never used (fresh zero value) or properly retired by the previous
+// region. A violation means recycling would leak simulated-thread state
+// across parallel regions.
+func slabCheckContext(c *Context) {
+	if c.m.tainted {
+		return // poison-unwound region: machine is diagnostic-only
+	}
+	if c.state != ctxRunnable && c.state != ctxDone {
+		panic(fmt.Sprintf("sim: slab context t%d recycled in state %q", c.id, stateName(c.state)))
+	}
+	if c.InTxn || c.TxnData != nil {
+		panic(fmt.Sprintf("sim: slab context t%d recycled with live transaction state", c.id))
+	}
+	if c.parkedIn != nil || !c.exited && c.state == ctxDone {
+		panic(fmt.Sprintf("sim: slab context t%d recycled with a live carrier", c.id))
+	}
+}

@@ -71,8 +71,6 @@ func stateName(s ctxState) string {
 	switch s {
 	case ctxRunnable:
 		return "runnable"
-	case ctxRunning:
-		return "running"
 	case ctxBlocked:
 		return "blocked"
 	case ctxDone:

@@ -93,8 +93,8 @@ type Txn struct {
 	ctx *sim.Context
 	rv  uint64
 
-	readSet  []int // orec indices
-	writeSet map[sim.Addr]uint64
+	readSet  []int      // orec indices
+	writeSet wordMap    // word address -> buffered value (lazy versioning)
 	wOrder   []sim.Addr // deterministic write-back order
 	locks    []int      // commit-time scratch: sorted unique write-set orecs
 	frees    []pendingFree
@@ -114,8 +114,8 @@ func (t *Txn) Free(a sim.Addr, size int) {
 // Load performs an instrumented transactional read with pre/post orec
 // validation, aborting on inconsistency (the "invisible reads" protocol).
 func (t *Txn) Load(a sim.Addr) uint64 {
-	if len(t.writeSet) != 0 {
-		if v, ok := t.writeSet[a]; ok {
+	if t.writeSet.n != 0 {
+		if v, ok := t.writeSet.get(a); ok {
 			t.ctx.Compute(t.s.m.Costs.TL2Read)
 			return v
 		}
@@ -137,10 +137,9 @@ func (t *Txn) Load(a sim.Addr) uint64 {
 // Store buffers an instrumented transactional write (lazy versioning).
 func (t *Txn) Store(a sim.Addr, v uint64) {
 	t.ctx.Compute(t.s.m.Costs.TL2Write)
-	if _, ok := t.writeSet[a]; !ok {
+	if t.writeSet.put(a, v) {
 		t.wOrder = append(t.wOrder, a)
 	}
-	t.writeSet[a] = v
 }
 
 func (t *Txn) abort() {
@@ -154,7 +153,7 @@ func (t *Txn) abort() {
 func (t *Txn) commit() {
 	c := t.ctx
 	costs := t.s.m.Costs
-	if len(t.writeSet) == 0 {
+	if t.writeSet.n == 0 {
 		// Read-only transactions commit without validation in TL2.
 		c.Compute(costs.TL2Commit)
 		if h := t.s.CommitHook; h != nil {
@@ -222,7 +221,8 @@ func (t *Txn) commit() {
 	// Write back and release.
 	c.Compute(costs.TL2Commit)
 	for _, a := range t.wOrder {
-		c.Store(a, t.writeSet[a])
+		v, _ := t.writeSet.get(a)
+		c.Store(a, v)
 	}
 	for _, oi := range locks {
 		o := &t.s.orecs[oi]
@@ -276,11 +276,12 @@ func (s *TL2) try(c *sim.Context, body func(*Txn)) (committed bool) {
 	// transaction at a time.
 	t := s.pool[c.ID()]
 	if t == nil {
-		t = &Txn{s: s, writeSet: make(map[sim.Addr]uint64, 8)}
+		t = &Txn{s: s}
+		t.writeSet.init(wordMapMinSize)
 		s.pool[c.ID()] = t
 	} else {
 		t.readSet = t.readSet[:0]
-		clear(t.writeSet)
+		t.writeSet.reset()
 		t.wOrder = t.wOrder[:0]
 		t.frees = t.frees[:0]
 	}

@@ -1,0 +1,88 @@
+package stm
+
+import "tsxhpc/internal/sim"
+
+// wordMap is the write-set buffer: a small open-addressing table from word
+// address to buffered value. Load forwarding and Store dedup run once per
+// instrumented access, which makes the Go map's hashing and bucket chasing
+// the hottest allocation-free work in a TL2 attempt; linear probing over two
+// flat arrays replaces it with one multiply and (almost always) one probe.
+// Zero key = empty slot: simulated word address 0 never occurs (Memory
+// reserves the first line).
+type wordMap struct {
+	keys  []sim.Addr
+	vals  []uint64
+	n     int
+	shift uint // 64 - log2(len(keys))
+}
+
+const wordMapMinSize = 16
+
+func (w *wordMap) init(size int) {
+	w.keys = make([]sim.Addr, size)
+	w.vals = make([]uint64, size)
+	w.n = 0
+	w.shift = 64
+	for s := size; s > 1; s >>= 1 {
+		w.shift--
+	}
+}
+
+func (w *wordMap) slot(a sim.Addr) int {
+	return int(uint64(a) * 0x9e3779b97f4a7c15 >> w.shift)
+}
+
+func (w *wordMap) get(a sim.Addr) (uint64, bool) {
+	mask := len(w.keys) - 1
+	for i := w.slot(a); ; i = (i + 1) & mask {
+		switch w.keys[i] {
+		case a:
+			return w.vals[i], true
+		case 0:
+			return 0, false
+		}
+	}
+}
+
+// put stores a→v and reports whether the key is new (first write to this
+// word in the transaction — the caller appends it to the write-back order).
+func (w *wordMap) put(a sim.Addr, v uint64) bool {
+	if w.n >= len(w.keys)-len(w.keys)/4 {
+		w.grow()
+	}
+	mask := len(w.keys) - 1
+	for i := w.slot(a); ; i = (i + 1) & mask {
+		switch w.keys[i] {
+		case a:
+			w.vals[i] = v
+			return false
+		case 0:
+			w.keys[i] = a
+			w.vals[i] = v
+			w.n++
+			return true
+		}
+	}
+}
+
+func (w *wordMap) grow() {
+	old, oldVals := w.keys, w.vals
+	w.init(len(w.keys) * 2)
+	for i, k := range old {
+		if k != 0 {
+			w.put(k, oldVals[i])
+		}
+	}
+}
+
+// reset empties the table for recycling, shrinking back to the minimum size
+// if a large transaction grew it (so one outlier doesn't make every later
+// clear pay for its capacity).
+func (w *wordMap) reset() {
+	if len(w.keys) > 4*wordMapMinSize {
+		w.init(wordMapMinSize)
+		return
+	}
+	clear(w.keys)
+	w.n = 0
+}
