@@ -24,6 +24,13 @@ func main() {
 	suite, _, cleanup := o.Setup(os.Stderr)
 	defer cleanup()
 	o.Banner(os.Stdout)
+	fail := func(err error) {
+		if err != nil {
+			runopts.ReportSupervision(os.Stderr, suite.E)
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 
 	switch {
 	case *fig5a:
@@ -40,11 +47,5 @@ func main() {
 		fmt.Print(t.Render())
 		fmt.Printf("\ntsx.coarsen over baseline at 8 threads (geomean): %.2fx (paper: 1.41x mean)\n", gain)
 	}
-}
-
-func fail(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
+	runopts.ReportSupervision(os.Stderr, suite.E)
 }

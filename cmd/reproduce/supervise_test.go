@@ -1,0 +1,191 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tsxhpc/internal/runopts"
+)
+
+// Supervision, quarantine, and checkpoint/resume tests. Like main_test.go,
+// these drive run() in-process and must not run in parallel (process-wide
+// sim.RunDefaults, the interrupted flag).
+
+// TestRunPoisonQuarantineDegraded: a poisoned cell prefix fails its section
+// deterministically — no retries burned — while the other section
+// reproduces; the run reports the quarantined cells on stdout and exits with
+// the degraded code, distinct from total failure.
+func TestRunPoisonQuarantineDegraded(t *testing.T) {
+	var out, errOut strings.Builder
+	o := options{
+		Options: runopts.Options{Retries: 3, Quarantine: 8, Poison: "lockset/"},
+		only:    "E9,A3",
+	}
+	code := run(o, &out, &errOut)
+	if code != exitDegraded {
+		t.Fatalf("exit = %d, want %d (degraded); stderr: %s", code, exitDegraded, errOut.String())
+	}
+	s := out.String()
+	if got := strings.Count(s, "FAILED:"); got != 1 {
+		t.Fatalf("FAILED sections = %d, want 1 (A3 only):\n%s", got, s)
+	}
+	for _, want := range []string{
+		"quarantined cells",
+		"lockset/",
+		"injected deterministic job fault",
+		"reproduced with 1 failed experiment(s) in",
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("stdout missing %q:\n%s", want, s)
+		}
+	}
+	if !strings.Contains(errOut.String(), "quarantined (deterministic failure") {
+		t.Fatalf("stderr missing supervision report: %s", errOut.String())
+	}
+
+	// Same scenario with a zero quarantine cap: the same degradation now
+	// counts as a total failure.
+	out.Reset()
+	errOut.Reset()
+	o.Quarantine = 0
+	if code := run(o, &out, &errOut); code != exitTotalFailure {
+		t.Fatalf("exit with quarantine cap 0 = %d, want %d", code, exitTotalFailure)
+	}
+}
+
+// TestRunJobChaosTransparent is satellite (c)'s first half: injected
+// transient job faults are absorbed by retry/backoff — the run exits 0 with
+// stdout byte-identical to a clean run — while the bench report and stderr
+// prove retries actually happened.
+func TestRunJobChaosTransparent(t *testing.T) {
+	do := func(o options) (string, string) {
+		var out, errOut strings.Builder
+		if code := run(o, &out, &errOut); code != 0 {
+			t.Fatalf("exit = %d\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+		}
+		return out.String(), errOut.String()
+	}
+	clean, _ := do(options{only: "E9,A3"})
+	bench := filepath.Join(t.TempDir(), "bench.json")
+	// Seed 5 makes three of the E9/A3 cells flaky (fail attempts 1-2, then
+	// clear) under faults.JobChaos's per-cell lottery.
+	chaotic, chaosErr := do(options{
+		Options:    runopts.Options{Retries: 3, Quarantine: 8, JobChaosSet: true, JobChaosSeed: 5},
+		only:       "E9,A3",
+		benchPath:  bench,
+		benchForce: true,
+	})
+	if stripFooter(t, clean) != stripFooter(t, chaotic) {
+		t.Fatalf("jobchaos changed stdout:\n--- clean ---\n%s\n--- chaotic ---\n%s", clean, chaotic)
+	}
+	rep := readBench(t, bench)
+	if rep.Retries == 0 || rep.Quarantined != 0 {
+		t.Fatalf("bench counters = %d retries / %d quarantined, want >0 / 0", rep.Retries, rep.Quarantined)
+	}
+	for _, want := range []string{"jobchaos: job-level fault injection enabled", "retrying after", "recovered after"} {
+		if !strings.Contains(chaosErr, want) {
+			t.Fatalf("stderr missing %q: %s", want, chaosErr)
+		}
+	}
+}
+
+// TestRunResumeByteIdentity is satellite (c)'s second half and the issue's
+// acceptance bar: a run that fails partway keeps its journal; a -resume
+// rerun replays the completed sections from the checkpoint (resumed_cells
+// counts them) and re-executes only the rest, with stdout byte-identical to
+// an uninterrupted run.
+func TestRunResumeByteIdentity(t *testing.T) {
+	var out, errOut strings.Builder
+	clean := func() string {
+		out.Reset()
+		errOut.Reset()
+		if code := run(options{only: "E9,A3"}, &out, &errOut); code != 0 {
+			t.Fatalf("clean run exit = %d", code)
+		}
+		return out.String()
+	}()
+
+	jnl := filepath.Join(t.TempDir(), "run.journal")
+	out.Reset()
+	errOut.Reset()
+	// First attempt: A3 poisoned, so the run completes degraded — E9's
+	// section is checkpointed, A3 is not, and the journal survives.
+	o := options{
+		Options: runopts.Options{Quarantine: 8, Poison: "lockset/", Journal: jnl},
+		only:    "E9,A3",
+	}
+	if code := run(o, &out, &errOut); code != exitDegraded {
+		t.Fatalf("poisoned run exit = %d, want %d; stderr: %s", code, exitDegraded, errOut.String())
+	}
+	if _, err := os.Stat(jnl); err != nil {
+		t.Fatalf("journal missing after failed run: %v", err)
+	}
+
+	// Resume without the poison: E9 replays from the journal, only A3
+	// re-executes, and stdout matches the uninterrupted run byte for byte.
+	out.Reset()
+	errOut.Reset()
+	bench := filepath.Join(t.TempDir(), "bench.json")
+	o = options{
+		Options:    runopts.Options{Quarantine: 8, Journal: jnl, Resume: true},
+		only:       "E9,A3",
+		benchPath:  bench,
+		benchForce: true,
+	}
+	if code := run(o, &out, &errOut); code != 0 {
+		t.Fatalf("resume run exit = %d; stderr: %s", code, errOut.String())
+	}
+	if stripFooter(t, clean) != stripFooter(t, out.String()) {
+		t.Fatalf("resumed stdout differs from uninterrupted run:\n--- clean ---\n%s\n--- resumed ---\n%s", clean, out.String())
+	}
+	if !strings.Contains(errOut.String(), "resuming 1 completed unit(s)") {
+		t.Fatalf("stderr missing resume note: %s", errOut.String())
+	}
+	if rep := readBench(t, bench); rep.ResumedCells != 1 {
+		t.Fatalf("resumed_cells = %d, want 1", rep.ResumedCells)
+	}
+	if _, err := os.Stat(jnl); !os.IsNotExist(err) {
+		t.Fatalf("journal not removed after clean finish: %v", err)
+	}
+}
+
+// TestRunInterruptExitsResumable: with the interrupted flag raised (what the
+// first SIGINT does), the section loop stops before the next section, the
+// journal survives as the resume point, the exit code is 130, and a -resume
+// rerun produces the full byte-identical output.
+func TestRunInterruptExitsResumable(t *testing.T) {
+	jnl := filepath.Join(t.TempDir(), "run.journal")
+	interrupted.Store(true)
+	var out, errOut strings.Builder
+	o := options{Options: runopts.Options{Journal: jnl}, only: "E9,A3"}
+	code := run(o, &out, &errOut)
+	interrupted.Store(false)
+	if code != exitInterrupted {
+		t.Fatalf("exit = %d, want %d", code, exitInterrupted)
+	}
+	if strings.Contains(out.String(), "reproduced") {
+		t.Fatalf("interrupted run printed a completion footer:\n%s", out.String())
+	}
+	if !strings.Contains(errOut.String(), "rerun with -resume") {
+		t.Fatalf("stderr missing resume hint: %s", errOut.String())
+	}
+	if _, err := os.Stat(jnl); err != nil {
+		t.Fatalf("journal missing after interrupt: %v", err)
+	}
+
+	var clean strings.Builder
+	if code := run(options{only: "E9,A3"}, &clean, &strings.Builder{}); code != 0 {
+		t.Fatalf("clean run exit = %d", code)
+	}
+	out.Reset()
+	errOut.Reset()
+	o.Resume = true
+	if code := run(o, &out, &errOut); code != 0 {
+		t.Fatalf("resume run exit = %d; stderr: %s", code, errOut.String())
+	}
+	if stripFooter(t, clean.String()) != stripFooter(t, out.String()) {
+		t.Fatal("post-interrupt resume output differs from a clean run")
+	}
+}

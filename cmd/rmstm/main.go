@@ -25,8 +25,10 @@ func main() {
 
 	t, err := suite.Figure3()
 	if err != nil {
+		runopts.ReportSupervision(os.Stderr, suite.E)
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	fmt.Print(t.Render())
+	runopts.ReportSupervision(os.Stderr, suite.E)
 }

@@ -1,7 +1,7 @@
 // Command stamp regenerates the STAMP results: Figure 2 (normalized
 // execution times for sgl/tl2/tsx), Table 1 (-aborts), one-off workload
 // runs (-workload), the tsx abort-cause breakdown (-causes), and the
-// retry-policy sweep of Section 3 (-retries). It shares the experiment
+// retry-policy sweep of Section 3 (-retrysweep). It shares the experiment
 // engine's flags: -parallel, -chaos, -cache (see internal/runopts).
 package main
 
@@ -23,7 +23,7 @@ func main() {
 	runopts.Register(flag.CommandLine, &o)
 	aborts := flag.Bool("aborts", false, "print Table 1 (abort rates) instead of Figure 2")
 	causes := flag.Bool("causes", false, "print the tsx abort-cause breakdown (perf-style) at 4 threads")
-	retries := flag.Bool("retries", false, "print the Section 3 retry-budget sweep")
+	retries := flag.Bool("retrysweep", false, "print the Section 3 retry-budget sweep")
 	workload := flag.String("workload", "", "run a single workload across modes/threads")
 	flag.Parse()
 	o.Finish(flag.CommandLine)
@@ -31,6 +31,13 @@ func main() {
 	suite, _, cleanup := o.Setup(os.Stderr)
 	defer cleanup()
 	o.Banner(os.Stdout)
+	fail := func(err error) {
+		if err != nil {
+			runopts.ReportSupervision(os.Stderr, suite.E)
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 
 	switch {
 	case *causes:
@@ -80,11 +87,5 @@ func main() {
 		fail(err)
 		fmt.Print(t.Render())
 	}
-}
-
-func fail(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
+	runopts.ReportSupervision(os.Stderr, suite.E)
 }

@@ -8,26 +8,68 @@
 // fault injection. Output is deterministic per (seeds, engines, chaos seed):
 // same flags, same bytes.
 //
-// Exit status: 0 all seeds agree; 1 violations found; 2 usage error.
+// Seeds run as supervised jobs on the shared runner engine: a seed whose
+// harness crashes (or suffers an injected -jobchaos fault) is retried per
+// -retries, deterministic failures are quarantined, and the sweep completes
+// around them — an errored seed is reported in place and the rest still
+// cross-check. Completed seeds checkpoint to a progress journal (-journal,
+// default .verify.journal); SIGINT/SIGTERM checkpoints and exits 130, and
+// -resume replays finished seeds byte-identically.
+//
+// Exit status: 0 all seeds agree; 1 violations found or no seed completed
+// (or quarantine exceeded -quarantine); 2 usage error; 3 some seeds errored
+// but the rest completed and agreed; 130 interrupted.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
-	"sync"
+	"strings"
+	"sync/atomic"
+	"syscall"
 
 	"tsxhpc/internal/check"
+	"tsxhpc/internal/runner"
 	"tsxhpc/internal/runopts"
 )
+
+const (
+	exitOK           = 0
+	exitTotalFailure = 1
+	exitUsage        = 2
+	exitDegraded     = 3
+	exitInterrupted  = 130
+)
+
+// interrupted is set by the signal handler; the collection loop stops
+// submitting new seeds once it is raised.
+var interrupted atomic.Bool
 
 type options struct {
 	runopts.Options
 	seeds   int
 	engines string
 	verbose bool
+}
+
+// seedOutcome is one seed's complete result: the rendered per-seed lines
+// (empty unless the seed failed or -v is on) plus the aggregate counters the
+// summary needs. It is the journal payload, so a resumed sweep replays both
+// the bytes and the totals.
+type seedOutcome struct {
+	Lines     string         `json:"lines"`
+	Bad       bool           `json:"bad"`
+	Txns      uint64         `json:"txns"`
+	Starts    uint64         `json:"starts"`
+	Aborts    uint64         `json:"aborts"`
+	Fallbacks uint64         `json:"fallbacks"`
+	TL2Aborts uint64         `json:"tl2_aborts"`
+	Counts    map[string]int `json:"counts,omitempty"`
 }
 
 func main() {
@@ -38,18 +80,66 @@ func main() {
 	flag.BoolVar(&o.verbose, "v", false, "print every seed's line, not just violations")
 	flag.Parse()
 	o.Finish(flag.CommandLine)
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		interrupted.Store(true)
+		fmt.Fprintln(os.Stderr, "verify: interrupted — draining in-flight seeds and checkpointing (interrupt again to abort now)")
+		<-sigc
+		os.Exit(exitInterrupted)
+	}()
 	os.Exit(run(o, os.Stdout, os.Stderr))
+}
+
+// renderOutcome turns one seed's differential report into its outcome record
+// (rendered lines plus summary counters).
+func renderOutcome(seedIdx int, rep *check.Report, verbose bool) seedOutcome {
+	w := rep.Workload
+	out := seedOutcome{Txns: uint64(w.TotalTxns())}
+	for _, res := range rep.Results {
+		if res == nil {
+			continue
+		}
+		switch res.Engine {
+		case check.TSX:
+			out.Starts += res.Starts
+			out.Aborts += res.Aborts
+			out.Fallbacks += res.Fallbacks
+		case check.TL2:
+			out.TL2Aborts += res.Aborts
+		}
+	}
+	var b strings.Builder
+	if rep.Ok() {
+		if verbose {
+			fmt.Fprintf(&b, "seed %4d ok    threads=%d slots=%d txns=%d commutative=%v\n",
+				seedIdx+1, w.Threads, w.Slots, w.TotalTxns(), w.Commutative())
+		}
+	} else {
+		out.Bad = true
+		out.Counts = map[string]int{}
+		fmt.Fprintf(&b, "seed %4d FAIL  threads=%d slots=%d txns=%d commutative=%v\n",
+			seedIdx+1, w.Threads, w.Slots, w.TotalTxns(), w.Commutative())
+		for _, v := range rep.Violations {
+			out.Counts[string(v.Kind)]++
+			fmt.Fprintf(&b, "  %s\n", v)
+		}
+	}
+	out.Lines = b.String()
+	return out
 }
 
 func run(o options, stdout, stderr io.Writer) int {
 	engines, err := check.ParseEngines(o.engines)
 	if err != nil {
 		fmt.Fprintf(stderr, "verify: %v\n", err)
-		return 2
+		return exitUsage
 	}
 	if o.seeds <= 0 {
 		fmt.Fprintf(stderr, "verify: -seeds must be positive (got %d)\n", o.seeds)
-		return 2
+		return exitUsage
 	}
 	opts := check.Opts{
 		Faults:      o.Plan(),
@@ -58,72 +148,163 @@ func run(o options, stdout, stderr io.Writer) int {
 	}
 	o.Banner(stdout)
 
-	// Seeds are independent: fan out across host workers, then report in
-	// seed order so output stays byte-deterministic regardless of -parallel.
 	workers := o.Parallel
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	reports := make([]*check.Report, o.seeds)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for i := 0; i < o.seeds; i++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			seed := int64(i + 1)
-			w := check.Generate(seed, check.ShapeFor(seed))
-			reports[i] = check.Differential(w, engines, opts)
-		}(i)
-	}
-	wg.Wait()
 
-	var txns, htmStarts, htmAborts, fallbacks, tl2Aborts uint64
-	badSeeds := 0
-	counts := map[check.ViolationKind]int{}
-	for i, rep := range reports {
-		w := rep.Workload
-		txns += uint64(w.TotalTxns())
-		for _, res := range rep.Results {
-			if res == nil {
+	// Seeds are independent supervised jobs: fan out across host workers,
+	// then collect in seed order so output stays byte-deterministic
+	// regardless of -parallel — retries and backoff included (the
+	// supervision history is a pure function of policy seed and cell key).
+	e := runner.New(workers)
+	o.Supervise(e, stderr)
+
+	// Unlike reproduce, verify configures its machines explicitly (no
+	// process-wide run defaults), so the journal identity must carry every
+	// output-affecting flag alongside the model fingerprint.
+	extra := fmt.Sprintf("engines=%s|v=%t|chaos=%t:%d|max=%d|stall=%d",
+		o.engines, o.verbose, o.ChaosSet, o.ChaosSeed, o.MaxCycles, o.EffectiveStallCycles())
+	jnl, done := o.OpenJournal("verify", extra, stderr)
+	jnlOpen := jnl != nil
+	closeJournal := func() {
+		if jnlOpen {
+			jnl.Close()
+			jnlOpen = false
+		}
+	}
+	defer closeJournal()
+	seedKey := func(i int) runner.Key { return runner.Key(fmt.Sprintf("seed/%d", i+1)) }
+
+	// Lazy submission keeps a window of jobs ahead of the in-order
+	// collector, so an interrupt stops the sweep within one window instead
+	// of running every remaining seed to completion.
+	futs := make([]runner.Future[seedOutcome], o.seeds)
+	replayed := make([]bool, o.seeds)
+	for i := 0; i < o.seeds; i++ {
+		_, replayed[i] = done[string(seedKey(i))]
+	}
+	submitted := 0
+	submitThrough := func(target int) {
+		if target > o.seeds {
+			target = o.seeds
+		}
+		for ; submitted < target; submitted++ {
+			i := submitted
+			if replayed[i] {
 				continue
 			}
-			switch res.Engine {
-			case check.TSX:
-				htmStarts += res.Starts
-				htmAborts += res.Aborts
-				fallbacks += res.Fallbacks
-			case check.TL2:
-				tl2Aborts += res.Aborts
+			futs[i] = runner.Submit(e, seedKey(i), func() (seedOutcome, error) {
+				seed := int64(i + 1)
+				w := check.Generate(seed, check.ShapeFor(seed))
+				return renderOutcome(i, check.Differential(w, engines, opts), o.verbose), nil
+			})
+		}
+	}
+
+	var total seedOutcome
+	counts := map[string]int{}
+	badSeeds, errored, completed, resumed, skipped := 0, 0, 0, 0, 0
+	aggregate := func(out seedOutcome) {
+		fmt.Fprint(stdout, out.Lines)
+		completed++
+		total.Txns += out.Txns
+		total.Starts += out.Starts
+		total.Aborts += out.Aborts
+		total.Fallbacks += out.Fallbacks
+		total.TL2Aborts += out.TL2Aborts
+		for k, n := range out.Counts {
+			counts[k] += n
+		}
+		if out.Bad {
+			badSeeds++
+		}
+	}
+	for i := 0; i < o.seeds; i++ {
+		if replayed[i] {
+			var out seedOutcome
+			if err := json.Unmarshal(done[string(seedKey(i))], &out); err != nil {
+				fmt.Fprintf(stderr, "journal: entry for %s undecodable; re-running it\n", seedKey(i))
+				replayed[i] = false
+				futs[i] = runner.Submit(e, seedKey(i), func() (seedOutcome, error) {
+					seed := int64(i + 1)
+					w := check.Generate(seed, check.ShapeFor(seed))
+					return renderOutcome(i, check.Differential(w, engines, opts), o.verbose), nil
+				})
+			} else {
+				aggregate(out)
+				resumed++
+				continue
 			}
 		}
-		if rep.Ok() {
-			if o.verbose {
-				fmt.Fprintf(stdout, "seed %4d ok    threads=%d slots=%d txns=%d commutative=%v\n",
-					i+1, w.Threads, w.Slots, w.TotalTxns(), w.Commutative())
+		if i >= submitted {
+			if interrupted.Load() {
+				skipped = o.seeds - i
+				break
 			}
+			submitThrough(i + 2*workers)
+		}
+		out, err := futs[i].Wait()
+		if err != nil {
+			// Containment: one errored seed is reported in place; the rest of
+			// the sweep still cross-checks.
+			errored++
+			fmt.Fprintf(stdout, "seed %4d ERROR %v\n", i+1, err)
 			continue
 		}
-		badSeeds++
-		fmt.Fprintf(stdout, "seed %4d FAIL  threads=%d slots=%d txns=%d commutative=%v\n",
-			i+1, w.Threads, w.Slots, w.TotalTxns(), w.Commutative())
-		for _, v := range rep.Violations {
-			counts[v.Kind]++
-			fmt.Fprintf(stdout, "  %s\n", v)
+		aggregate(out)
+		if jnlOpen {
+			payload, _ := json.Marshal(out)
+			if err := jnl.Record(string(seedKey(i)), payload); err != nil {
+				fmt.Fprintln(stderr, err)
+			}
 		}
 	}
+
+	runopts.ReportSupervision(stderr, e)
+
+	if interrupted.Load() && skipped > 0 {
+		closeJournal()
+		if path := o.JournalPath("verify"); path != "" {
+			fmt.Fprintf(stderr, "verify: interrupted with %d seed(s) done and %d to go; rerun with -resume to continue from %s\n",
+				completed, skipped, path)
+		} else {
+			fmt.Fprintf(stderr, "verify: interrupted with %d seed(s) to go (journaling off; a rerun starts over)\n", skipped)
+		}
+		return exitInterrupted
+	}
+
 	fmt.Fprintf(stdout, "verify: %d seeds x %s: %d divergences, %d serializability violations, %d invariant violations, %d failures\n",
 		o.seeds, o.engines,
-		counts[check.KindDivergence], counts[check.KindSerializability],
-		counts[check.KindInvariant], counts[check.KindFailure])
+		counts[string(check.KindDivergence)], counts[string(check.KindSerializability)],
+		counts[string(check.KindInvariant)], counts[string(check.KindFailure)])
 	fmt.Fprintf(stdout, "verify: %d transactions per engine; tsx starts %d aborts %d fallbacks %d; tl2 aborts %d\n",
-		txns, htmStarts, htmAborts, fallbacks, tl2Aborts)
+		total.Txns, total.Starts, total.Aborts, total.Fallbacks, total.TL2Aborts)
+	if errored == 0 {
+		// Every seed completed: nothing left to resume. Violations are
+		// deterministic, so the journal has no recovery value for them.
+		if jnlOpen {
+			jnlOpen = false
+			if err := jnl.Done(); err != nil {
+				fmt.Fprintln(stderr, err)
+			}
+		}
+	} else {
+		closeJournal() // keep: errored seeds re-run under -resume
+	}
 	if badSeeds > 0 {
 		fmt.Fprintf(stdout, "verify: FAILED on %d of %d seeds\n", badSeeds, o.seeds)
-		return 1
+		return exitTotalFailure
+	}
+	if errored > 0 {
+		fmt.Fprintf(stdout, "verify: DEGRADED: %d of %d seeds errored (%d quarantined); the rest agree\n",
+			errored, o.seeds, len(e.Quarantined()))
+		st := e.Stats()
+		if completed == 0 || int(st.Quarantined) > o.Quarantine {
+			return exitTotalFailure
+		}
+		return exitDegraded
 	}
 	fmt.Fprintf(stdout, "verify: OK\n")
-	return 0
+	return exitOK
 }

@@ -1,0 +1,157 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tsxhpc/internal/runopts"
+)
+
+// Supervision, containment, and checkpoint/resume tests for the verify
+// sweep. These drive run() in-process and must not run in parallel (the
+// package-level interrupted flag).
+
+// TestVerifyPoisonContained is satellite (b): a seed whose harness fails
+// deterministically is reported in place and the rest of the sweep still
+// cross-checks — degraded exit, not total failure, unless the quarantine
+// cap says otherwise.
+func TestVerifyPoisonContained(t *testing.T) {
+	o := options{seeds: 9, engines: "tsx,fine"}
+	o.Options = runopts.Options{Retries: 3, Quarantine: 8, Poison: "seed/4"}
+	code, out, errOut := drive(t, o)
+	if code != exitDegraded {
+		t.Fatalf("exit = %d, want %d (degraded)\nstdout:\n%s\nstderr:\n%s", code, exitDegraded, out, errOut)
+	}
+	for _, want := range []string{
+		"seed    4 ERROR",
+		"injected deterministic job fault",
+		"verify: 9 seeds x tsx,fine:",
+		"verify: DEGRADED: 1 of 9 seeds errored (1 quarantined); the rest agree",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("stdout missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "verify: OK") || strings.Contains(out, "FAILED") {
+		t.Fatalf("degraded run claimed OK or FAILED:\n%s", out)
+	}
+	if !strings.Contains(errOut, "quarantined (deterministic failure") {
+		t.Fatalf("stderr missing supervision report:\n%s", errOut)
+	}
+
+	// A zero quarantine cap turns the same degradation into a total failure.
+	o.Quarantine = 0
+	if code, _, _ := drive(t, o); code != exitTotalFailure {
+		t.Fatalf("exit with quarantine cap 0 = %d, want %d", code, exitTotalFailure)
+	}
+}
+
+// TestVerifySupervisionParallelDeterminism is satellite (c) for verify:
+// injected transient faults are absorbed by retry/backoff with stdout AND
+// the supervision history on stderr byte-identical at -parallel 1 and 8
+// (jobchaos seed 6 makes three of the twelve seeds flaky).
+func TestVerifySupervisionParallelDeterminism(t *testing.T) {
+	do := func(parallel int) (string, string) {
+		o := options{seeds: 12, engines: "tsx,fine", verbose: true}
+		o.Options = runopts.Options{
+			Parallel: parallel, Retries: 3, Quarantine: 8,
+			JobChaosSet: true, JobChaosSeed: 6,
+		}
+		code, out, errOut := drive(t, o)
+		if code != 0 {
+			t.Fatalf("exit = %d at -parallel %d\nstdout:\n%s\nstderr:\n%s", code, parallel, out, errOut)
+		}
+		return out, errOut
+	}
+	out1, err1 := do(1)
+	out8, err8 := do(8)
+	if out1 != out8 {
+		t.Fatalf("-parallel changed stdout under jobchaos:\n%s\n---\n%s", out1, out8)
+	}
+	if err1 != err8 {
+		t.Fatalf("-parallel changed the supervision history:\n%s\n---\n%s", err1, err8)
+	}
+	for _, want := range []string{"jobchaos: job-level fault injection enabled", "retrying after", "recovered after"} {
+		if !strings.Contains(err1, want) {
+			t.Fatalf("stderr missing %q:\n%s", want, err1)
+		}
+	}
+
+	// The chaotic sweep's verdict matches a fault-free one.
+	clean := options{seeds: 12, engines: "tsx,fine", verbose: true}
+	if _, cleanOut, _ := drive(t, clean); cleanOut != out1 {
+		t.Fatalf("jobchaos changed stdout:\n--- clean ---\n%s\n--- chaotic ---\n%s", cleanOut, out1)
+	}
+}
+
+// TestVerifyResumeByteIdentity: a degraded run keeps its journal; a -resume
+// rerun replays the completed seeds from the checkpoint, re-executes only
+// the errored one, and the combined stdout is byte-identical to an
+// uninterrupted clean sweep.
+func TestVerifyResumeByteIdentity(t *testing.T) {
+	clean := options{seeds: 9, engines: "tsx,fine", verbose: true}
+	_, cleanOut, _ := drive(t, clean)
+
+	jnl := filepath.Join(t.TempDir(), "verify.journal")
+	o := options{seeds: 9, engines: "tsx,fine", verbose: true}
+	o.Options = runopts.Options{Retries: 3, Quarantine: 8, Poison: "seed/4", Journal: jnl}
+	if code, out, errOut := drive(t, o); code != exitDegraded {
+		t.Fatalf("poisoned run exit = %d, want %d\nstdout:\n%s\nstderr:\n%s", code, exitDegraded, out, errOut)
+	}
+	if _, err := os.Stat(jnl); err != nil {
+		t.Fatalf("journal missing after degraded run: %v", err)
+	}
+
+	o.Poison = ""
+	o.Resume = true
+	code, out, errOut := drive(t, o)
+	if code != 0 {
+		t.Fatalf("resume run exit = %d\nstdout:\n%s\nstderr:\n%s", code, out, errOut)
+	}
+	if out != cleanOut {
+		t.Fatalf("resumed stdout differs from uninterrupted run:\n--- clean ---\n%s\n--- resumed ---\n%s", cleanOut, out)
+	}
+	if !strings.Contains(errOut, "resuming 8 completed unit(s)") {
+		t.Fatalf("stderr missing resume note:\n%s", errOut)
+	}
+	if _, err := os.Stat(jnl); !os.IsNotExist(err) {
+		t.Fatalf("journal not removed after clean finish: %v", err)
+	}
+}
+
+// TestVerifyInterruptExitsResumable: with the interrupted flag raised (what
+// the first SIGINT does), the sweep stops submitting seeds, exits 130 with a
+// resume hint, and a -resume rerun completes the clean sweep.
+func TestVerifyInterruptExitsResumable(t *testing.T) {
+	jnl := filepath.Join(t.TempDir(), "verify.journal")
+	o := options{seeds: 9, engines: "tsx,fine", verbose: true}
+	o.Options = runopts.Options{Journal: jnl}
+	interrupted.Store(true)
+	code, out, errOut := drive(t, o)
+	interrupted.Store(false)
+	if code != exitInterrupted {
+		t.Fatalf("exit = %d, want %d\nstderr:\n%s", code, exitInterrupted, errOut)
+	}
+	if strings.Contains(out, "verify: OK") {
+		t.Fatalf("interrupted run printed a verdict:\n%s", out)
+	}
+	if !strings.Contains(errOut, "rerun with -resume") {
+		t.Fatalf("stderr missing resume hint:\n%s", errOut)
+	}
+	if _, err := os.Stat(jnl); err != nil {
+		t.Fatalf("journal missing after interrupt: %v", err)
+	}
+
+	clean := options{seeds: 9, engines: "tsx,fine", verbose: true}
+	_, cleanOut, _ := drive(t, clean)
+	o.Resume = true
+	code, out, errOut = drive(t, o)
+	if code != 0 {
+		t.Fatalf("resume run exit = %d\nstderr:\n%s", code, errOut)
+	}
+	if out != cleanOut {
+		t.Fatal("post-interrupt resume output differs from a clean run")
+	}
+}

@@ -1,0 +1,103 @@
+package faults
+
+// Job-level fault injection: disturbances aimed at the *runner* layer rather
+// than at a simulated machine. Where Config models environmental noise inside
+// one machine (spurious aborts, evictions), JobPlan models the sweep-scale
+// failures a massive experiment run suffers on real infrastructure — a flaky
+// host failing a cell's attempt, a poisoned cell that fails every time — so
+// the supervision layer's retry/backoff/quarantine machinery can be exercised
+// and tested deterministically.
+//
+// Like everything else in this package the schedule is a pure function of the
+// seed: whether a cell fails, and on which attempts, is derived by hashing
+// (seed, key), never drawn from a shared PRNG stream, so host parallelism and
+// submission order cannot perturb it and a -jobchaos run is exactly
+// reproducible.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"strings"
+)
+
+// JobFault is the injected failure of one job attempt. It self-classifies
+// for the runner's supervision taxonomy (structural contract, see
+// runner.Classify).
+type JobFault struct {
+	Key     string
+	Attempt int
+	// Class is the supervision class the fault presents as: "transient"
+	// (clears after TransientFailures attempts) or "deterministic" (a
+	// poisoned cell; every attempt fails).
+	Class string
+}
+
+func (f *JobFault) Error() string {
+	return fmt.Sprintf("faults: injected %s job fault (cell %s, attempt %d)", f.Class, f.Key, f.Attempt)
+}
+
+func (f *JobFault) JobFailureClass() string { return f.Class }
+
+// JobPlan is a deterministic schedule of job-level faults. The zero value
+// injects nothing.
+type JobPlan struct {
+	// Seed drives the per-cell hash; equal plans produce equal schedules.
+	Seed int64
+	// TransientPerMille is the probability (in 1/1000, per cell — not per
+	// attempt) that a cell is "on a flaky host": its first TransientFailures
+	// attempts fail transiently, then it succeeds.
+	TransientPerMille int
+	// TransientFailures is how many leading attempts a flaky cell fails
+	// (default 2 when a transient rate is set — within DefaultRetryPolicy's
+	// budget, so a supervised sweep still completes).
+	TransientFailures int
+	// Poison lists key prefixes whose cells fail deterministically on every
+	// attempt — the injected "this cell's workload is broken" case that must
+	// end in quarantine, not retries.
+	Poison []string
+}
+
+// Enabled reports whether the plan can inject anything.
+func (p JobPlan) Enabled() bool {
+	return p.TransientPerMille > 0 || len(p.Poison) > 0
+}
+
+// Check is the runner.RetryPolicy.Inject implementation: it decides the fate
+// of one attempt as a pure function of (plan, key, attempt) and returns the
+// fault to inject, or nil to let the attempt run.
+func (p JobPlan) Check(key string, attempt int) error {
+	for _, pre := range p.Poison {
+		if pre != "" && strings.HasPrefix(key, pre) {
+			return &JobFault{Key: key, Attempt: attempt, Class: "deterministic"}
+		}
+	}
+	if p.TransientPerMille > 0 {
+		n := p.TransientFailures
+		if n <= 0 {
+			n = 2
+		}
+		if attempt <= n && int(p.cellHash(key)%1000) < p.TransientPerMille {
+			return &JobFault{Key: key, Attempt: attempt, Class: "transient"}
+		}
+	}
+	return nil
+}
+
+// cellHash maps (seed, key) to the per-cell lottery draw.
+func (p JobPlan) cellHash(key string) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(p.Seed))
+	h.Write(b[:])
+	h.Write([]byte(key))
+	return h.Sum64()
+}
+
+// JobChaos is the standard job-level stress profile behind -jobchaos: ~15% of
+// cells land on a "flaky host" and fail their first two attempts transiently.
+// No deterministic faults — a plain -jobchaos sweep must still succeed end to
+// end (and byte-identically); poisoned cells are opted into with -poison.
+func JobChaos(seed int64) JobPlan {
+	return JobPlan{Seed: seed, TransientPerMille: 150, TransientFailures: 2}
+}

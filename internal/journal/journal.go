@@ -1,0 +1,280 @@
+// Package journal is the persistent run-progress checkpoint behind -resume:
+// an append-only, CRC-framed record log that lets an interrupted sweep —
+// SIGINT, OOM-kill, CI timeout — restart and re-run only the cells it never
+// finished, with previously rendered output replayed byte-identically.
+//
+// It complements internal/memo. The memo store persists each simulation
+// cell's *result* keyed by content, so a rerun recomputes nothing; the
+// journal persists each sweep unit's *completion* (an experiment section, a
+// verify seed) together with its rendered payload, so a rerun does not even
+// have to re-walk finished units — and resume works with the memo cache
+// disabled.
+//
+// Durability discipline mirrors the memo store's:
+//
+//   - A fresh journal is created write-temp-then-rename, so a crash during
+//     creation can never leave a half-written header in place.
+//   - Every record is length- and CRC-framed and synced as it is appended. A
+//     torn tail (the process died mid-append) is detected on resume, the
+//     good prefix is kept, and the file is truncated back to it before new
+//     records are appended.
+//   - The header carries a run-identity string (model fingerprint plus
+//     output-affecting flags). A journal written by a different run — other
+//     chaos seed, other code, other catalog — never resumes; it is replaced
+//     fresh with a note.
+package journal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"io/fs"
+	"os"
+)
+
+// magic marks a journal file; the trailing byte is the format version.
+var magic = [8]byte{'T', 'S', 'X', 'J', 'N', 'L', '0', 1}
+
+// Entry is one checkpointed unit: a stable key (experiment id, seed label)
+// and the payload recorded when it completed.
+type Entry struct {
+	Key     string
+	Payload []byte
+}
+
+// Journal is an open, append-position-valid progress log. Not safe for
+// concurrent use; sweeps checkpoint from their collection loop, which is
+// single-threaded by design (results are gathered in deterministic order).
+type Journal struct {
+	f    *os.File
+	path string
+	note string
+}
+
+// Open opens the journal at path for a run identified by identity.
+//
+// With resume set, an existing journal whose identity matches is loaded: its
+// valid entries are returned (a torn tail is dropped and truncated away) and
+// subsequent Record calls append after them. A missing file, an unreadable
+// or foreign-format file, or an identity mismatch starts a fresh journal
+// instead, with Note explaining why the prior progress was not used.
+//
+// Without resume, any existing journal is replaced by a fresh one.
+func Open(path, identity string, resume bool) (*Journal, []Entry, error) {
+	if path == "" {
+		return nil, nil, errors.New("journal: empty path")
+	}
+	if resume {
+		if entries, note, ok := tryResume(path, identity); ok {
+			f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return nil, nil, fmt.Errorf("journal: reopen for append: %w", err)
+			}
+			return &Journal{f: f, path: path, note: note}, entries, nil
+		} else if note != "" {
+			j, _, err := create(path, identity)
+			if j != nil {
+				j.note = note
+			}
+			return j, nil, err
+		}
+	}
+	j, _, err := create(path, identity)
+	return j, nil, err
+}
+
+// tryResume loads an existing journal. ok reports whether the file can be
+// appended to (identity matched, header valid); when !ok, note explains what
+// was found (empty for "no file", which is the silent fresh-start case).
+func tryResume(path, identity string) (entries []Entry, note string, ok bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, "", false
+		}
+		return nil, fmt.Sprintf("unreadable journal (%v); starting fresh", err), false
+	}
+	storedID, entries, goodLen, valid := scan(data)
+	if !valid {
+		return nil, "journal header invalid or foreign; starting fresh", false
+	}
+	if storedID != identity {
+		return nil, "journal belongs to a different run (model, flags, or code changed); starting fresh", false
+	}
+	if goodLen < int64(len(data)) {
+		// Torn tail from a mid-append crash: keep the good prefix only, and
+		// cut the file back so appended records land on a clean boundary.
+		if err := os.Truncate(path, goodLen); err != nil {
+			return nil, fmt.Sprintf("journal tail corrupt and untruncatable (%v); starting fresh", err), false
+		}
+	}
+	return entries, "", true
+}
+
+// scan parses a journal image: header identity, every fully valid record,
+// and the byte length of the valid prefix. valid reports whether the header
+// itself checked out.
+func scan(data []byte) (identity string, entries []Entry, goodLen int64, valid bool) {
+	if len(data) < len(magic) || !bytes.Equal(data[:len(magic)], magic[:]) {
+		return "", nil, 0, false
+	}
+	off := int64(len(magic))
+	id, n, ok := readFrame(data[off:], 1)
+	if !ok {
+		return "", nil, 0, false
+	}
+	identity = string(id[0])
+	off += n
+	for {
+		parts, n, ok := readFrame(data[off:], 2)
+		if !ok {
+			return identity, entries, off, true
+		}
+		entries = append(entries, Entry{Key: string(parts[0]), Payload: parts[1]})
+		off += n
+	}
+}
+
+// A frame is nparts length-prefixed chunks guarded by one CRC:
+//
+//	u32 len(part1) ... u32 len(partN) | u32 crc32(part1 || ... || partN) | parts
+func appendFrame(buf *bytes.Buffer, parts ...[]byte) {
+	crc := crc32.NewIEEE()
+	for _, p := range parts {
+		binary.Write(buf, binary.BigEndian, uint32(len(p)))
+		crc.Write(p)
+	}
+	binary.Write(buf, binary.BigEndian, crc.Sum32())
+	for _, p := range parts {
+		buf.Write(p)
+	}
+}
+
+func readFrame(data []byte, nparts int) (parts [][]byte, n int64, ok bool) {
+	head := 4*nparts + 4
+	if len(data) < head {
+		return nil, 0, false
+	}
+	total := 0
+	lens := make([]int, nparts)
+	for i := range lens {
+		lens[i] = int(binary.BigEndian.Uint32(data[4*i:]))
+		total += lens[i]
+	}
+	sum := binary.BigEndian.Uint32(data[4*nparts:])
+	if total < 0 || len(data)-head < total {
+		return nil, 0, false
+	}
+	body := data[head : head+total]
+	if crc32.ChecksumIEEE(body) != sum {
+		return nil, 0, false
+	}
+	parts = make([][]byte, nparts)
+	at := 0
+	for i, l := range lens {
+		parts[i] = body[at : at+l]
+		at += l
+	}
+	return parts, int64(head + total), true
+}
+
+// create writes a fresh journal containing only the identity header, built
+// in a temp file and renamed into place so no reader or resumer ever sees a
+// partial header.
+func create(path, identity string) (*Journal, []Entry, error) {
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	appendFrame(&buf, []byte(identity))
+	tmp, err := os.CreateTemp(dirOf(path), ".tmp-journal-*")
+	if err != nil {
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	_, werr := tmp.Write(buf.Bytes())
+	if werr == nil {
+		werr = tmp.Sync()
+	}
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), path)
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return nil, nil, fmt.Errorf("journal: %w", werr)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	return &Journal{f: f, path: path}, nil, nil
+}
+
+func dirOf(path string) string {
+	if i := lastSlash(path); i >= 0 {
+		return path[:i+1]
+	}
+	return "."
+}
+
+func lastSlash(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '/' || s[i] == os.PathSeparator {
+			return i
+		}
+	}
+	return -1
+}
+
+// Note reports why prior progress was not resumed (identity mismatch,
+// corruption); empty when resume was clean or not requested.
+func (j *Journal) Note() string { return j.note }
+
+// Path reports the journal's file path (for resume hints).
+func (j *Journal) Path() string { return j.path }
+
+// Record appends one completed unit and syncs it to stable storage: once
+// Record returns, a crash at any later point leaves the entry resumable. A
+// failed append is reported but leaves the journal usable — checkpointing is
+// best-effort beyond the synced prefix.
+func (j *Journal) Record(key string, payload []byte) error {
+	var buf bytes.Buffer
+	appendFrame(&buf, []byte(key), payload)
+	if _, err := j.f.Write(buf.Bytes()); err != nil {
+		return fmt.Errorf("journal: append %q: %w", key, err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("journal: sync %q: %w", key, err)
+	}
+	return nil
+}
+
+// Close closes the journal, leaving the file in place for a later -resume.
+func (j *Journal) Close() error { return j.f.Close() }
+
+// Done closes and removes the journal: the run completed, so there is no
+// progress left to resume and the next run starts fresh.
+func (j *Journal) Done() error {
+	err := j.f.Close()
+	if rerr := os.Remove(j.path); err == nil && rerr != nil && !errors.Is(rerr, fs.ErrNotExist) {
+		err = rerr
+	}
+	return err
+}
+
+// Entries is a convenience view of resumed entries as a key→payload map.
+func Entries(entries []Entry) map[string][]byte {
+	if len(entries) == 0 {
+		return nil
+	}
+	m := make(map[string][]byte, len(entries))
+	for _, e := range entries {
+		m[e.Key] = e.Payload
+	}
+	return m
+}
+
+var _ io.Closer = (*Journal)(nil)

@@ -1,0 +1,224 @@
+package journal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func tmpPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "run.journal")
+}
+
+func record(t *testing.T, j *Journal, key, payload string) {
+	t.Helper()
+	if err := j.Record(key, []byte(payload)); err != nil {
+		t.Fatalf("record %q: %v", key, err)
+	}
+}
+
+// TestRoundTrip: records written before a close come back, in order, from a
+// matching-identity resume.
+func TestRoundTrip(t *testing.T) {
+	path := tmpPath(t)
+	j, prior, err := Open(path, "id-1", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prior != nil {
+		t.Fatalf("fresh journal returned prior entries: %v", prior)
+	}
+	record(t, j, "E1", "body one")
+	record(t, j, "E2", "body two")
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, entries, err := Open(path, "id-1", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Note() != "" {
+		t.Fatalf("clean resume produced a note: %q", j2.Note())
+	}
+	want := []Entry{{"E1", []byte("body one")}, {"E2", []byte("body two")}}
+	if len(entries) != len(want) {
+		t.Fatalf("entries = %v, want %v", entries, want)
+	}
+	for i := range want {
+		if entries[i].Key != want[i].Key || !bytes.Equal(entries[i].Payload, want[i].Payload) {
+			t.Fatalf("entry %d = %+v, want %+v", i, entries[i], want[i])
+		}
+	}
+	m := Entries(entries)
+	if string(m["E2"]) != "body two" {
+		t.Fatalf("Entries map = %v", m)
+	}
+}
+
+// TestResumeWithoutFileStartsFresh: -resume against nothing is a silent
+// fresh start, not an error.
+func TestResumeWithoutFileStartsFresh(t *testing.T) {
+	j, entries, err := Open(tmpPath(t), "id", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if entries != nil || j.Note() != "" {
+		t.Fatalf("entries=%v note=%q, want clean fresh start", entries, j.Note())
+	}
+}
+
+// TestIdentityMismatchStartsFresh: a journal from a different run (other
+// fingerprint/flags) must never resume; the old progress is discarded with a
+// note.
+func TestIdentityMismatchStartsFresh(t *testing.T) {
+	path := tmpPath(t)
+	j, _, err := Open(path, "run-A", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	record(t, j, "E1", "A's body")
+	j.Close()
+
+	j2, entries, err := Open(path, "run-B", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if entries != nil {
+		t.Fatalf("foreign journal resumed entries: %v", entries)
+	}
+	if !strings.Contains(j2.Note(), "different run") {
+		t.Fatalf("note = %q, want identity-mismatch explanation", j2.Note())
+	}
+	// The fresh journal must carry the new identity.
+	record(t, j2, "E9", "B's body")
+	j2.Close()
+	j3, entries, err := Open(path, "run-B", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	if len(entries) != 1 || entries[0].Key != "E9" {
+		t.Fatalf("rewritten journal entries = %v", entries)
+	}
+}
+
+// TestTornTailTruncated: a crash mid-append leaves a partial record; resume
+// keeps the good prefix, drops the tail, and appends cleanly after it.
+func TestTornTailTruncated(t *testing.T) {
+	path := tmpPath(t)
+	j, _, err := Open(path, "id", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	record(t, j, "E1", "kept")
+	record(t, j, "E2", "also kept")
+	j.Close()
+
+	// Simulate the crash: append half a record's worth of garbage.
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(full, 0x00, 0x00, 0x00, 0x09, 0xde), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, entries, err := Open(path, "id", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || entries[0].Key != "E1" || entries[1].Key != "E2" {
+		t.Fatalf("entries after torn tail = %v", entries)
+	}
+	record(t, j2, "E3", "new after truncate")
+	j2.Close()
+
+	j3, entries, err := Open(path, "id", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	keys := make([]string, len(entries))
+	for i, e := range entries {
+		keys[i] = e.Key
+	}
+	if len(entries) != 3 || keys[2] != "E3" {
+		t.Fatalf("entries after append-past-truncation = %v", keys)
+	}
+}
+
+// TestCorruptHeaderStartsFresh: a file that is not a journal (or whose
+// header is torn) is replaced, with a note, rather than half-trusted.
+func TestCorruptHeaderStartsFresh(t *testing.T) {
+	path := tmpPath(t)
+	if err := os.WriteFile(path, []byte("not a journal at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, entries, err := Open(path, "id", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if entries != nil || j.Note() == "" {
+		t.Fatalf("entries=%v note=%q, want fresh start with note", entries, j.Note())
+	}
+}
+
+// TestOpenWithoutResumeTruncates: a non-resume open discards prior progress
+// even when the identity matches (the caller asked for a fresh run).
+func TestOpenWithoutResumeTruncates(t *testing.T) {
+	path := tmpPath(t)
+	j, _, err := Open(path, "id", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	record(t, j, "E1", "old")
+	j.Close()
+
+	j2, entries, err := Open(path, "id", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	if entries != nil {
+		t.Fatalf("non-resume open returned entries: %v", entries)
+	}
+	_, entries, err = Open(path, "id", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entries != nil {
+		t.Fatalf("fresh open preserved old records: %v", entries)
+	}
+}
+
+// TestDoneRemoves: a completed run leaves no checkpoint behind.
+func TestDoneRemoves(t *testing.T) {
+	path := tmpPath(t)
+	j, _, err := Open(path, "id", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	record(t, j, "E1", "x")
+	if err := j.Done(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("journal still present after Done: %v", err)
+	}
+}
+
+// TestEmptyPathRejected guards the disabled-journal case: callers pass "" to
+// mean "off" and must not reach Open.
+func TestEmptyPathRejected(t *testing.T) {
+	if _, _, err := Open("", "id", false); err == nil {
+		t.Fatal("Open(\"\") succeeded")
+	}
+}

@@ -48,6 +48,14 @@ type Stats struct {
 	// verification (truncated, corrupt, stale schema); such jobs are
 	// re-executed and the entry rewritten.
 	CacheInvalid uint64
+
+	// Retries counts supervised attempts that failed and were rescheduled
+	// with backoff (zero unless a policy is installed and faults occurred —
+	// supervision is free on the happy path).
+	Retries uint64
+	// Quarantined counts cells isolated by deterministic failures; the rest
+	// of the sweep completes without them.
+	Quarantined uint64
 }
 
 // LoadStatus is the outcome of a Store.Load probe.
@@ -100,6 +108,7 @@ type Engine struct {
 	workers int
 	sem     chan struct{} // worker slots
 	store   Store
+	sup     *supervisor // nil: unsupervised (no retry/quarantine layer)
 
 	mu   sync.Mutex
 	jobs map[Key]*job
@@ -152,11 +161,18 @@ func (e *Engine) SetStore(s Store) {
 // finished.
 func (e *Engine) Stats() Stats {
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	return Stats{
+	st := Stats{
 		Workers: e.workers, Executed: e.executed, Deduped: e.deduped, Events: e.events,
 		CacheHits: e.cacheHits, CacheMisses: e.cacheMisses, CacheInvalid: e.cacheInvalid,
 	}
+	sup := e.sup
+	e.mu.Unlock()
+	if sup != nil {
+		sup.mu.Lock()
+		st.Retries, st.Quarantined = sup.retries, sup.quarantined
+		sup.mu.Unlock()
+	}
+	return st
 }
 
 // Future is a handle to a submitted job's eventual result.
@@ -180,6 +196,7 @@ func Submit[T any](e *Engine, key Key, fn func() (T, error)) Future[T] {
 	j := &job{done: make(chan struct{})}
 	e.jobs[key] = j
 	store := e.store
+	sup := e.sup
 	e.mu.Unlock()
 
 	go func() {
@@ -189,7 +206,9 @@ func Submit[T any](e *Engine, key Key, fn func() (T, error)) Future[T] {
 				// Containment: one panicking job becomes one failed future;
 				// workers and every other job keep running. Error panics
 				// (e.g. *sim.StallError from a livelock watchdog) are wrapped
-				// so errors.As still reaches the typed cause.
+				// so errors.As still reaches the typed cause. With a
+				// supervisor installed this is a second line of defense only:
+				// each attempt is already contained in protect().
 				if err, ok := p.(error); ok {
 					j.err = fmt.Errorf("runner: job %q panicked: %w", key, err)
 				} else {
@@ -204,35 +223,45 @@ func Submit[T any](e *Engine, key Key, fn func() (T, error)) Future[T] {
 			<-e.sem
 			close(j.done) // after the event accounting, so Stats() deltas taken post-Wait are exact
 		}()
-		var cached T
-		switch store.Load(key, &cached) {
-		case StoreHit:
-			e.mu.Lock()
-			e.cacheHits++
-			e.mu.Unlock()
-			j.val = cached
-			return
-		case StoreMiss:
-			e.mu.Lock()
-			e.cacheMisses++
-			e.mu.Unlock()
-		case StoreInvalid:
-			e.mu.Lock()
-			e.cacheInvalid++
-			e.mu.Unlock()
-		}
-		e.mu.Lock()
-		e.executed++
-		e.mu.Unlock()
-		v, err := fn()
-		j.val, j.err = v, err
-		if err == nil {
-			if ev, ok := any(v).(Eventer); ok {
-				j.events = ev.SimEvents()
+		// body is one attempt end to end: store probe, execution, write-back.
+		// The supervisor wraps the whole of it, so injected job-level faults
+		// hit before the store probe — a "flaky host" can fail even a
+		// cache-served cell, which is exactly what resume/retry must absorb.
+		body := func() (any, error) {
+			var cached T
+			switch store.Load(key, &cached) {
+			case StoreHit:
+				e.mu.Lock()
+				e.cacheHits++
+				e.mu.Unlock()
+				return cached, nil
+			case StoreMiss:
+				e.mu.Lock()
+				e.cacheMisses++
+				e.mu.Unlock()
+			case StoreInvalid:
+				e.mu.Lock()
+				e.cacheInvalid++
+				e.mu.Unlock()
 			}
-			// Best-effort persistence: a failed write (full disk, races with
-			// another process) only costs a future recompute.
-			_ = store.Save(key, v)
+			e.mu.Lock()
+			e.executed++
+			e.mu.Unlock()
+			v, err := fn()
+			if err == nil {
+				if ev, ok := any(v).(Eventer); ok {
+					j.events = ev.SimEvents()
+				}
+				// Best-effort persistence: a failed write (full disk, races
+				// with another process) only costs a future recompute.
+				_ = store.Save(key, v)
+			}
+			return v, err
+		}
+		if sup != nil {
+			j.val, j.err = sup.run(key, body)
+		} else {
+			j.val, j.err = body()
 		}
 	}()
 	return Future[T]{j}

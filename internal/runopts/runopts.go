@@ -1,6 +1,8 @@
 // Package runopts is the shared experiment-runner flag plumbing for every
 // cmd binary: host parallelism (-parallel), deterministic fault injection
-// (-chaos), robustness budgets (-maxcycles, -stallcycles), and the
+// (-chaos at the machine level, -jobchaos/-poison at the job level),
+// robustness budgets (-maxcycles, -stallcycles), supervision knobs
+// (-retries, -quarantine), checkpoint/resume (-journal, -resume), and the
 // persistent result cache (-cache). cmd/reproduce and the per-figure tools
 // (stamp, rmstm, apps, netbench, clomptm) all register the same flags and
 // funnel them through Setup, so a knob added here reaches every binary.
@@ -11,10 +13,13 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"strings"
 
 	"tsxhpc/internal/experiments"
 	"tsxhpc/internal/faults"
+	"tsxhpc/internal/journal"
 	"tsxhpc/internal/memo"
+	"tsxhpc/internal/runner"
 	"tsxhpc/internal/sim"
 )
 
@@ -24,6 +29,22 @@ const DefaultCacheDir = ".memo-cache"
 
 // CacheOff is the -cache value that disables the persistent cache.
 const CacheOff = "off"
+
+// JournalAuto is the -journal value that derives ".<tool>.journal" in the
+// working directory; JournalOff disables checkpointing (as does "", the zero
+// value, so in-process test runs journal nothing unless they opt in).
+const (
+	JournalAuto = "auto"
+	JournalOff  = "off"
+)
+
+// DefaultRetries is the per-cell transient retry budget when -retries is not
+// given.
+const DefaultRetries = 3
+
+// DefaultQuarantine caps quarantined cells per sweep: past it the run counts
+// as a total failure rather than a degraded success.
+const DefaultQuarantine = 64
 
 // DefaultChaosStallCycles is the livelock watchdog window armed when -chaos
 // is on but -stallcycles was not given: generous against the slowest
@@ -46,6 +67,28 @@ type Options struct {
 	// StallCycles arms the livelock watchdog (0: chaos default with -chaos,
 	// else off).
 	StallCycles uint64
+
+	// Retries is the per-cell transient retry budget for supervised sweeps
+	// (flag default DefaultRetries; the zero value means no retries, which
+	// keeps in-process test runs strictly fail-fast).
+	Retries int
+	// Quarantine is the maximum quarantined cells before the sweep counts as
+	// a total failure instead of a degraded success (flag default
+	// DefaultQuarantine; 0 means any quarantine fails the run).
+	Quarantine int
+	// Journal selects the progress-journal path: JournalAuto derives
+	// ".<tool>.journal", JournalOff or "" (the zero value) disables.
+	Journal string
+	// Resume replays completed units from an existing journal instead of
+	// re-running them.
+	Resume bool
+	// JobChaosSeed enables deterministic job-level fault injection when
+	// JobChaosSet (flaky-host transient failures; see faults.JobChaos).
+	JobChaosSeed int64
+	JobChaosSet  bool
+	// Poison is a comma-separated list of cell-key prefixes that fail
+	// deterministically on every attempt (the injected quarantine case).
+	Poison string
 }
 
 // Register binds the shared flags into fs. Call Finish after fs.Parse to
@@ -56,13 +99,22 @@ func Register(fs *flag.FlagSet, o *Options) {
 	fs.Int64Var(&o.ChaosSeed, "chaos", 0, "enable deterministic fault injection with this seed (same seed, same output)")
 	fs.Uint64Var(&o.MaxCycles, "maxcycles", 0, "virtual-cycle budget per simulated run (0: unlimited)")
 	fs.Uint64Var(&o.StallCycles, "stallcycles", 0, "virtual cycles without progress before a run is declared livelocked (0: chaos default with -chaos, else off)")
+	fs.IntVar(&o.Retries, "retries", DefaultRetries, "transient retry budget per simulation cell (deterministic failures are quarantined, never retried)")
+	fs.IntVar(&o.Quarantine, "quarantine", DefaultQuarantine, "max quarantined cells before the sweep counts as a total failure")
+	fs.StringVar(&o.Journal, "journal", JournalAuto, `progress-journal path for checkpoint/resume ("auto" derives one per tool; "off" disables)`)
+	fs.BoolVar(&o.Resume, "resume", false, "resume an interrupted run from its progress journal, replaying completed units byte-identically")
+	fs.Int64Var(&o.JobChaosSeed, "jobchaos", 0, "inject deterministic job-level faults (flaky-host transient failures) with this seed")
+	fs.StringVar(&o.Poison, "poison", "", "comma-separated cell-key prefixes that fail deterministically every attempt (exercises quarantine)")
 }
 
-// Finish records flag presence (currently: whether -chaos was given).
+// Finish records flag presence (seed flags where 0 is a valid seed).
 func (o *Options) Finish(fs *flag.FlagSet) {
 	fs.Visit(func(f *flag.Flag) {
-		if f.Name == "chaos" {
+		switch f.Name {
+		case "chaos":
 			o.ChaosSet = true
+		case "jobchaos":
+			o.JobChaosSet = true
 		}
 	})
 }
@@ -83,6 +135,110 @@ func (o *Options) Plan() sim.FaultPlan {
 		return nil
 	}
 	return faults.Chaos(o.ChaosSeed)
+}
+
+// JobPlan returns the deterministic job-level fault plan -jobchaos/-poison
+// select (zero plan when both are off).
+func (o *Options) JobPlan() faults.JobPlan {
+	var p faults.JobPlan
+	if o.JobChaosSet {
+		p = faults.JobChaos(o.JobChaosSeed)
+	}
+	for _, pre := range strings.Split(o.Poison, ",") {
+		if pre = strings.TrimSpace(pre); pre != "" {
+			p.Poison = append(p.Poison, pre)
+		}
+	}
+	return p
+}
+
+// Supervise installs the retry/quarantine policy on e, wiring in the job
+// fault plan when one is armed. The backoff seed mixes the chaos and jobchaos
+// seeds so a fault scenario reproduces its whole supervision history, and the
+// note goes to warn (stderr by convention) so injected-fault runs keep stdout
+// byte-identical to clean ones.
+func (o *Options) Supervise(e *runner.Engine, warn io.Writer) {
+	pol := runner.DefaultRetryPolicy(o.JobChaosSeed*31+o.ChaosSeed, o.Retries)
+	if plan := o.JobPlan(); plan.Enabled() {
+		pol.Inject = plan.Check
+		fmt.Fprintf(warn, "jobchaos: job-level fault injection enabled (seed %d, poison %q)\n", plan.Seed, plan.Poison)
+	}
+	e.Supervise(pol)
+}
+
+// JournalPath resolves the -journal flag for tool; "" means checkpointing is
+// off.
+func (o *Options) JournalPath(tool string) string {
+	switch o.Journal {
+	case "", JournalOff:
+		return ""
+	case JournalAuto:
+		return "." + tool + ".journal"
+	}
+	return o.Journal
+}
+
+// OpenJournal opens (or resumes) tool's progress journal and returns it with
+// the map of already-completed units ready to replay. The journal identity is
+// the tool name, the model fingerprint (covering simulator code, cost model,
+// and the armed fault plan — call after Setup), and extra for any further
+// output-affecting flags; a journal from a different identity never resumes.
+// Journal problems degrade to running without checkpointing, with a note on
+// warn — never to a failed run.
+func (o *Options) OpenJournal(tool, extra string, warn io.Writer) (*journal.Journal, map[string][]byte) {
+	path := o.JournalPath(tool)
+	if path == "" {
+		return nil, nil
+	}
+	identity := tool
+	if fp, err := memo.ModelFingerprint(); err == nil {
+		identity += "|" + fp
+	} else {
+		identity += "|no-fingerprint"
+	}
+	if extra != "" {
+		identity += "|" + extra
+	}
+	j, entries, err := journal.Open(path, identity, o.Resume)
+	if err != nil {
+		fmt.Fprintf(warn, "journal disabled: %v\n", err)
+		return nil, nil
+	}
+	if note := j.Note(); note != "" {
+		fmt.Fprintf(warn, "journal: %s\n", note)
+	}
+	if len(entries) > 0 {
+		fmt.Fprintf(warn, "journal: resuming %d completed unit(s) from %s\n", len(entries), path)
+	}
+	return j, journal.Entries(entries)
+}
+
+// ReportSupervision writes the deterministic retry/quarantine history to w
+// (stderr by convention: supervision is diagnostics, stdout stays
+// byte-identical). Silent when nothing failed — supervision is invisible on
+// the happy path.
+func ReportSupervision(w io.Writer, e *runner.Engine) {
+	reps := e.JobReports()
+	if len(reps) == 0 {
+		return
+	}
+	for _, r := range reps {
+		for _, a := range r.Attempts {
+			if a.Retried {
+				fmt.Fprintf(w, "supervise: %s attempt %d failed [%s], retrying after %v\n", r.Key, a.Attempt, a.Class, a.Backoff)
+			} else {
+				fmt.Fprintf(w, "supervise: %s attempt %d failed [%s], giving up\n", r.Key, a.Attempt, a.Class)
+			}
+		}
+		switch {
+		case r.Quarantined:
+			fmt.Fprintf(w, "supervise: %s quarantined (deterministic failure; not retried)\n", r.Key)
+		case r.FinalClass == "":
+			fmt.Fprintf(w, "supervise: %s recovered after %d failed attempt(s)\n", r.Key, len(r.Attempts))
+		}
+	}
+	st := e.Stats()
+	fmt.Fprintf(w, "supervise: totals: %d retries, %d quarantined\n", st.Retries, st.Quarantined)
 }
 
 // EffectiveStallCycles resolves the livelock-watchdog window: an explicit
@@ -110,6 +266,7 @@ func (o *Options) Setup(warn io.Writer) (suite *experiments.Suite, store *memo.S
 		cleanup = func() { sim.SetRunDefaults(sim.RunDefaults{}) }
 	}
 	suite = experiments.NewSuite(o.Parallel)
+	o.Supervise(suite.E, warn)
 	if dir := o.CacheDir(); dir != "" {
 		// After SetRunDefaults: the fingerprint must see the armed fault
 		// plan so chaos runs never share entries with fault-free ones.

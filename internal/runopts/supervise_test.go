@@ -1,0 +1,150 @@
+package runopts
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tsxhpc/internal/faults"
+	"tsxhpc/internal/runner"
+)
+
+func TestSupervisionFlagParsing(t *testing.T) {
+	o, err := parse(t, "-retries", "5", "-quarantine", "2", "-jobchaos", "0", "-poison", "stamp/bayes, net/echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Retries != 5 || o.Quarantine != 2 {
+		t.Fatalf("retries/quarantine = %d/%d", o.Retries, o.Quarantine)
+	}
+	if !o.JobChaosSet {
+		t.Fatal("JobChaosSet false for -jobchaos 0 (seed 0 is valid)")
+	}
+	p := o.JobPlan()
+	if !p.Enabled() || len(p.Poison) != 2 || p.Poison[1] != "net/echo" {
+		t.Fatalf("plan = %+v", p)
+	}
+
+	o, err = parse(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Retries != DefaultRetries || o.Quarantine != DefaultQuarantine || o.Journal != JournalAuto {
+		t.Fatalf("defaults = %+v", o)
+	}
+	if o.JobChaosSet || o.JobPlan().Enabled() {
+		t.Fatal("job faults armed without -jobchaos/-poison")
+	}
+}
+
+func TestJournalPathResolution(t *testing.T) {
+	cases := []struct {
+		journal, want string
+	}{
+		{JournalAuto, ".reproduce.journal"},
+		{JournalOff, ""},
+		{"", ""}, // zero value: in-process tests journal nothing
+		{"/tmp/x.journal", "/tmp/x.journal"},
+	}
+	for _, tc := range cases {
+		o := Options{Journal: tc.journal}
+		if got := o.JournalPath("reproduce"); got != tc.want {
+			t.Errorf("JournalPath(%q) = %q, want %q", tc.journal, got, tc.want)
+		}
+	}
+}
+
+// TestSuperviseWiresPlanAndSeed: an armed plan reaches the engine's Inject
+// hook and poisoned cells come back as quarantined JobErrors; the jobchaos
+// note lands on warn, not stdout.
+func TestSuperviseWiresPlanAndSeed(t *testing.T) {
+	o := Options{Retries: 2, JobChaosSet: true, JobChaosSeed: 9, Poison: "bad/"}
+	var warn strings.Builder
+	e := runner.New(2)
+	o.Supervise(e, &warn)
+	if !strings.Contains(warn.String(), "jobchaos:") {
+		t.Fatalf("warn = %q", warn.String())
+	}
+	_, err := runner.Do(e, "bad/cell", func() (int, error) { return 1, nil })
+	var je *runner.JobError
+	if !errors.As(err, &je) || je.Class != runner.ClassDeterministic {
+		t.Fatalf("poisoned cell: %v", err)
+	}
+	var jf *faults.JobFault
+	if !errors.As(err, &jf) {
+		t.Fatalf("injected fault type lost: %v", err)
+	}
+	if v, err := runner.Do(e, "good/cell", func() (int, error) { return 7, nil }); err != nil || v != 7 {
+		t.Fatalf("healthy cell: %d, %v", v, err)
+	}
+	if q := e.Quarantined(); len(q) != 1 || q[0] != "bad/cell" {
+		t.Fatalf("quarantined = %v", q)
+	}
+}
+
+// TestOpenJournalRoundTrip: OpenJournal writes through the tool identity, a
+// second resume open replays completed units, and a flag change (different
+// extra) refuses the old progress.
+func TestOpenJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.journal")
+	var warn strings.Builder
+
+	o := Options{Journal: path}
+	j, done := o.OpenJournal("reproduce", "only=E1", &warn)
+	if j == nil || done != nil {
+		t.Fatalf("fresh open: j=%v done=%v (%s)", j, done, warn.String())
+	}
+	if err := j.Record("E1", []byte("section body")); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	o.Resume = true
+	j2, done := o.OpenJournal("reproduce", "only=E1", &warn)
+	if j2 == nil || string(done["E1"]) != "section body" {
+		t.Fatalf("resume: done=%v (%s)", done, warn.String())
+	}
+	j2.Close()
+
+	warn.Reset()
+	j3, done := o.OpenJournal("reproduce", "only=E1,E2", &warn)
+	if j3 == nil || done != nil || !strings.Contains(warn.String(), "different run") {
+		t.Fatalf("changed flags resumed anyway: done=%v warn=%q", done, warn.String())
+	}
+	j3.Close()
+
+	// Disabled journal: no file, no journal, no warning.
+	warn.Reset()
+	off := Options{}
+	if j, done := off.OpenJournal("reproduce", "", &warn); j != nil || done != nil || warn.Len() != 0 {
+		t.Fatalf("zero-value options opened a journal: %v %v %q", j, done, warn.String())
+	}
+	if _, err := os.Stat(".reproduce.journal"); !os.IsNotExist(err) {
+		t.Fatalf("stray journal file: %v", err)
+	}
+}
+
+// TestReportSupervision: silent on a clean run; failures render the sorted
+// per-attempt history with totals.
+func TestReportSupervision(t *testing.T) {
+	e := runner.New(1)
+	o := Options{Retries: 1, JobChaosSet: false, Poison: "dead/"}
+	o.Supervise(e, &strings.Builder{})
+	var out strings.Builder
+	ReportSupervision(&out, e)
+	if out.Len() != 0 {
+		t.Fatalf("clean engine reported: %q", out.String())
+	}
+	runner.Do(e, "dead/x", func() (int, error) { return 0, nil })
+	runner.Do(e, "ok/x", func() (int, error) { return 1, nil })
+	ReportSupervision(&out, e)
+	s := out.String()
+	for _, want := range []string{"supervise: dead/x attempt 1 failed [deterministic], giving up", "quarantined (deterministic failure", "totals: 0 retries, 1 quarantined"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("report %q missing %q", s, want)
+		}
+	}
+}

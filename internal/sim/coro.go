@@ -27,11 +27,15 @@ package sim
 //   - coro_runtime.go (amd64, default): the runtime's own coros, entered by
 //     discovered entry PC through an assembly thunk (coro_amd64.s). A switch
 //     is ~100ns — a few CAS and a register swap, no Go-scheduler crossing.
-//     See coro_runtime.go for why discovery is needed.
-//   - coro_portable.go (other architectures, or the nocorolink build tag):
-//     the same slot semantics built from one channel handshake per switch.
-//     Slower — every switch crosses the Go scheduler — but portable, pure
-//     Go, and a debugging reference for the fast path.
+//     See coro_runtime.go for why discovery is needed. If discovery or the
+//     startup self-test fails (new toolchain, TSXHPC_NOCORO=1), the build
+//     degrades at init — once, with a stderr warning — to the channel
+//     backend instead of panicking; SchedulerBackend reports which is live.
+//   - coro_chan.go (every build): the same slot semantics built from one
+//     channel handshake per switch. Slower — every switch crosses the Go
+//     scheduler — but portable, pure Go, and a debugging reference for the
+//     fast path. coro_portable.go makes it the only backend on other
+//     architectures and under the nocorolink build tag.
 //
 // The scheduler layered on top (sim.go) owns the invariants iter.Pull used
 // to enforce. The party that resumes a goroutine must park itself in the

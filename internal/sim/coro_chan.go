@@ -1,0 +1,84 @@
+package sim
+
+// Channel implementation of the symmetric coroutine slot (see coro.go),
+// compiled into every build. On architectures without an assembly thunk (or
+// under the nocorolink tag) it is the scheduler's only backend; on amd64 it
+// is the graceful-degradation target the fast path falls back to when
+// runtime-coroutine discovery or the startup self-test fails (coro_runtime.go).
+// Either way the slot semantics — and therefore every simulated result —
+// are identical; only host-side switch latency differs.
+
+import "os"
+
+// coro is the symmetric slot. The fast path never dereferences it: runtime
+// newcoro returns a pointer into the runtime's own coro allocation, which Go
+// code only passes back to coroswitch (the GC scans that object by its
+// allocation's type info, not by this declaration). The channel path
+// allocates the struct itself and uses wake to park/release occupants.
+type coro struct {
+	// wake releases the goroutine currently parked in this slot; the party
+	// performing a switch replaces it with its own channel before signaling.
+	wake chan struct{}
+}
+
+// coroDegraded is set once, during init on the fast-path build, when the
+// runtime-coroutine backend is unavailable (discovery failure, failed
+// self-test, or TSXHPC_NOCORO=1). It never changes after init, so a process
+// runs exactly one backend and no slot ever sees mixed semantics.
+var (
+	coroDegraded       bool
+	coroDegradedReason string
+)
+
+// SchedulerBackend reports which coroutine backend drives the scheduler's
+// stack switches: "runtime-coro" (discovered runtime primitives, ~100ns per
+// switch) or "channel" (portable handshake). Results are byte-identical
+// either way; this is a host-performance diagnostic.
+func SchedulerBackend() string {
+	if !coroFastBuild || coroDegraded {
+		return "channel"
+	}
+	return "runtime-coro"
+}
+
+// SchedulerDegraded reports whether a build that links the fast path had to
+// fall back to the channel backend, and why.
+func SchedulerDegraded() (bool, string) { return coroDegraded, coroDegradedReason }
+
+// chanNewcoro creates a coro holding a fresh goroutine that runs f on its
+// first switch-in. When f returns, the goroutine releases whichever party is
+// then parked in the creation slot and exits (the runtime's coroexit
+// semantics).
+func chanNewcoro(f func(*coro)) *coro {
+	// The goroutine must park on the channel the slot holds at creation
+	// time: reading c.wake after starting would race with the first
+	// switcher replacing it.
+	first := make(chan struct{})
+	c := &coro{wake: first}
+	go func() {
+		<-first
+		f(c)
+		c.wake <- struct{}{}
+	}()
+	return c
+}
+
+// chanCoroswitch releases the goroutine parked in c and parks the caller
+// there.
+func chanCoroswitch(c *coro) {
+	mine := make(chan struct{})
+	occupant := c.wake
+	c.wake = mine
+	occupant <- struct{}{}
+	<-mine
+}
+
+// degradeCoro records the fallback and warns once on stderr. Degradation is
+// a warning, not a panic: the portable backend produces identical simulated
+// results, so a massive sweep on a new toolchain completes slowly instead of
+// dying at startup.
+func degradeCoro(reason string) {
+	coroDegraded = true
+	coroDegradedReason = reason
+	os.Stderr.WriteString("sim: warning: " + reason + "; degrading to the portable channel scheduler (slower, results unchanged)\n")
+}

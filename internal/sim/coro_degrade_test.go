@@ -1,0 +1,65 @@
+//go:build amd64 && !nocorolink
+
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// degradedWorkload is a switch-heavy region: shared-line traffic plus seeded
+// compute keeps the scheduler interleaving all eight contexts, so every stack
+// switch goes through whichever coroutine backend is live.
+func degradedWorkload() Result {
+	m := New(DefaultConfig())
+	a := m.Mem.AllocLine(8)
+	return m.Run(8, func(c *Context) {
+		for i := 0; i < 100; i++ {
+			v := c.Load(a)
+			c.Store(a, v+1)
+			c.Compute(uint64(c.Rand.Int63n(40)))
+		}
+	})
+}
+
+// TestDegradedBackendIdenticalResults is the graceful-degradation contract:
+// forcing the channel backend (what a failed PC discovery or TSXHPC_NOCORO=1
+// does at init) changes host-side switch latency only — the simulated Result
+// is identical field for field. Not parallel-safe: it flips the process-wide
+// backend flag, so no other machine may be mid-region (sim's tests do not use
+// t.Parallel).
+func TestDegradedBackendIdenticalResults(t *testing.T) {
+	if coroDegraded {
+		t.Skip("process already degraded at init; fast path unavailable to compare")
+	}
+	fast := degradedWorkload()
+
+	coroDegraded = true
+	defer func() { coroDegraded = false }()
+	slow := degradedWorkload()
+
+	if !reflect.DeepEqual(fast, slow) {
+		t.Fatalf("degraded scheduler changed simulated results:\nfast: %+v\nslow: %+v", fast, slow)
+	}
+	if got := SchedulerBackend(); got != "channel" {
+		t.Fatalf("SchedulerBackend() = %q while degraded, want \"channel\"", got)
+	}
+}
+
+func TestSchedulerBackendReporting(t *testing.T) {
+	if coroDegraded {
+		if got := SchedulerBackend(); got != "channel" {
+			t.Fatalf("SchedulerBackend() = %q, want \"channel\"", got)
+		}
+		if ok, reason := SchedulerDegraded(); !ok || reason == "" {
+			t.Fatalf("SchedulerDegraded() = %v, %q", ok, reason)
+		}
+		return
+	}
+	if got := SchedulerBackend(); got != "runtime-coro" {
+		t.Fatalf("SchedulerBackend() = %q, want \"runtime-coro\"", got)
+	}
+	if ok, _ := SchedulerDegraded(); ok {
+		t.Fatal("SchedulerDegraded() reports degradation on the healthy path")
+	}
+}

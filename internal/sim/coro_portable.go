@@ -2,42 +2,14 @@
 
 package sim
 
-// Portable implementation of the symmetric coroutine slot (see coro.go):
-// the slot holds the wake channel of the goroutine parked in it, and a
-// switch is one channel handshake — release the occupant, then park on a
-// fresh channel left in the slot. Every switch crosses the Go scheduler, so
-// this path is an order of magnitude slower than coro_runtime.go; it exists
-// for architectures without an assembly thunk and, via the nocorolink build
-// tag, as a pure-Go reference to debug the fast path against.
+// Portable build of the symmetric coroutine slot (see coro.go): the channel
+// backend in coro_chan.go is the only implementation, for architectures
+// without an assembly thunk and, via the nocorolink build tag, as a pure-Go
+// reference to debug the fast path against.
 
-type coro struct {
-	// wake releases the goroutine currently parked in this slot; the party
-	// performing a switch replaces it with its own channel before signaling.
-	wake chan struct{}
-}
+// coroFastBuild reports whether this build links the runtime-coroutine fast
+// path at all (it does not; see coro_runtime.go for the amd64 default).
+const coroFastBuild = false
 
-// newcoro creates a coro holding a fresh goroutine that runs f on its first
-// switch-in. When f returns, the goroutine releases whichever party is then
-// parked in the creation slot and exits (the runtime's coroexit semantics).
-func newcoro(f func(*coro)) *coro {
-	// The goroutine must park on the channel the slot holds at creation
-	// time: reading c.wake after starting would race with the first
-	// switcher replacing it.
-	first := make(chan struct{})
-	c := &coro{wake: first}
-	go func() {
-		<-first
-		f(c)
-		c.wake <- struct{}{}
-	}()
-	return c
-}
-
-// coroswitch releases the goroutine parked in c and parks the caller there.
-func coroswitch(c *coro) {
-	mine := make(chan struct{})
-	occupant := c.wake
-	c.wake = mine
-	occupant <- struct{}{}
-	<-mine
-}
+func newcoro(f func(*coro)) *coro { return chanNewcoro(f) }
+func coroswitch(c *coro)          { chanCoroswitch(c) }

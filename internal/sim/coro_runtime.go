@@ -12,25 +12,32 @@ package sim
 // runtime.FuncForPC — so coroInit discovers the PCs once at startup by
 // walking the text segment, and callcoro (coro_amd64.s) makes an
 // ABIInternal call to a raw PC. The thunk is the only
-// architecture-specific piece; other architectures use coro_portable.go.
+// architecture-specific piece; other architectures use the channel backend
+// (coro_chan.go) directly.
 //
 // The discovery is deliberately conservative: it walks function by function
-// from the base of the text segment (the runtime is always linked first)
-// and fails loudly — falling back is not an option once sim.go's scheduler
-// is built on slot semantics, and a silent mismatch could never be
-// debugged. If a future toolchain renames or removes the primitives, every
-// test in this package fails immediately with the panic below, and the
-// nocorolink build tag restores the portable path while the thunk is
-// updated.
+// from the base of the text segment (the runtime is always linked first),
+// and a one-shot self-test drives a full create/switch/exit round trip
+// through the discovered PCs before the scheduler trusts them. If a future
+// toolchain renames or removes the primitives, the process does not die:
+// coroInit degrades to the channel backend with a logged warning
+// (degradeCoro), the sweep completes with identical results, and the
+// nocorolink build tag remains the explicit opt-out while the thunk is
+// updated. TSXHPC_NOCORO=1 forces the same degradation for testing the
+// fallback on a healthy toolchain.
 
 import (
 	"fmt"
 	"iter"
+	"os"
 	"reflect"
 	"runtime"
+	"sync/atomic"
 )
 
-type coro struct{}
+// coroFastBuild reports whether this build links the runtime-coroutine fast
+// path (the channel backend remains available behind coroDegraded).
+const coroFastBuild = true
 
 var (
 	newcoroPC    uintptr // entry of runtime.newcoro
@@ -40,12 +47,27 @@ var (
 func init() { coroInit() }
 
 func coroInit() {
+	if os.Getenv("TSXHPC_NOCORO") == "1" {
+		degradeCoro("TSXHPC_NOCORO=1")
+		return
+	}
+	if err := discoverCoroPCs(); err != nil {
+		degradeCoro(err.Error())
+		return
+	}
+	if err := coroSelfTest(); err != nil {
+		degradeCoro(err.Error())
+	}
+}
+
+// discoverCoroPCs walks the text segment for the two runtime entry points.
+func discoverCoroPCs() error {
 	// The primitives are only linked into the binary when something reaches
 	// them: run one iter.Pull round trip so dead-code elimination keeps
 	// them (and as a live check that the coroutine machinery works).
 	next, stop := iter.Pull(func(yield func(struct{}) bool) { yield(struct{}{}) })
 	if _, ok := next(); !ok {
-		panic("sim: iter.Pull round trip failed")
+		return fmt.Errorf("sim: iter.Pull round trip failed")
 	}
 	stop()
 
@@ -66,9 +88,8 @@ func coroInit() {
 		f := runtime.FuncForPC(pc)
 		if f == nil {
 			if pc > anchor {
-				panic(fmt.Sprintf("sim: runtime coroutine entry points not found in text segment %#x-%#x; "+
-					"build with -tags nocorolink and update coro_runtime.go for this toolchain (%s)",
-					lo, pc, runtime.Version()))
+				return fmt.Errorf("sim: runtime coroutine entry points not found in text segment %#x-%#x (%s)",
+					lo, pc, runtime.Version())
 			}
 			pc += 16
 			continue
@@ -88,6 +109,29 @@ func coroInit() {
 			}
 		}
 	}
+	return nil
+}
+
+// coroSelfTest drives one create → switch-in → exit → release round trip
+// through the discovered PCs before the scheduler is allowed to build on
+// them. It catches an entry point that resolved but no longer has coro
+// semantics (recoverable panics only; a hard ABI break still crashes, which
+// the nocorolink tag exists for).
+func coroSelfTest() (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("sim: coroutine self-test panicked: %v", p)
+		}
+	}()
+	// atomic: raw switches carry no happens-before edge for the race
+	// detector (see race_race.go), and this runs before any Machine exists.
+	var ran atomic.Bool
+	c := callNewcoro(newcoroPC, func(*coro) { ran.Store(true) })
+	callCoroswitch(coroswitchPC, c)
+	if !ran.Load() {
+		return fmt.Errorf("sim: coroutine self-test: carrier never ran")
+	}
+	return nil
 }
 
 // callNewcoro and callCoroswitch (coro_amd64.s) make an ABIInternal call to
@@ -100,8 +144,20 @@ func callCoroswitch(pc uintptr, c *coro)
 
 // newcoro creates a coro holding a fresh goroutine that runs f on its first
 // switch-in; when f returns, the goroutine releases whichever party is then
-// parked in the creation coro and exits.
-func newcoro(f func(*coro)) *coro { return callNewcoro(newcoroPC, f) }
+// parked in the creation coro and exits. The coroDegraded check is one
+// never-taken predictable branch on the healthy path.
+func newcoro(f func(*coro)) *coro {
+	if coroDegraded {
+		return chanNewcoro(f)
+	}
+	return callNewcoro(newcoroPC, f)
+}
 
 // coroswitch releases the goroutine parked in c and parks the caller there.
-func coroswitch(c *coro) { callCoroswitch(coroswitchPC, c) }
+func coroswitch(c *coro) {
+	if coroDegraded {
+		chanCoroswitch(c)
+		return
+	}
+	callCoroswitch(coroswitchPC, c)
+}

@@ -41,6 +41,15 @@ if [ "$events" -eq 0 ]; then
   exit 1
 fi
 
+# Supervision hygiene: with fault injection off, the supervisor must be
+# invisible — a nonzero retry or quarantine count here means real cells are
+# failing (and being silently papered over by retries) on a healthy run.
+if ! jq -e '.retries == 0 and .quarantined == 0' "$fresh_json" >/dev/null; then
+  echo "bench ratchet: FAILED — faults-off run reported retries/quarantines:" >&2
+  jq '{retries, quarantined}' "$fresh_json" >&2
+  exit 1
+fi
+
 TOLERANCE=${TOLERANCE:-0.7}
 floor=$(awk -v c="$committed" -v t="$TOLERANCE" 'BEGIN { printf "%.0f", c * t }')
 printf 'bench ratchet: fresh %.0f events/s, committed %.0f, floor %.0f (tolerance %s)\n' \
