@@ -48,4 +48,8 @@ func main() {
 		fmt.Printf("\ntsx.coarsen over baseline at 8 threads (geomean): %.2fx (paper: 1.41x mean)\n", gain)
 	}
 	runopts.ReportSupervision(os.Stderr, suite.E)
+	if err := o.WriteObservability("apps", os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 }

@@ -53,4 +53,8 @@ func main() {
 	}
 	fmt.Print(fig.Render())
 	runopts.ReportSupervision(os.Stderr, suite.E)
+	if err := o.WriteObservability("clomptm", os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 }

@@ -31,4 +31,8 @@ func main() {
 	fmt.Print(t.Render())
 	fmt.Printf("\ntsx.busywait average bandwidth gain over mutex: %.2fx (paper: 1.31x)\n", gain)
 	runopts.ReportSupervision(os.Stderr, suite.E)
+	if err := o.WriteObservability("netbench", os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 }

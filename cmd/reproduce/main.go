@@ -57,6 +57,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
 	"runtime/debug"
 	"runtime/pprof"
 	"strings"
@@ -67,6 +68,7 @@ import (
 	"tsxhpc/internal/experiments"
 	"tsxhpc/internal/memo"
 	"tsxhpc/internal/runopts"
+	"tsxhpc/internal/sim"
 )
 
 // Exit codes. exitTotalFailure means the run produced nothing usable (every
@@ -185,6 +187,9 @@ var catalog = []experiment{
 		}
 		return t.Render(), nil
 	}},
+	{"abort anatomy", "A5", func(s *experiments.Suite) (string, error) {
+		return s.AbortAnatomy()
+	}},
 }
 
 // benchRow is one experiment's host-performance record.
@@ -202,6 +207,8 @@ type benchRow struct {
 // the pair).
 type benchReport struct {
 	Parallel       int        `json:"parallel"`
+	GoVersion      string     `json:"go_version"`
+	Scheduler      string     `json:"scheduler"`
 	TotalSeconds   float64    `json:"total_seconds"`
 	ColdSeconds    float64    `json:"cold_seconds"`
 	WarmSeconds    float64    `json:"warm_seconds"`
@@ -252,7 +259,7 @@ func main() {
 	}
 	var o options
 	runopts.Register(flag.CommandLine, &o.Options)
-	flag.StringVar(&o.only, "only", "", "comma-separated experiment ids to run (E1..E9, A1..A4); empty runs all")
+	flag.StringVar(&o.only, "only", "", "comma-separated experiment ids to run (E1..E9, A1..A5); empty runs all")
 	flag.StringVar(&o.benchPath, "bench", "BENCH_reproduce.json", "path for the host-performance JSON report (empty disables; written only for full-catalog runs unless -benchforce)")
 	flag.BoolVar(&o.benchForce, "benchforce", false, "write the bench report even for partial (-only) runs")
 	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile to this file (also the PGO input; see cmd/reproduce/default.pgo)")
@@ -419,6 +426,21 @@ func run(o options, stdout, stderr io.Writer) int {
 		}
 	}
 
+	// The observability sidecars get the same partial-run guard as the bench
+	// report: a -only subset only simulated (and thus only counted) a slice
+	// of the catalog, and writing it out would clobber a full run's metrics
+	// or trace with a partial one.
+	switch {
+	case !o.ProbesArmed():
+	case selected != nil && !o.benchForce:
+		fmt.Fprintf(stderr, "skipping observability sidecars: partial (-only) run; pass -benchforce to write them anyway\n")
+	default:
+		if err := o.WriteObservability("reproduce", stderr); err != nil {
+			fmt.Fprintln(stderr, err)
+			return exitUsage
+		}
+	}
+
 	// The cache summary rides on the host-time footer: every byte above it
 	// stays identical between cold and warm runs (and to the committed
 	// reproduce_output.txt), while the footer itself is the designated
@@ -468,6 +490,8 @@ func writeBench(path string, suite *experiments.Suite, store *memo.Store, total 
 	st := suite.E.Stats()
 	rep := benchReport{
 		Parallel:       st.Workers,
+		GoVersion:      runtime.Version(),
+		Scheduler:      sim.SchedulerBackend(),
 		TotalSeconds:   total.Seconds(),
 		TotalSimEvents: st.Events,
 		JobsExecuted:   st.Executed,

@@ -31,4 +31,8 @@ func main() {
 	}
 	fmt.Print(t.Render())
 	runopts.ReportSupervision(os.Stderr, suite.E)
+	if err := o.WriteObservability("rmstm", os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 }

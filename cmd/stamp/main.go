@@ -88,4 +88,8 @@ func main() {
 		fmt.Print(t.Render())
 	}
 	runopts.ReportSupervision(os.Stderr, suite.E)
+	if err := o.WriteObservability("stamp", os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 }

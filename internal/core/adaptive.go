@@ -1,6 +1,7 @@
 package core
 
 import (
+	"tsxhpc/internal/probe"
 	"tsxhpc/internal/sim"
 	"tsxhpc/internal/tm"
 )
@@ -30,11 +31,21 @@ type AdaptiveCoarsener struct {
 
 	gran   [64]int // per-thread current granularity (threads never share)
 	streak [64]int // per-thread consecutive failed-speculation regions
+
+	// AIMD transition counters (nil when the machine carries no probe set):
+	// additive grows, multiplicative shrinks, and FailStreakFloor pins.
+	pcGrow, pcShrink, pcPin *probe.Counter
 }
 
 // NewAdaptiveCoarsener creates a coarsener over the TSX system sys.
 func NewAdaptiveCoarsener(sys *tm.System) *AdaptiveCoarsener {
-	return &AdaptiveCoarsener{Sys: sys, Min: 1, Max: 32}
+	a := &AdaptiveCoarsener{Sys: sys, Min: 1, Max: 32}
+	if ps := sys.M.ProbeSet(); ps != nil {
+		a.pcGrow = ps.Counter("adaptive/grow")
+		a.pcShrink = ps.Counter("adaptive/shrink")
+		a.pcPin = ps.Counter("adaptive/floor-pin")
+	}
+	return a
 }
 
 // granFor returns (and lazily initializes) the calling thread's granularity.
@@ -78,10 +89,16 @@ func (a *AdaptiveCoarsener) Do(c *sim.Context, n int, item func(tx tm.Tx, i int)
 				if a.gran[id] < a.Min {
 					a.gran[id] = a.Min
 				}
+				if a.pcShrink != nil {
+					a.pcShrink.Inc()
+				}
 			}
 			a.streak[id]++
 			if a.FailStreakFloor > 0 && a.streak[id] >= a.FailStreakFloor {
 				a.gran[id] = a.Min
+				if a.pcPin != nil {
+					a.pcPin.Inc()
+				}
 			}
 		} else {
 			// A clean first-try commit ends any failure streak (and with it
@@ -89,6 +106,9 @@ func (a *AdaptiveCoarsener) Do(c *sim.Context, n int, item func(tx tm.Tx, i int)
 			a.streak[id] = 0
 			if gran < a.Max {
 				a.gran[id] = gran + 1
+				if a.pcGrow != nil {
+					a.pcGrow.Inc()
+				}
 			}
 		}
 		start = end

@@ -51,7 +51,9 @@ func Elide(rt *htm.Runtime, c *sim.Context, mu *ssync.Mutex, maxRetries int, bod
 // body non-speculatively.
 func ElideSet(rt *htm.Runtime, c *sim.Context, locks []*ssync.Mutex, maxRetries int, body func(tm.Tx)) {
 	costs := c.Machine().Costs
+	tries := uint64(0)
 	for attempt := 0; attempt < maxRetries; attempt++ {
+		tries++
 		cause, noRetry := rt.Try(c, func(t *htm.Txn) {
 			for _, mu := range locks {
 				if t.Load(mu.Addr) != 0 {
@@ -61,6 +63,12 @@ func ElideSet(rt *htm.Runtime, c *sim.Context, locks []*ssync.Mutex, maxRetries 
 			body(tm.HTMTx(t))
 		})
 		if cause == htm.NoAbort {
+			// Probe handles are resolved here, off the retry loop, rather than
+			// held in a struct: ElideSet is a free function with no per-site
+			// state to cache them in. ProbeSet is nil (one check) when off.
+			if ps := c.Machine().ProbeSet(); ps != nil {
+				ps.Hist("tsx/site/lockset/attempts").Observe(tries)
+			}
 			return
 		}
 		if noRetry {
@@ -70,22 +78,32 @@ func ElideSet(rt *htm.Runtime, c *sim.Context, locks []*ssync.Mutex, maxRetries 
 		case htm.LockBusy:
 			// Bounded wait (see tm.System.elide): an unbounded spin can
 			// livelock against a steady stream of fallback lock hand-offs.
+			prev := c.SetPhase(sim.PhaseSpin)
 			for _, mu := range locks {
 				for spins := 0; c.Load(mu.Addr) != 0 && spins < 4*costs.MutexSpinTries; spins++ {
 					c.Compute(costs.MutexSpin)
 				}
 			}
+			c.SetPhase(prev)
 		case htm.Conflict:
+			prev := c.SetPhase(sim.PhaseSpin)
 			c.Compute(uint64(c.Rand.Int63n(int64(16*(attempt+1)))) + 1)
+			c.SetPhase(prev)
 		case htm.Spurious:
 			// Injected environmental abort: always retryable, backed off
 			// exponentially (bounded) so a disturbance burst cannot consume
 			// the whole retry budget. Unreachable — and RNG-silent — unless
 			// fault injection is active.
+			prev := c.SetPhase(sim.PhaseSpin)
 			c.Compute(uint64(c.Rand.Int63n(tm.SpuriousBackoffMax(attempt))) + 1)
+			c.SetPhase(prev)
 		}
 	}
 	rt.Stats.Fallback++
+	if ps := c.Machine().ProbeSet(); ps != nil {
+		ps.Hist("tsx/site/lockset/attempts").Observe(tries)
+		ps.Counter("tsx/site/lockset/fallbacks").Inc()
+	}
 	ordered := make([]*ssync.Mutex, len(locks))
 	copy(ordered, locks)
 	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Addr < ordered[j].Addr })
@@ -98,13 +116,21 @@ func ElideSet(rt *htm.Runtime, c *sim.Context, locks []*ssync.Mutex, maxRetries 
 			uniq = append(uniq, mu)
 		}
 	}
+	f0 := c.Now()
 	for _, mu := range uniq {
 		mu.Lock(c)
 	}
+	lockAt := c.Now()
+	prev := c.SetPhase(sim.PhaseSerial)
 	body(tm.PlainTx(c))
 	for i := len(uniq) - 1; i >= 0; i-- {
 		uniq[i].Unlock(c)
 	}
+	c.SetPhase(prev)
+	if ps := c.Machine().ProbeSet(); ps != nil {
+		ps.Counter("tsx/site/lockset/fallback-cycles").Add(c.Now() - lockAt)
+	}
+	c.EmitSpan(f0, c.Now()-f0, "fallback", "lockset:fallback")
 }
 
 // ElidedLock pairs a mutex with an HTM runtime so call sites read like a

@@ -22,6 +22,7 @@ import (
 	"tsxhpc/internal/core"
 	"tsxhpc/internal/harness"
 	"tsxhpc/internal/netapps"
+	"tsxhpc/internal/probe"
 	"tsxhpc/internal/rmstm"
 	"tsxhpc/internal/runner"
 	"tsxhpc/internal/sim"
@@ -68,6 +69,7 @@ func AdaptiveCoarseningAblation() (*harness.Table, error) {
 	return Default.AdaptiveCoarseningAblation()
 }
 func LocksetAblation() (*harness.Table, error) { return Default.LocksetAblation() }
+func AbortAnatomy() (string, error)            { return Default.AbortAnatomy() }
 
 // simCell is the result of an experiment-local simulation job: the headline
 // cycle count, an experiment-specific metric, and the simulated event count
@@ -721,4 +723,109 @@ func (s *Suite) LocksetAblation() (*harness.Table, error) {
 	t.Rows = append(t.Rows, []string{"two locks", fmt.Sprintf("%.0f", float64(pr.Cycles)/ops)})
 	t.Rows = append(t.Rows, []string{"lockset elision", fmt.Sprintf("%.0f", float64(er.Cycles)/ops)})
 	return t, nil
+}
+
+// anatomyWorkloads are the contended STAMP workloads the abort-anatomy
+// report dissects: the three whose Table 1 abort rates the paper singles out
+// for perf-counter attribution.
+var anatomyWorkloads = []string{"intruder", "kmeans", "vacation"}
+
+// anatomyCell submits one probed STAMP cell. The probe layer is armed inside
+// the cell regardless of the process-wide -metrics flag, and the snapshot
+// rides inside the memoized (and persistently cached) result, so the report
+// is byte-identical at any host parallelism and on warm-cache runs.
+func (s *Suite) anatomyCell(name string, mo tm.Mode, th int) runner.Future[stamp.ProbedResult] {
+	key := runner.Key(fmt.Sprintf("anatomy/%s/%s/%dT", name, mo, th))
+	return runner.Submit(s.E, key, func() (stamp.ProbedResult, error) {
+		return stamp.ExecuteProbed(name, mo, th)
+	})
+}
+
+// AbortAnatomy renders the per-site abort anatomy of the contended STAMP
+// workloads at 8 threads: the tsx abort-cause breakdown with fallback counts
+// and mean attempts per region (the perf-counter analysis behind Table 1's
+// rates), the TL2 validation-failure breakdown with global-version-clock
+// pressure, and the virtual-time decomposition of where each engine's cycles
+// go (Section 6's useful/wasted/serial split).
+func (s *Suite) AbortAnatomy() (string, error) {
+	const th = 8
+	modes := []tm.Mode{tm.TSX, tm.TL2}
+	futs := make(map[string]runner.Future[stamp.ProbedResult])
+	for _, wl := range anatomyWorkloads {
+		for _, mo := range modes {
+			futs[wl+"/"+mo.String()] = s.anatomyCell(wl, mo, th)
+		}
+	}
+	snaps := make(map[string]probe.Snapshot)
+	for _, wl := range anatomyWorkloads {
+		for _, mo := range modes {
+			r, err := futs[wl+"/"+mo.String()].Wait()
+			if err != nil {
+				return "", err
+			}
+			snaps[wl+"/"+mo.String()] = r.Probes
+		}
+	}
+
+	tsxT := &harness.Table{
+		Title: fmt.Sprintf("Abort anatomy — tsx abort causes @%dT", th),
+		Head: []string{"workload", "conflict", "capacity", "lock-busy",
+			"syscall", "explicit", "spurious", "fallbacks", "tries/region"},
+	}
+	for _, wl := range anatomyWorkloads {
+		sn := snaps[wl+"/tsx"]
+		row := []string{wl}
+		for _, cause := range []string{"conflict", "capacity", "lock-busy", "syscall", "explicit", "spurious"} {
+			row = append(row, fmt.Sprintf("%d", sn.Counter("htm/abort/"+cause)))
+		}
+		row = append(row, fmt.Sprintf("%d", sn.Counter("tsx/site/global/fallbacks")))
+		tries, _ := sn.Hist("tsx/site/global/attempts")
+		row = append(row, fmt.Sprintf("%.2f", tries.Mean()))
+		tsxT.Rows = append(tsxT.Rows, row)
+	}
+
+	tl2T := &harness.Table{
+		Title: fmt.Sprintf("Abort anatomy — tl2 validation failures @%dT", th),
+		Head: []string{"workload", "read-validate", "lock-busy",
+			"commit-validate", "gv advances", "gv lag (mean)"},
+	}
+	for _, wl := range anatomyWorkloads {
+		sn := snaps[wl+"/tl2"]
+		lag, _ := sn.Hist("tl2/gv/lag")
+		tl2T.Rows = append(tl2T.Rows, []string{
+			wl,
+			fmt.Sprintf("%d", sn.Counter("tl2/abort/read-validate")),
+			fmt.Sprintf("%d", sn.Counter("tl2/abort/lock-busy")),
+			fmt.Sprintf("%d", sn.Counter("tl2/abort/commit-validate")),
+			fmt.Sprintf("%d", sn.Counter("tl2/gv/advances")),
+			fmt.Sprintf("%.2f", lag.Mean()),
+		})
+	}
+
+	vtT := &harness.Table{
+		Title: fmt.Sprintf("Abort anatomy — virtual-time phases @%dT (%% of measured cycles)", th),
+	}
+	vtT.Head = []string{"cell"}
+	for p := 0; p < sim.NumPhases; p++ {
+		vtT.Head = append(vtT.Head, sim.Phase(p).String())
+	}
+	for _, wl := range anatomyWorkloads {
+		for _, mo := range modes {
+			sn := snaps[wl+"/"+mo.String()]
+			var total uint64
+			for p := 0; p < sim.NumPhases; p++ {
+				total += sn.Counter(fmt.Sprintf("vt/%s/%s", mo, sim.Phase(p)))
+			}
+			row := []string{wl + "/" + mo.String()}
+			for p := 0; p < sim.NumPhases; p++ {
+				pct := 0.0
+				if total > 0 {
+					pct = 100 * float64(sn.Counter(fmt.Sprintf("vt/%s/%s", mo, sim.Phase(p)))) / float64(total)
+				}
+				row = append(row, fmt.Sprintf("%.1f", pct))
+			}
+			vtT.Rows = append(vtT.Rows, row)
+		}
+	}
+	return tsxT.Render() + tl2T.Render() + vtT.Render(), nil
 }

@@ -168,3 +168,26 @@ func TestRenderedOutputIndependentOfParallelism(t *testing.T) {
 		t.Fatalf("output differs between -parallel 1 and -parallel 8:\nserial:\n%s\nparallel:\n%s", serial, parallel)
 	}
 }
+
+// TestAbortAnatomyDeterministicAcrossParallelism is the tentpole determinism
+// guarantee: the anatomy report (probe counters, histograms, virtual-time
+// phases) is byte-identical whether its cells ran on one host worker or
+// raced across eight.
+func TestAbortAnatomyDeterministicAcrossParallelism(t *testing.T) {
+	serial, err := NewSuite(1).AbortAnatomy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := NewSuite(8).AbortAnatomy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial != parallel {
+		t.Fatalf("anatomy report differs across host parallelism:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+	for _, want := range []string{"tsx abort causes", "tl2 validation failures", "virtual-time phases", "intruder", "kmeans", "vacation"} {
+		if !strings.Contains(serial, want) {
+			t.Fatalf("anatomy report missing %q:\n%s", want, serial)
+		}
+	}
+}

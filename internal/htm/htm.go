@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"tsxhpc/internal/probe"
 	"tsxhpc/internal/sim"
 )
 
@@ -139,6 +140,21 @@ type Runtime struct {
 	// differential harness (internal/check) uses it to stamp serialization
 	// order; the hook must not perform timed simulated work.
 	CommitHook func(c *sim.Context)
+
+	// pc holds the probe counter handles, resolved once at construction;
+	// nil when the machine carries no probe set (the default), making every
+	// instrumentation point a nil check.
+	pc *htmProbes
+}
+
+// htmProbes are the runtime's probe handles (see internal/probe): abort
+// counts by cause, plus start/commit totals, mirroring Stats into the
+// machine's probe set so the -metrics sidecar and the abort-anatomy
+// experiment can aggregate them across machines.
+type htmProbes struct {
+	starts  *probe.Counter
+	commits *probe.Counter
+	aborts  [NumCauses]*probe.Counter
 }
 
 // New creates the TSX runtime for m and installs its conflict, eviction and
@@ -157,6 +173,16 @@ func New(m *sim.Machine) *Runtime {
 	m.EvictHook = r.evictHook
 	m.SyscallHook = r.syscallHook
 	m.SpuriousAbortHook = r.spuriousHook
+	if ps := m.ProbeSet(); ps != nil {
+		pc := &htmProbes{
+			starts:  ps.Counter("htm/starts"),
+			commits: ps.Counter("htm/commits"),
+		}
+		for cause := AbortCause(0); cause < NumCauses; cause++ {
+			pc.aborts[cause] = ps.Counter("htm/abort/" + cause.String())
+		}
+		r.pc = pc
+	}
 	return r
 }
 
@@ -178,6 +204,13 @@ type Txn struct {
 	doomed  bool
 	cause   AbortCause
 	noRetry bool
+
+	// prevPhase/txnCyc0 support the virtual-time profiler: the phase to
+	// restore when the transaction ends, and the thread's PhaseTxn cycle
+	// total at begin, so an abort can reclassify exactly this attempt's
+	// cycles as wasted. Both are zero (and harmless) when probes are off.
+	prevPhase sim.Phase
+	txnCyc0   uint64
 }
 
 type abortSignal struct{ cause AbortCause }
@@ -197,6 +230,11 @@ func (r *Runtime) Begin(c *sim.Context) *Txn {
 	if r.active[c.ID()] != nil {
 		panic("htm: nested hardware transaction")
 	}
+	// The speculative attempt starts here: everything from the XBegin charge
+	// on is PhaseTxn until commit or abort (txnCyc0 marks the baseline so an
+	// abort reclassifies only this attempt's cycles as wasted).
+	prevPhase := c.SetPhase(sim.PhaseTxn)
+	txnCyc0 := c.PhaseCycles(sim.PhaseTxn)
 	c.Compute(r.m.Costs.XBegin)
 	// Transactions start on every attempt (aborted attempts restart), so the
 	// per-thread Txn and its set-tracking maps are recycled rather than
@@ -219,6 +257,8 @@ func (r *Runtime) Begin(c *sim.Context) *Txn {
 	}
 	t.rt = r
 	t.ctx = c
+	t.prevPhase = prevPhase
+	t.txnCyc0 = txnCyc0
 	r.active[c.ID()] = t
 	if r.nTxns == 0 {
 		// First in-flight transaction: arm coherence conflict detection.
@@ -228,6 +268,9 @@ func (r *Runtime) Begin(c *sim.Context) *Txn {
 	c.InTxn = true
 	c.TxnData = t
 	r.Stats.Starts++
+	if pc := r.pc; pc != nil {
+		pc.starts.Inc()
+	}
 	return t
 }
 
@@ -241,8 +284,14 @@ func (t *Txn) check() {
 
 func (t *Txn) finishAbort() {
 	t.ctx.Compute(t.rt.m.Costs.XAbort)
+	// Everything this attempt executed (XBegin through the XAbort just
+	// charged) is retroactively wasted work.
+	t.ctx.ReclassifyCycles(sim.PhaseTxn, sim.PhaseWasted, t.ctx.PhaseCycles(sim.PhaseTxn)-t.txnCyc0)
 	t.cleanup()
 	t.rt.Stats.Aborts[t.cause]++
+	if pc := t.rt.pc; pc != nil {
+		pc.aborts[t.cause].Inc()
+	}
 	panic(abortSignal{t.cause})
 }
 
@@ -337,6 +386,9 @@ func (t *Txn) Commit() {
 	}
 	t.cleanup()
 	t.rt.Stats.Commits++
+	if pc := t.rt.pc; pc != nil {
+		pc.commits.Inc()
+	}
 	t.ctx.Progress() // a commit is global forward progress (livelock watchdog)
 }
 
@@ -388,6 +440,7 @@ func (t *Txn) cleanup() {
 	}
 	r.ovf &^= uint16(1) << uint(id)
 	r.active[id] = nil
+	t.ctx.SetPhase(t.prevPhase)
 	if r.nTxns--; r.nTxns == 0 {
 		// Last in-flight transaction gone: disarm conflict detection so
 		// non-transactional stretches pay no hook call per access.

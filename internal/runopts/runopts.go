@@ -9,9 +9,11 @@
 package runopts
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"os"
 	"runtime"
 	"strings"
 
@@ -19,6 +21,7 @@ import (
 	"tsxhpc/internal/faults"
 	"tsxhpc/internal/journal"
 	"tsxhpc/internal/memo"
+	"tsxhpc/internal/probe"
 	"tsxhpc/internal/runner"
 	"tsxhpc/internal/sim"
 )
@@ -50,6 +53,16 @@ const DefaultQuarantine = 64
 // is on but -stallcycles was not given: generous against the slowest
 // healthy experiment, tiny against a real livelock's unbounded spin.
 const DefaultChaosStallCycles = 200_000_000
+
+// DefaultTraceEvents caps each machine's span buffer when -trace is on:
+// enough for the contended workloads' full transactional history, bounded so
+// a pathological run cannot exhaust memory (overflow is counted and reported
+// in the trace, never silently dropped).
+const DefaultTraceEvents = 8192
+
+// MetricsSchema identifies the -metricsout sidecar format; bump on
+// incompatible changes so downstream consumers can refuse gracefully.
+const MetricsSchema = "tsxhpc-metrics/1"
 
 // Options are the parsed shared settings. Tools embed it in their own
 // options struct so tests can drive runs in-process without a FlagSet.
@@ -89,6 +102,16 @@ type Options struct {
 	// Poison is a comma-separated list of cell-key prefixes that fail
 	// deterministically on every attempt (the injected quarantine case).
 	Poison string
+
+	// Metrics arms the probe layer (internal/probe) on every simulated
+	// machine and writes the metrics sidecar after the run.
+	Metrics bool
+	// MetricsOut overrides the metrics sidecar path (implies Metrics; the
+	// default is METRICS_<tool>.json in the working directory).
+	MetricsOut string
+	// TracePath, when non-empty, attaches bounded span buffers to every
+	// machine and writes a Chrome trace-event JSON file there after the run.
+	TracePath string
 }
 
 // Register binds the shared flags into fs. Call Finish after fs.Parse to
@@ -105,9 +128,13 @@ func Register(fs *flag.FlagSet, o *Options) {
 	fs.BoolVar(&o.Resume, "resume", false, "resume an interrupted run from its progress journal, replaying completed units byte-identically")
 	fs.Int64Var(&o.JobChaosSeed, "jobchaos", 0, "inject deterministic job-level faults (flaky-host transient failures) with this seed")
 	fs.StringVar(&o.Poison, "poison", "", "comma-separated cell-key prefixes that fail deterministically every attempt (exercises quarantine)")
+	fs.BoolVar(&o.Metrics, "metrics", false, "arm the probe layer (abort anatomy, virtual-time phases, L1 events) and write a metrics sidecar after the run")
+	fs.StringVar(&o.MetricsOut, "metricsout", "", "metrics sidecar path (implies -metrics; default METRICS_<tool>.json)")
+	fs.StringVar(&o.TracePath, "trace", "", "write a Chrome trace-event JSON file of per-thread transactional spans to this path")
 }
 
-// Finish records flag presence (seed flags where 0 is a valid seed).
+// Finish records flag presence (seed flags where 0 is a valid seed) and
+// resolves flag implications (-metricsout implies -metrics).
 func (o *Options) Finish(fs *flag.FlagSet) {
 	fs.Visit(func(f *flag.Flag) {
 		switch f.Name {
@@ -117,6 +144,15 @@ func (o *Options) Finish(fs *flag.FlagSet) {
 			o.JobChaosSet = true
 		}
 	})
+	if o.MetricsOut != "" {
+		o.Metrics = true
+	}
+}
+
+// ProbesArmed reports whether any observability output was requested, i.e.
+// whether simulated machines should carry probe state.
+func (o *Options) ProbesArmed() bool {
+	return o.Metrics || o.MetricsOut != "" || o.TracePath != ""
 }
 
 // CacheDir resolves the cache directory: "" when the cache is off.
@@ -260,14 +296,28 @@ func (o *Options) EffectiveStallCycles() uint64 {
 func (o *Options) Setup(warn io.Writer) (suite *experiments.Suite, store *memo.Store, cleanup func()) {
 	stall := o.EffectiveStallCycles()
 	cleanup = func() {}
-	if o.ChaosSet || o.MaxCycles > 0 || stall > 0 {
+	if o.ChaosSet || o.MaxCycles > 0 || stall > 0 || o.ProbesArmed() {
 		d := sim.RunDefaults{MaxCycles: o.MaxCycles, StallCycles: stall, Faults: o.Plan()}
+		if o.ProbesArmed() {
+			d.Metrics = o.Metrics
+			if o.TracePath != "" {
+				d.TraceEvents = DefaultTraceEvents
+			}
+			// Fresh collector per run: in-process callers (tests) must not
+			// merge a previous run's sources into this run's sidecars.
+			probe.ResetGlobal()
+		}
 		sim.SetRunDefaults(d)
 		cleanup = func() { sim.SetRunDefaults(sim.RunDefaults{}) }
 	}
 	suite = experiments.NewSuite(o.Parallel)
 	o.Supervise(suite.E, warn)
-	if dir := o.CacheDir(); dir != "" {
+	if o.ProbesArmed() && o.CacheDir() != "" {
+		// A cache-served cell never simulates, so it registers no probe
+		// sources and its counters would silently vanish from the sidecar;
+		// observability runs must simulate everything they report on.
+		fmt.Fprintf(warn, "cache disabled: probes are armed (cached cells would report no metrics)\n")
+	} else if dir := o.CacheDir(); dir != "" {
 		// After SetRunDefaults: the fingerprint must see the armed fault
 		// plan so chaos runs never share entries with fault-free ones.
 		st, err := memo.Open(dir)
@@ -287,4 +337,103 @@ func (o *Options) Banner(w io.Writer) {
 	if o.ChaosSet {
 		fmt.Fprintf(w, "chaos: fault injection enabled (seed %d)\n", o.ChaosSeed)
 	}
+}
+
+// MetricsCounter is one counter row of the metrics sidecar.
+type MetricsCounter struct {
+	Name  string `json:"name"`
+	Value uint64 `json:"value"`
+}
+
+// MetricsHist is one histogram row of the metrics sidecar (power-of-two
+// buckets; mean = sum/count).
+type MetricsHist struct {
+	Name    string   `json:"name"`
+	Count   uint64   `json:"count"`
+	Sum     uint64   `json:"sum"`
+	Buckets []uint64 `json:"buckets"`
+}
+
+// MetricsReport is the -metrics/-metricsout sidecar schema: the merged probe
+// snapshot of every machine the run simulated, plus enough run provenance
+// (tool, toolchain, scheduler backend, fault injection, parallelism) to
+// interpret it. Counters and histograms are name-sorted, and the snapshot is
+// a pure function of the simulated schedules, so the sidecar is
+// byte-identical at any -parallel.
+type MetricsReport struct {
+	Schema    string           `json:"schema"`
+	Tool      string           `json:"tool"`
+	GoVersion string           `json:"go_version"`
+	Scheduler string           `json:"scheduler"`
+	Chaos     bool             `json:"chaos"`
+	Parallel  int              `json:"parallel"`
+	Counters  []MetricsCounter `json:"counters"`
+	Hists     []MetricsHist    `json:"hists"`
+}
+
+// MetricsPath resolves the sidecar path for tool ("" when metrics are off).
+func (o *Options) MetricsPath(tool string) string {
+	if !o.Metrics && o.MetricsOut == "" {
+		return ""
+	}
+	if o.MetricsOut != "" {
+		return o.MetricsOut
+	}
+	return "METRICS_" + tool + ".json"
+}
+
+// BuildMetricsReport drains the process-wide probe collector into a sidecar
+// report. Call only after every simulation job has completed (futures
+// collected), so the snapshot functions see final counter values.
+func (o *Options) BuildMetricsReport(tool string) MetricsReport {
+	snap := probe.GlobalSnapshot()
+	rep := MetricsReport{
+		Schema:    MetricsSchema,
+		Tool:      tool,
+		GoVersion: runtime.Version(),
+		Scheduler: sim.SchedulerBackend(),
+		Chaos:     o.ChaosSet,
+		Parallel:  o.Parallel,
+	}
+	for _, c := range snap.Counters {
+		rep.Counters = append(rep.Counters, MetricsCounter{Name: c.Name, Value: c.Value})
+	}
+	for _, h := range snap.Hists {
+		rep.Hists = append(rep.Hists, MetricsHist{Name: h.Name, Count: h.Count, Sum: h.Sum, Buckets: h.Buckets})
+	}
+	return rep
+}
+
+// WriteObservability writes the observability sidecars the run asked for:
+// the metrics JSON (-metrics/-metricsout) and the Chrome trace (-trace).
+// Progress notes go to warn (stderr by convention), keeping stdout
+// byte-identical whether or not probes were armed. No-op when neither was
+// requested, so every tool can call it unconditionally.
+func (o *Options) WriteObservability(tool string, warn io.Writer) error {
+	if path := o.MetricsPath(tool); path != "" {
+		rep := o.BuildMetricsReport(tool)
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return fmt.Errorf("metrics sidecar: %w", err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("metrics sidecar: %w", err)
+		}
+		fmt.Fprintf(warn, "metrics: wrote %d counters, %d histograms to %s\n", len(rep.Counters), len(rep.Hists), path)
+	}
+	if o.TracePath != "" {
+		f, err := os.Create(o.TracePath)
+		if err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		if err := probe.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return fmt.Errorf("trace: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		fmt.Fprintf(warn, "trace: wrote Chrome trace-event JSON to %s (open in a trace viewer)\n", o.TracePath)
+	}
+	return nil
 }

@@ -1,6 +1,7 @@
 package runopts
 
 import (
+	"encoding/json"
 	"flag"
 	"os"
 	"path/filepath"
@@ -8,6 +9,7 @@ import (
 	"testing"
 
 	"tsxhpc/internal/sim"
+	"tsxhpc/internal/tm"
 )
 
 // parse registers the shared flags on a fresh FlagSet, parses args, and runs
@@ -162,5 +164,115 @@ func TestSetupCleanupRestoresDefaults(t *testing.T) {
 	cleanup()
 	if d := sim.GetRunDefaults(); d != (sim.RunDefaults{}) {
 		t.Fatalf("defaults after cleanup = %+v, want zero", d)
+	}
+}
+
+// TestObservabilitySidecars drives the full -metricsout/-trace pipeline the
+// way a cmd binary does: parse flags, Setup (which must arm the probe run
+// defaults and disable the persistent cache), simulate a cell, and write
+// both sidecars; then validates their shape.
+func TestObservabilitySidecars(t *testing.T) {
+	dir := t.TempDir()
+	mpath := filepath.Join(dir, "metrics.json")
+	tpath := filepath.Join(dir, "trace.json")
+	o, err := parse(t, "-metricsout", mpath, "-trace", tpath, "-cache", dir+"/cache", "-journal", "off")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Metrics {
+		t.Error("-metricsout did not imply -metrics")
+	}
+	if !o.ProbesArmed() {
+		t.Error("ProbesArmed false with both sidecars requested")
+	}
+	if got := o.MetricsPath("tool"); got != mpath {
+		t.Errorf("MetricsPath = %q, want %q", got, mpath)
+	}
+	var warn strings.Builder
+	suite, store, cleanup := o.Setup(&warn)
+	defer cleanup()
+	if store != nil {
+		t.Error("persistent cache stayed open with probes armed (cached cells would report no metrics)")
+	}
+	if !strings.Contains(warn.String(), "cache disabled") {
+		t.Errorf("no cache-disabled note on warn; got %q", warn.String())
+	}
+	if d := sim.GetRunDefaults(); !d.Metrics || d.TraceEvents != DefaultTraceEvents {
+		t.Fatalf("run defaults not armed: %+v", d)
+	}
+	if _, err := suite.StampCell("kmeans", tm.TSX, 2).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.WriteObservability("tool", &warn); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(mpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep MetricsReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != MetricsSchema || rep.Tool != "tool" {
+		t.Errorf("report header = %q/%q", rep.Schema, rep.Tool)
+	}
+	if rep.GoVersion == "" {
+		t.Error("go_version empty")
+	}
+	if rep.Scheduler != "runtime-coro" && rep.Scheduler != "channel" {
+		t.Errorf("scheduler = %q", rep.Scheduler)
+	}
+	found := false
+	for _, c := range rep.Counters {
+		if strings.HasPrefix(c.Name, "htm/") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Errorf("no htm/ counters in sidecar (got %d counters)", len(rep.Counters))
+	}
+
+	var tr struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	tdata, err := os.ReadFile(tpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(tdata, &tr); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.TraceEvents) == 0 {
+		t.Error("trace has no events")
+	}
+}
+
+// TestMetricsDefaultPath checks -metrics without -metricsout derives the
+// per-tool sidecar name, and that metrics-off runs resolve no path at all.
+func TestMetricsDefaultPath(t *testing.T) {
+	o, err := parse(t, "-metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := o.MetricsPath("reproduce"); got != "METRICS_reproduce.json" {
+		t.Errorf("MetricsPath = %q, want METRICS_reproduce.json", got)
+	}
+	off, err := parse(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.ProbesArmed() {
+		t.Error("ProbesArmed true with no observability flags")
+	}
+	if got := off.MetricsPath("reproduce"); got != "" {
+		t.Errorf("MetricsPath = %q with metrics off, want empty", got)
+	}
+	// WriteObservability must be a no-op (no files, no error) when nothing
+	// was requested, so tools call it unconditionally.
+	if err := off.WriteObservability("reproduce", &strings.Builder{}); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -65,3 +65,27 @@ func BenchmarkRunQueueContended(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkHotPathProbesOff / BenchmarkHotPathProbesOn bracket the probe
+// layer's cost on the hottest path (charge via the batched no-switch
+// Compute): Off is the production configuration, whose only addition is one
+// nil test; On adds the per-cycle phase attribution. The CI guard
+// (scripts/probe_overhead.sh) asserts the pair stays within a tight band of
+// each other, which bounds the disarmed check from above; absolute
+// regressions are caught by the events/s ratchet.
+func benchHotPath(b *testing.B, metrics bool) {
+	cfg := benchConfig(1, 1)
+	cfg.Metrics = metrics
+	cfg.Label = "bench"
+	m := New(cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	m.Run(1, func(c *Context) {
+		for i := 0; i < b.N; i++ {
+			c.Compute(1)
+		}
+	})
+}
+
+func BenchmarkHotPathProbesOff(b *testing.B) { benchHotPath(b, false) }
+func BenchmarkHotPathProbesOn(b *testing.B)  { benchHotPath(b, true) }

@@ -47,6 +47,10 @@ type CacheStats struct {
 	Misses    uint64
 	Transfers uint64 // cache-to-cache services and write invalidations
 	Evictions uint64 // lines displaced by capacity/associativity
+	// Invalidations counts lines dropped because a remote core wrote them —
+	// the coherence traffic behind both lock-line ping-pong and
+	// conflict-induced transactional aborts.
+	Invalidations uint64
 }
 
 // Cache is one core's L1 data cache model. The per-line state is kept in
@@ -105,6 +109,7 @@ func (c *Cache) invalidate(line Addr) bool {
 		c.meta[set][w] = 0
 		c.lru[set][w] = 0
 		c.m.pres.drop(line, c.id)
+		c.stats.Invalidations++
 		return true
 	}
 	return false
@@ -310,6 +315,7 @@ func (m *Machine) CacheStats() CacheStats {
 		out.Misses += c.stats.Misses
 		out.Transfers += c.stats.Transfers
 		out.Evictions += c.stats.Evictions
+		out.Invalidations += c.stats.Invalidations
 	}
 	return out
 }

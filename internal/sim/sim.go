@@ -82,6 +82,21 @@ type Config struct {
 	// Package faults implements it with a deterministic, seed-driven
 	// injector; nil means no fault injection and zero overhead.
 	Faults FaultPlan
+
+	// Metrics arms the machine's probe layer (see internal/probe and
+	// probe.go in this package): a per-machine counter/histogram set the
+	// engines instrument, plus the virtual-time phase profiler, registered
+	// with the process-wide collector for the -metrics sidecar. Off by
+	// default; the probes-off hot-path cost is one nil check in charge.
+	Metrics bool
+	// TraceEvents, when positive, attaches a bounded span buffer of that
+	// capacity to the machine and registers it for Chrome trace-event
+	// export (-trace). Arming tracing implies allocating the probe state
+	// but not the metrics registration.
+	TraceEvents int
+	// Label names this machine in metrics/trace output (e.g. the experiment
+	// cell key); empty means "sim".
+	Label string
 }
 
 // FaultPlan is a fault-injection recipe that wires itself into a machine's
@@ -101,6 +116,8 @@ type RunDefaults struct {
 	Faults      FaultPlan
 	MaxCycles   uint64
 	StallCycles uint64
+	Metrics     bool
+	TraceEvents int
 }
 
 var runDefaults atomic.Pointer[RunDefaults]
@@ -127,6 +144,10 @@ func DefaultConfig() Config {
 		cfg.Faults = d.Faults
 		cfg.MaxCycles = d.MaxCycles
 		cfg.StallCycles = d.StallCycles
+		cfg.Metrics = cfg.Metrics || d.Metrics
+		if cfg.TraceEvents == 0 {
+			cfg.TraceEvents = d.TraceEvents
+		}
 	}
 	return cfg
 }
@@ -194,6 +215,11 @@ type Machine struct {
 	// acquire on (race_race.go); unused otherwise.
 	racer  int
 	events uint64 // total timed events, for throughput diagnostics
+
+	// probes is the observability state (counter set, virtual-time phase
+	// planes, trace ring), non-nil only when Config armed Metrics or
+	// TraceEvents; see probe.go.
+	probes *probes
 
 	// Watchdog state: deadline is the virtual clock at which the run stalls
 	// (MaxUint64 when no budget is armed — a single compare in charge);
@@ -263,6 +289,7 @@ func New(cfg Config) *Machine {
 	}
 	m.pres.init(presSize)
 	m.deadline = ^uint64(0)
+	m.armProbes()
 	if cfg.Faults != nil {
 		cfg.Faults.Attach(m)
 	}
@@ -435,6 +462,9 @@ func (m *Machine) attach(n int) {
 		c.TxnData = nil
 		c.STMData = nil
 		c.pendingLine = 0
+		if pr := m.probes; pr != nil {
+			pr.phase[i] = PhaseOther
+		}
 		seed := m.Cfg.Seed + int64(i)*7919
 		if c.Rand == nil {
 			c.Rand = rand.New(rand.NewSource(seed))
@@ -760,6 +790,9 @@ func (c *Context) charge(cyc uint64) {
 	before := c.clock
 	c.clock += cyc
 	c.key += cyc << keyIDBits
+	if pr := m.probes; pr != nil {
+		pr.cycles[c.id][pr.phase[c.id]] += cyc
+	}
 	if m.Cfg.Invariants && (c.clock < before || c.clock >= 1<<(64-keyIDBits)) {
 		panic(&InvariantError{Point: "clock", Thread: c.id, Clock: c.clock,
 			Detail: fmt.Sprintf("virtual clock wrapped or exceeded the packed-key range: %d + %d cycles", before, cyc)})

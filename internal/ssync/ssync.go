@@ -58,12 +58,16 @@ func (l *Mutex) TryLock(c *sim.Context) bool {
 }
 
 // Lock acquires the mutex, spinning briefly and then parking on the futex.
+// For the virtual-time profiler the acquisition attempt is PhaseSpin and the
+// futex park PhaseWait; the caller's phase is restored on return.
 func (l *Mutex) Lock(c *sim.Context) {
 	costs := c.Machine().Costs
+	prev := c.SetPhase(sim.PhaseSpin)
 	c.Compute(costs.MutexLock - costs.Atomic)
 	for spin := 0; ; spin++ {
 		if cas01(c, l.Addr) {
 			c.Progress()
+			c.SetPhase(prev)
 			return
 		}
 		if spin >= costs.MutexSpinTries {
@@ -75,9 +79,11 @@ func (l *Mutex) Lock(c *sim.Context) {
 	// sees us; the wake-pending protocol in sim.Block covers the window.
 	// Ownership is handed over directly by Unlock, so the word stays 1.
 	l.waiters = append(l.waiters, c)
+	c.SetPhase(sim.PhaseWait)
 	c.Compute(costs.FutexBlock)
 	c.Block()
 	// Ownership was handed over by Unlock while we were parked.
+	c.SetPhase(prev)
 	c.Progress()
 }
 
@@ -131,10 +137,12 @@ func NewSpinLock(mem *sim.Memory) *SpinLock {
 // Lock spins until the lock is acquired.
 func (l *SpinLock) Lock(c *sim.Context) {
 	costs := c.Machine().Costs
+	prev := c.SetPhase(sim.PhaseSpin)
 	for {
 		// Test-and-test-and-set: spin on a plain read, then attempt the RMW.
 		if c.Load(l.Addr) == 0 && cas01(c, l.Addr) {
 			c.Progress()
+			c.SetPhase(prev)
 			return
 		}
 		c.Compute(costs.MutexSpin)
@@ -180,8 +188,10 @@ func (cv *Cond) Wait(c *sim.Context, l *Mutex) {
 	costs := c.Machine().Costs
 	cv.waiters = append(cv.waiters, c)
 	l.Unlock(c)
+	prev := c.SetPhase(sim.PhaseWait)
 	c.Compute(costs.FutexBlock)
 	c.Block()
+	c.SetPhase(prev)
 	l.Lock(c)
 }
 
@@ -189,8 +199,10 @@ func (cv *Cond) Wait(c *sim.Context, l *Mutex) {
 // condition variable in package core, which must not hold a lock to wait).
 func (cv *Cond) WaitNoLock(c *sim.Context) {
 	cv.waiters = append(cv.waiters, c)
+	prev := c.SetPhase(sim.PhaseWait)
 	c.Compute(c.Machine().Costs.FutexBlock)
 	c.Block()
+	c.SetPhase(prev)
 }
 
 // Signal wakes one waiter, if any. The wake is a system call.
@@ -234,9 +246,12 @@ func NewBarrier(mem *sim.Memory, n int) *Barrier {
 	return &Barrier{n: n, addr: mem.AllocLine(8)}
 }
 
-// Arrive blocks until all n participants have arrived.
+// Arrive blocks until all n participants have arrived. The whole episode —
+// counter update, park, release — is PhaseWait for the virtual-time profiler.
 func (b *Barrier) Arrive(c *sim.Context) {
 	costs := c.Machine().Costs
+	prev := c.SetPhase(sim.PhaseWait)
+	defer c.SetPhase(prev)
 	c.Compute(costs.Atomic)
 	_, arrived := c.RMW(b.addr, func(v uint64) uint64 { return v + 1 })
 	if int(arrived) == b.n {

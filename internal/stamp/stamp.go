@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"tsxhpc/internal/htm"
+	"tsxhpc/internal/probe"
 	"tsxhpc/internal/sim"
 	"tsxhpc/internal/tm"
 )
@@ -94,6 +95,14 @@ type Result struct {
 // SimEvents reports the simulated event count (runner.Eventer).
 func (r Result) SimEvents() uint64 { return r.Events }
 
+// ProbedResult is a Result extended with the machine's probe snapshot
+// (abort-cause counters, virtual-time phases, L1 events). Plain exported
+// data so it memoizes through the runner and the persistent cache.
+type ProbedResult struct {
+	Result
+	Probes probe.Snapshot
+}
+
 // Execute runs one workload under one mode and thread count on a fresh
 // machine with the paper's high-contention inputs and validates the result.
 func Execute(name string, mode tm.Mode, threads int) (Result, error) {
@@ -102,11 +111,30 @@ func Execute(name string, mode tm.Mode, threads int) (Result, error) {
 
 // ExecuteContention is Execute with an explicit input-contention variant.
 func ExecuteContention(name string, mode tm.Mode, threads int, cont Contention) (Result, error) {
+	r, _, err := execute(name, mode, threads, cont, false)
+	return r, err
+}
+
+// ExecuteProbed is Execute with the machine's probe layer armed regardless
+// of the process-wide -metrics setting: the abort-anatomy experiment always
+// needs the snapshot, and carrying it inside the memoized result keeps the
+// report deterministic (and warm-cache-servable) at any host parallelism.
+func ExecuteProbed(name string, mode tm.Mode, threads int) (ProbedResult, error) {
+	r, snap, err := execute(name, mode, threads, HighContention, true)
+	return ProbedResult{Result: r, Probes: snap}, err
+}
+
+func execute(name string, mode tm.Mode, threads int, cont Contention, probed bool) (Result, probe.Snapshot, error) {
 	ctor, ok := Registry[name]
 	if !ok {
-		return Result{}, fmt.Errorf("stamp: unknown workload %q", name)
+		return Result{}, probe.Snapshot{}, fmt.Errorf("stamp: unknown workload %q", name)
 	}
-	m := sim.New(sim.DefaultConfig())
+	cfg := sim.DefaultConfig()
+	if probed {
+		cfg.Metrics = true
+		cfg.Label = fmt.Sprintf("stamp/%s/%s/%dT", name, mode, threads)
+	}
+	m := sim.New(cfg)
 	sys := tm.NewSystem(m, mode)
 	w := ctor()
 	if ca, ok := w.(contentionAware); ok {
@@ -114,9 +142,10 @@ func ExecuteContention(name string, mode tm.Mode, threads int, cont Contention) 
 	}
 	w.Setup(m, sys, threads)
 	sys.ResetStats()
+	m.ResetProbes() // setup noise is excluded from the snapshot, like Stats
 	res := m.Run(threads, func(c *sim.Context) { w.Thread(c, sys) })
 	if err := w.Validate(m); err != nil {
-		return Result{}, fmt.Errorf("stamp: %s/%v/%dT: %w", name, mode, threads, err)
+		return Result{}, probe.Snapshot{}, fmt.Errorf("stamp: %s/%v/%dT: %w", name, mode, threads, err)
 	}
 	out := Result{
 		Workload:  name,
@@ -130,5 +159,9 @@ func ExecuteContention(name string, mode tm.Mode, threads int, cont Contention) 
 		out.AbortCauses = sys.HTM.Stats.Aborts
 		out.Fallbacks = sys.HTM.Stats.Fallback
 	}
-	return out, nil
+	var snap probe.Snapshot
+	if probed {
+		snap = m.ProbeSnapshot()
+	}
+	return out, snap, nil
 }

@@ -11,6 +11,7 @@
 package stm
 
 import (
+	"tsxhpc/internal/probe"
 	"tsxhpc/internal/sim"
 )
 
@@ -72,11 +73,39 @@ type TL2 struct {
 	// workloads for exactly this reason — see DESIGN.md §11). The hook must
 	// not perform timed simulated work.
 	SerializeHook func(c *sim.Context, wv uint64)
+
+	// pc holds the probe counter handles (nil when the machine carries no
+	// probe set): validation-failure counts by site and the global-clock
+	// pressure metrics the abort-anatomy experiment reports.
+	pc *tl2Probes
+}
+
+// tl2Probes are the TL2 instance's probe handles, resolved once in New.
+type tl2Probes struct {
+	starts        *probe.Counter
+	commits       *probe.Counter
+	abortRead     *probe.Counter // Load pre/post validation failed
+	abortLock     *probe.Counter // commit-time orec acquisition found lock held/advanced
+	abortValidate *probe.Counter // commit-time read-set validation failed
+	gvAdv         *probe.Counter // global version clock advances (writer commits)
+	gvLag         *probe.Hist    // gv distance traveled between snapshot and commit
 }
 
 // New creates a TL2 instance for machine m.
 func New(m *sim.Machine) *TL2 {
-	return &TL2{m: m, orecs: make([]orec, orecCount), pool: make([]*Txn, 64)}
+	s := &TL2{m: m, orecs: make([]orec, orecCount), pool: make([]*Txn, 64)}
+	if ps := m.ProbeSet(); ps != nil {
+		s.pc = &tl2Probes{
+			starts:        ps.Counter("tl2/starts"),
+			commits:       ps.Counter("tl2/commits"),
+			abortRead:     ps.Counter("tl2/abort/read-validate"),
+			abortLock:     ps.Counter("tl2/abort/lock-busy"),
+			abortValidate: ps.Counter("tl2/abort/commit-validate"),
+			gvAdv:         ps.Counter("tl2/gv/advances"),
+			gvLag:         ps.Hist("tl2/gv/lag"),
+		}
+	}
+	return s
 }
 
 func orecIdx(a sim.Addr) int {
@@ -124,10 +153,16 @@ func (t *Txn) Load(a sim.Addr) uint64 {
 	oi := orecIdx(a)
 	o := &t.s.orecs[oi]
 	if o.owner != 0 || o.version > t.rv {
+		if p := t.s.pc; p != nil {
+			p.abortRead.Inc()
+		}
 		t.abort()
 	}
 	v := t.ctx.Load(a)
 	if o.owner != 0 || o.version > t.rv {
+		if p := t.s.pc; p != nil {
+			p.abortRead.Inc()
+		}
 		t.abort()
 	}
 	t.readSet = append(t.readSet, oi)
@@ -161,6 +196,9 @@ func (t *Txn) commit() {
 		}
 		t.commitFrees()
 		t.s.Stats.Commits++
+		if p := t.s.pc; p != nil {
+			p.commits.Inc()
+		}
 		return
 	}
 	// Lock write-set orecs in a canonical order to avoid deadlock; abort if
@@ -188,6 +226,9 @@ func (t *Txn) commit() {
 			for _, li := range locks[:acquired] {
 				t.s.orecs[li].owner = 0
 			}
+			if p := t.s.pc; p != nil {
+				p.abortLock.Inc()
+			}
 			t.abort()
 		}
 		o.owner = id
@@ -197,6 +238,10 @@ func (t *Txn) commit() {
 	c.Compute(costs.Atomic)
 	t.s.gv++
 	wv := t.s.gv
+	if p := t.s.pc; p != nil {
+		p.gvAdv.Inc()
+		p.gvLag.Observe(wv - 1 - t.rv) // how far gv moved since our snapshot
+	}
 	if h := t.s.SerializeHook; h != nil {
 		h(c, wv)
 	}
@@ -209,6 +254,9 @@ func (t *Txn) commit() {
 				if t.s.orecs[li].owner == id {
 					t.s.orecs[li].owner = 0
 				}
+			}
+			if p := t.s.pc; p != nil {
+				p.abortValidate.Inc()
 			}
 			t.abort()
 		}
@@ -231,6 +279,9 @@ func (t *Txn) commit() {
 	}
 	t.commitFrees()
 	t.s.Stats.Commits++
+	if p := t.s.pc; p != nil {
+		p.commits.Inc()
+	}
 	c.Progress()
 }
 
@@ -261,7 +312,9 @@ func (s *TL2) Run(c *sim.Context, body func(*Txn)) {
 		if attempt >= tl2MaxAttempts {
 			panic(c.NewStall(sim.StallLivelock, tl2MaxAttempts))
 		}
+		prev := c.SetPhase(sim.PhaseSpin)
 		c.Compute(uint64(c.Rand.Int63n(int64(backoff))) + 1)
+		c.SetPhase(prev)
 		if backoff < 8192 {
 			backoff *= 2
 		}
@@ -269,8 +322,16 @@ func (s *TL2) Run(c *sim.Context, body func(*Txn)) {
 }
 
 func (s *TL2) try(c *sim.Context, body func(*Txn)) (committed bool) {
+	// One attempt is one PhaseTxn interval (the mark lets the abort path
+	// reclassify exactly this attempt's cycles as wasted) and one trace span.
+	prevPhase := c.SetPhase(sim.PhaseTxn)
+	mark := c.PhaseCycles(sim.PhaseTxn)
+	t0 := c.Now()
 	c.Compute(s.m.Costs.TL2Start)
 	s.Stats.Starts++
+	if p := s.pc; p != nil {
+		p.starts.Inc()
+	}
 	// Attempts restart on abort, so the per-thread Txn and its write-set map
 	// are recycled rather than reallocated; a thread runs at most one
 	// transaction at a time.
@@ -288,12 +349,20 @@ func (s *TL2) try(c *sim.Context, body func(*Txn)) (committed bool) {
 	t.ctx = c
 	t.rv = s.gv
 	defer func() {
-		if p := recover(); p != nil {
-			if _, ok := p.(tl2Abort); ok {
-				committed = false
-				return
-			}
-			panic(p)
+		p := recover()
+		_, aborted := p.(tl2Abort)
+		if aborted {
+			committed = false
+			c.ReclassifyCycles(sim.PhaseTxn, sim.PhaseWasted, c.PhaseCycles(sim.PhaseTxn)-mark)
+		}
+		c.SetPhase(prevPhase)
+		if aborted {
+			c.EmitSpan(t0, c.Now()-t0, "txn", "tl2:abort")
+		} else if p == nil {
+			c.EmitSpan(t0, c.Now()-t0, "txn", "tl2:commit")
+		}
+		if p != nil && !aborted {
+			panic(p) // a genuine program error (or poison unwind)
 		}
 	}()
 	body(t)

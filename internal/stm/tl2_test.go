@@ -175,3 +175,86 @@ func TestWriteSkewPreventedBySerializability(t *testing.T) {
 		t.Fatalf("final sum = %d", m.Mem.ReadRaw(x)+m.Mem.ReadRaw(y))
 	}
 }
+
+// TestProbeCountersMirrorStats arms the probe layer on a contended TL2 run
+// and checks the tl2/* counters against Stats: starts, commits, the
+// validation-failure breakdown summing to the abort total, global-version
+// advances matching write commits, and commit/abort spans on the trace ring.
+func TestProbeCountersMirrorStats(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	cfg.Metrics = true
+	cfg.TraceEvents = 4096
+	m := sim.New(cfg)
+	s := New(m)
+	a := m.Mem.AllocLine(8)
+	const threads, per = 4, 50
+	m.Run(threads, func(c *sim.Context) {
+		for i := 0; i < per; i++ {
+			s.Run(c, func(tx *Txn) { tx.Store(a, tx.Load(a)+1) })
+		}
+	})
+	if got := m.Mem.ReadRaw(a); got != threads*per {
+		t.Fatalf("counter = %d, want %d", got, threads*per)
+	}
+	snap := m.ProbeSnapshot()
+	if got := snap.Counter("tl2/starts"); got != s.Stats.Starts {
+		t.Errorf("tl2/starts = %d, Stats.Starts = %d", got, s.Stats.Starts)
+	}
+	if got := snap.Counter("tl2/commits"); got != s.Stats.Commits {
+		t.Errorf("tl2/commits = %d, Stats.Commits = %d", got, s.Stats.Commits)
+	}
+	abortSum := snap.Counter("tl2/abort/read-validate") +
+		snap.Counter("tl2/abort/lock-busy") +
+		snap.Counter("tl2/abort/commit-validate")
+	if abortSum != s.Stats.Aborts {
+		t.Errorf("abort-cause sum = %d, Stats.Aborts = %d", abortSum, s.Stats.Aborts)
+	}
+	if s.Stats.Aborts == 0 {
+		t.Error("contended run produced no aborts; the breakdown is untested")
+	}
+	// Every committed transaction here writes, so each advances the gv.
+	if got := snap.Counter("tl2/gv/advances"); got != s.Stats.Commits {
+		t.Errorf("tl2/gv/advances = %d, want %d", got, s.Stats.Commits)
+	}
+	ring := m.TraceRing()
+	if ring == nil {
+		t.Fatal("TraceEvents did not attach a ring")
+	}
+	var commits, aborts int
+	for _, sp := range ring.Spans() {
+		switch sp.Name {
+		case "tl2:commit":
+			commits++
+		case "tl2:abort":
+			aborts++
+		}
+	}
+	if uint64(commits) != s.Stats.Commits || uint64(aborts) != s.Stats.Aborts {
+		t.Errorf("spans: %d commits, %d aborts; stats: %d, %d", commits, aborts, s.Stats.Commits, s.Stats.Aborts)
+	}
+}
+
+// TestFreeAndLargeWriteSet covers the TM_FREE discipline (a transactional
+// free takes effect only at commit) and a write set big enough to grow the
+// write-map past its inline capacity.
+func TestFreeAndLargeWriteSet(t *testing.T) {
+	m, s := mach()
+	base := m.Mem.Alloc(64 * 40)
+	blk := m.Mem.Alloc(64)
+	m.Run(1, func(c *sim.Context) {
+		s.Run(c, func(tx *Txn) {
+			for i := 0; i < 40; i++ {
+				tx.Store(base+sim.Addr(64*i), uint64(i+1))
+			}
+			tx.Free(blk, 64)
+		})
+	})
+	if s.Stats.Commits != 1 {
+		t.Fatalf("stats = %+v", s.Stats)
+	}
+	for i := 0; i < 40; i++ {
+		if got := m.Mem.ReadRaw(base + sim.Addr(64*i)); got != uint64(i+1) {
+			t.Fatalf("word %d = %d after commit", i, got)
+		}
+	}
+}

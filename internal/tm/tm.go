@@ -17,6 +17,7 @@ package tm
 
 import (
 	"tsxhpc/internal/htm"
+	"tsxhpc/internal/probe"
 	"tsxhpc/internal/sim"
 	"tsxhpc/internal/ssync"
 	"tsxhpc/internal/stm"
@@ -97,6 +98,32 @@ type System struct {
 	// commitHook, when set via SetCommitHook, observes every region's commit
 	// instant regardless of mode.
 	commitHook func(*sim.Context)
+
+	// pc holds the elision-policy probe handles (nil when the machine
+	// carries no probe set): retry depth per region, fallback acquisitions,
+	// and fallback-lock occupancy for the single global lock site.
+	pc *siteProbes
+}
+
+// siteProbes are the per-lock-site elision statistics; the global lock is
+// the one site package tm manages (internal/core keeps the analogous
+// counters for lock-set elision under "tsx/site/lockset/").
+type siteProbes struct {
+	attempts *probe.Hist    // transactional tries per region (1 = first-try commit)
+	fallback *probe.Counter // explicit fallback-lock acquisitions
+	fbCycles *probe.Counter // cycles the fallback lock was held (occupancy)
+}
+
+// tsxSpanNames maps each attempt outcome to its precomputed trace-span name
+// (building the string at the emit site would allocate on the hot path).
+var tsxSpanNames = [htm.NumCauses]string{
+	htm.NoAbort:      "tsx:commit",
+	htm.Conflict:     "tsx:abort:conflict",
+	htm.Capacity:     "tsx:abort:capacity",
+	htm.SyscallAbort: "tsx:abort:syscall",
+	htm.Explicit:     "tsx:abort:explicit",
+	htm.LockBusy:     "tsx:abort:lock-busy",
+	htm.Spurious:     "tsx:abort:spurious",
 }
 
 // NewSystem creates a synchronization library instance over machine m.
@@ -113,6 +140,14 @@ func NewSystem(m *sim.Machine, mode Mode) *System {
 		s.HTM = htm.New(m)
 	case TL2:
 		s.STM = stm.New(m)
+	}
+	m.SetProbeEngine(mode.String())
+	if ps := m.ProbeSet(); ps != nil && mode == TSX {
+		s.pc = &siteProbes{
+			attempts: ps.Hist("tsx/site/global/attempts"),
+			fallback: ps.Counter("tsx/site/global/fallbacks"),
+			fbCycles: ps.Counter("tsx/site/global/fallback-cycles"),
+		}
 	}
 	return s
 }
@@ -197,6 +232,7 @@ func (s *System) Atomic(c *sim.Context, body func(Tx)) {
 		}
 	case SGL:
 		s.GLock.Lock(c)
+		prev := c.SetPhase(sim.PhaseSerial)
 		s.enter(c, plainTx{c}, body)
 		if s.commitHook != nil {
 			// Commit point: the region's writes are visible and the lock is
@@ -204,6 +240,7 @@ func (s *System) Atomic(c *sim.Context, body func(Tx)) {
 			s.commitHook(c)
 		}
 		s.GLock.Unlock(c)
+		c.SetPhase(prev)
 	case TL2:
 		s.STM.Run(c, func(t *stm.Txn) {
 			s.enter(c, tl2Tx{t, c}, body)
@@ -229,14 +266,21 @@ func (s *System) enter(c *sim.Context, tx Tx, body func(Tx)) {
 func (s *System) elide(c *sim.Context, body func(Tx)) {
 	costs := s.M.Costs
 	lockAddr := s.GLock.Addr
+	tries := uint64(0)
 	for attempt := 0; attempt < s.MaxRetries; attempt++ {
+		tries++
+		t0 := c.Now()
 		cause, noRetry := s.HTM.Try(c, func(t *htm.Txn) {
 			if t.Load(lockAddr) != 0 {
 				t.Abort(htm.LockBusy)
 			}
 			s.enter(c, htmTx{t}, body)
 		})
+		c.EmitSpan(t0, c.Now()-t0, "txn", tsxSpanNames[cause])
 		if cause == htm.NoAbort {
+			if p := s.pc; p != nil {
+				p.attempts.Observe(tries)
+			}
 			return
 		}
 		if noRetry {
@@ -251,12 +295,16 @@ func (s *System) elide(c *sim.Context, body func(Tx)) {
 			// directly between parked waiters), and an unbounded spin would
 			// livelock — exhausting the retry budget instead sends this
 			// thread into the fair fallback queue.
+			prev := c.SetPhase(sim.PhaseSpin)
 			for spins := 0; c.Load(lockAddr) != 0 && spins < 4*costs.MutexSpinTries; spins++ {
 				c.Compute(costs.MutexSpin)
 			}
+			c.SetPhase(prev)
 		case htm.Conflict:
 			// Brief randomized backoff to break symmetric conflict cycles.
+			prev := c.SetPhase(sim.PhaseSpin)
 			c.Compute(uint64(c.Rand.Int63n(int64(16*(attempt+1)))) + 1)
+			c.SetPhase(prev)
 		case htm.Spurious:
 			// Injected environmental abort (interrupt/TLB shootdown model):
 			// always worth retrying, with bounded exponential backoff so a
@@ -264,13 +312,22 @@ func (s *System) elide(c *sim.Context, body func(Tx)) {
 			// inside the same burst. The budget still bounds total attempts;
 			// exhausting it falls back to the lock, which guarantees
 			// forward progress.
+			prev := c.SetPhase(sim.PhaseSpin)
 			c.Compute(uint64(c.Rand.Int63n(SpuriousBackoffMax(attempt))) + 1)
+			c.SetPhase(prev)
 		}
 	}
 	// Fallback: explicitly acquire the lock. The store to the lock word
 	// aborts every transaction currently eliding it, ensuring correctness.
 	s.HTM.Stats.Fallback++
+	if p := s.pc; p != nil {
+		p.attempts.Observe(tries)
+		p.fallback.Inc()
+	}
+	f0 := c.Now()
 	s.GLock.Lock(c)
+	lockAt := c.Now()
+	prev := c.SetPhase(sim.PhaseSerial)
 	s.enter(c, plainTx{c}, body)
 	if s.commitHook != nil {
 		// Same commit point as SGL: hook before release, while the fallback
@@ -278,6 +335,11 @@ func (s *System) elide(c *sim.Context, body func(Tx)) {
 		s.commitHook(c)
 	}
 	s.GLock.Unlock(c)
+	c.SetPhase(prev)
+	if p := s.pc; p != nil {
+		p.fbCycles.Add(c.Now() - lockAt)
+	}
+	c.EmitSpan(f0, c.Now()-f0, "fallback", "tsx:fallback")
 }
 
 // SpuriousBackoffMax is the bounded exponential backoff ceiling (in cycles)
