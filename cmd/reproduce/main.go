@@ -190,6 +190,13 @@ var catalog = []experiment{
 	{"abort anatomy", "A5", func(s *experiments.Suite) (string, error) {
 		return s.AbortAnatomy()
 	}},
+	{"scaling curves", "A6", func(s *experiments.Suite) (string, error) {
+		coresT, clientsT, err := s.ScalingCurve()
+		if err != nil {
+			return "", err
+		}
+		return coresT.Render() + clientsT.Render(), nil
+	}},
 }
 
 // benchRow is one experiment's host-performance record.
@@ -259,7 +266,7 @@ func main() {
 	}
 	var o options
 	runopts.Register(flag.CommandLine, &o.Options)
-	flag.StringVar(&o.only, "only", "", "comma-separated experiment ids to run (E1..E9, A1..A5); empty runs all")
+	flag.StringVar(&o.only, "only", "", "comma-separated experiment ids to run (E1..E9, A1..A6); empty runs all")
 	flag.StringVar(&o.benchPath, "bench", "BENCH_reproduce.json", "path for the host-performance JSON report (empty disables; written only for full-catalog runs unless -benchforce)")
 	flag.BoolVar(&o.benchForce, "benchforce", false, "write the bench report even for partial (-only) runs")
 	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile to this file (also the PGO input; see cmd/reproduce/default.pgo)")
@@ -517,6 +524,22 @@ func writeBench(path string, suite *experiments.Suite, store *memo.Store, total 
 		_ = json.Unmarshal(old, &prev)
 	}
 	carry := store != nil && prev.Fingerprint == rep.Fingerprint
+	if carry {
+		// A cache-served section simulates nothing, so its row records zero
+		// events even though the cold run that produced the cached cells
+		// counted them. The model fingerprint still matches, so the previous
+		// report's per-experiment counts remain true — carry each one forward
+		// rather than erasing it.
+		prevEvents := make(map[string]uint64, len(prev.Experiments))
+		for _, row := range prev.Experiments {
+			prevEvents[row.ID] = row.SimEvents
+		}
+		for i := range rep.Experiments {
+			if rep.Experiments[i].SimEvents == 0 {
+				rep.Experiments[i].SimEvents = prevEvents[rep.Experiments[i].ID]
+			}
+		}
+	}
 	if warm := store != nil && st.CacheHits > 0 && st.Executed == 0; warm {
 		rep.WarmSeconds = total.Seconds()
 		if carry {

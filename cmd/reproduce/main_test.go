@@ -215,6 +215,18 @@ func TestRunBenchWarmCarriesEventStats(t *testing.T) {
 		t.Fatalf("warm run clobbered event stats: cold %d @ %.0f ev/s, warm %d @ %.0f ev/s",
 			cold.TotalSimEvents, cold.EventsPerSec, warm.TotalSimEvents, warm.EventsPerSec)
 	}
+	// The per-experiment rows must carry too, not just the totals: a
+	// cache-served section's own event counter is zero, and the report used
+	// to record that zero over the cold run's real count.
+	if len(warm.Experiments) != len(cold.Experiments) || len(cold.Experiments) == 0 {
+		t.Fatalf("experiment rows: cold %d, warm %d", len(cold.Experiments), len(warm.Experiments))
+	}
+	for i, row := range warm.Experiments {
+		if row.SimEvents == 0 || row.SimEvents != cold.Experiments[i].SimEvents {
+			t.Fatalf("experiment %s sim_events: cold %d, warm %d",
+				row.ID, cold.Experiments[i].SimEvents, row.SimEvents)
+		}
+	}
 }
 
 // TestRunChaosSeedIsolation: different chaos seeds produce different model

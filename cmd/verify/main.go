@@ -29,6 +29,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"syscall"
@@ -36,6 +37,7 @@ import (
 	"tsxhpc/internal/check"
 	"tsxhpc/internal/runner"
 	"tsxhpc/internal/runopts"
+	"tsxhpc/internal/sim"
 )
 
 const (
@@ -52,9 +54,35 @@ var interrupted atomic.Bool
 
 type options struct {
 	runopts.Options
-	seeds   int
-	engines string
-	verbose bool
+	seeds    int
+	engines  string
+	topology string
+	verbose  bool
+}
+
+// parseTopology decodes -topology's SxCxT form ("2x8x2") into a validated
+// machine shape. Empty means the paper machine; any structurally invalid
+// shape is rejected here with the simulator's own typed diagnostics, so a
+// bad flag is a usage error up front rather than an ERROR on every seed.
+func parseTopology(s string) (sockets, cores, tpc int, err error) {
+	if s == "" {
+		return 1, 4, 2, nil
+	}
+	parts := strings.Split(s, "x")
+	if len(parts) != 3 {
+		return 0, 0, 0, fmt.Errorf("topology %q: want SOCKETSxCORESxTHREADS, e.g. 2x8x2", s)
+	}
+	dims := make([]int, 3)
+	for i, p := range parts {
+		if dims[i], err = strconv.Atoi(p); err != nil {
+			return 0, 0, 0, fmt.Errorf("topology %q: %q is not a number", s, p)
+		}
+	}
+	cfg := sim.Config{Sockets: dims[0], Cores: dims[1], ThreadsPerCore: dims[2], Costs: sim.DefaultCosts()}
+	if err := cfg.Validate(); err != nil {
+		return 0, 0, 0, err
+	}
+	return dims[0], dims[1], dims[2], nil
 }
 
 // seedOutcome is one seed's complete result: the rendered per-seed lines
@@ -77,6 +105,7 @@ func main() {
 	runopts.Register(flag.CommandLine, &o.Options)
 	flag.IntVar(&o.seeds, "seeds", 100, "number of randomized workload seeds to cross-check")
 	flag.StringVar(&o.engines, "engines", "tsx,tl2,coarse,fine", "comma-separated engines that must agree")
+	flag.StringVar(&o.topology, "topology", "", "machine topology as SOCKETSxCORESxTHREADS (e.g. 2x8x2; default: the paper machine, 1x4x2)")
 	flag.BoolVar(&o.verbose, "v", false, "print every seed's line, not just violations")
 	flag.Parse()
 	o.Finish(flag.CommandLine)
@@ -141,12 +170,25 @@ func run(o options, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "verify: -seeds must be positive (got %d)\n", o.seeds)
 		return exitUsage
 	}
+	sockets, cores, tpc, err := parseTopology(o.topology)
+	if err != nil {
+		fmt.Fprintf(stderr, "verify: %v\n", err)
+		return exitUsage
+	}
+	maxThreads := sockets * cores * tpc
 	opts := check.Opts{
-		Faults:      o.Plan(),
-		MaxCycles:   o.MaxCycles,
-		StallCycles: o.EffectiveStallCycles(),
+		Faults:         o.Plan(),
+		MaxCycles:      o.MaxCycles,
+		StallCycles:    o.EffectiveStallCycles(),
+		Sockets:        sockets,
+		Cores:          cores,
+		ThreadsPerCore: tpc,
 	}
 	o.Banner(stdout)
+	if o.topology != "" {
+		fmt.Fprintf(stdout, "verify: topology %d sockets x %d cores x %d threads (%d simulated threads)\n",
+			sockets, cores, tpc, maxThreads)
+	}
 
 	workers := o.Parallel
 	if workers <= 0 {
@@ -163,8 +205,9 @@ func run(o options, stdout, stderr io.Writer) int {
 	// Unlike reproduce, verify configures its machines explicitly (no
 	// process-wide run defaults), so the journal identity must carry every
 	// output-affecting flag alongside the model fingerprint.
-	extra := fmt.Sprintf("engines=%s|v=%t|chaos=%t:%d|max=%d|stall=%d",
-		o.engines, o.verbose, o.ChaosSet, o.ChaosSeed, o.MaxCycles, o.EffectiveStallCycles())
+	extra := fmt.Sprintf("engines=%s|v=%t|chaos=%t:%d|max=%d|stall=%d|topo=%dx%dx%d",
+		o.engines, o.verbose, o.ChaosSet, o.ChaosSeed, o.MaxCycles, o.EffectiveStallCycles(),
+		sockets, cores, tpc)
 	jnl, done := o.OpenJournal("verify", extra, stderr)
 	jnlOpen := jnl != nil
 	closeJournal := func() {
@@ -196,7 +239,7 @@ func run(o options, stdout, stderr io.Writer) int {
 			}
 			futs[i] = runner.Submit(e, seedKey(i), func() (seedOutcome, error) {
 				seed := int64(i + 1)
-				w := check.Generate(seed, check.ShapeFor(seed))
+				w := check.Generate(seed, check.ShapeForTopology(seed, maxThreads))
 				return renderOutcome(i, check.Differential(w, engines, opts), o.verbose), nil
 			})
 		}
@@ -228,7 +271,7 @@ func run(o options, stdout, stderr io.Writer) int {
 				replayed[i] = false
 				futs[i] = runner.Submit(e, seedKey(i), func() (seedOutcome, error) {
 					seed := int64(i + 1)
-					w := check.Generate(seed, check.ShapeFor(seed))
+					w := check.Generate(seed, check.ShapeForTopology(seed, maxThreads))
 					return renderOutcome(i, check.Differential(w, engines, opts), o.verbose), nil
 				})
 			} else {

@@ -87,6 +87,13 @@ type Opts struct {
 	MaxCycles uint64
 	// StallCycles arms the livelock watchdog (0: off).
 	StallCycles uint64
+	// Sockets, Cores, ThreadsPerCore select the machine topology every
+	// engine runs on; zero fields take the paper machine's values (1
+	// socket x 4 cores x 2 HyperThreads). Multi-socket topologies route
+	// cross-socket sharing through the NUMA cost model, so the
+	// differential sweep also cross-checks the engines where remote
+	// transfers, directory hops, and wider conflict masks are in play.
+	Sockets, Cores, ThreadsPerCore int
 }
 
 // EngineResult is one engine's execution of a workload.
@@ -169,8 +176,9 @@ func (r *recorder) commit(c *sim.Context) {
 // as errors, not panics.
 func RunEngine(w *Workload, e Engine, o Opts) (*EngineResult, error) {
 	cfg := sim.Config{
-		Cores:          4,
-		ThreadsPerCore: 2,
+		Sockets:        o.Sockets,
+		Cores:          o.Cores,
+		ThreadsPerCore: o.ThreadsPerCore,
 		Costs:          sim.DefaultCosts(),
 		Seed:           w.Seed,
 		Invariants:     true,
@@ -178,7 +186,10 @@ func RunEngine(w *Workload, e Engine, o Opts) (*EngineResult, error) {
 		MaxCycles:      o.MaxCycles,
 		StallCycles:    o.StallCycles,
 	}
-	m := sim.New(cfg)
+	m, err := sim.NewE(cfg)
+	if err != nil {
+		return nil, err
+	}
 	if w.Threads > m.MaxThreads() {
 		return nil, fmt.Errorf("%s: workload wants %d threads, machine has %d", e, w.Threads, m.MaxThreads())
 	}

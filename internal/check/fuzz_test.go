@@ -101,3 +101,52 @@ func FuzzHTMAbortPaths(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDifferentialTopology runs the cross-engine agreement check on
+// arbitrary machine topologies, not just the paper box: sockets x cores x
+// HyperThreads drawn up to the 64-core limit, with the workload's thread
+// count drawn up to whatever the machine carries. This is where the NUMA
+// cost model, the sharded presence directory, and the widened HTM conflict
+// masks face the oracle — a remote-transfer cost taken on one engine but
+// not another, or a conflict missed past thread 16, shows up as a
+// divergence or a serializability violation.
+func FuzzDifferentialTopology(f *testing.F) {
+	f.Add(int64(1), int64(12), int64(64), int64(5), int64(4), int64(0), int64(0), int64(2), int64(8), int64(2))
+	f.Add(int64(2), int64(32), int64(16), int64(4), int64(3), int64(40), int64(1), int64(4), int64(8), int64(2))
+	f.Add(int64(3), int64(64), int64(256), int64(3), int64(4), int64(90), int64(0), int64(8), int64(8), int64(1))
+	f.Add(int64(4), int64(17), int64(8), int64(4), int64(5), int64(50), int64(1), int64(1), int64(8), int64(4))
+	f.Fuzz(func(t *testing.T, seed, threads, slots, txs, ops, storePct, chaos, sockets, cores, tpc int64) {
+		o := Opts{
+			MaxCycles:      fuzzMaxCycles,
+			StallCycles:    fuzzStallCycles,
+			Sockets:        pick(sockets, 1, 8),
+			Cores:          pick(cores, 1, 8),
+			ThreadsPerCore: pick(tpc, 1, 4),
+		}
+		if chaos%2 != 0 {
+			o.Faults = faults.Chaos(seed)
+		}
+		maxThreads := o.Sockets * o.Cores * o.ThreadsPerCore
+		if maxThreads > 64 {
+			maxThreads = 64 // Generate's ceiling; larger draws would error, not check
+		}
+		g := GenConfig{
+			Threads:     pick(threads, 1, int64(maxThreads)),
+			Slots:       pick(slots, 1, 512),
+			Stride:      8,
+			TxPerThread: pick(txs, 1, 8),
+			OpsPerTx:    pick(ops, 1, 8),
+			HotPct:      pick(seed, 0, 100),
+			StorePct:    pick(storePct, 0, 100),
+		}
+		if slots%2 == 0 {
+			g.Stride = 64
+		}
+		w := Generate(seed, g)
+		rep := Differential(w, AllEngines, o)
+		for _, v := range rep.Violations {
+			t.Errorf("seed %d topo %dx%dx%d shape %+v: %s",
+				seed, o.Sockets, o.Cores, o.ThreadsPerCore, g, v)
+		}
+	})
+}

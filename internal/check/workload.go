@@ -114,7 +114,10 @@ func clampRange(v, lo, hi int) int {
 // at their snapshot instead (see stm.TL2.CommitHook), so the oracle's
 // commit-order capture is only exact for writers.
 func Generate(seed int64, g GenConfig) *Workload {
-	g.Threads = clampRange(g.Threads, 1, 8)
+	// 64 matches the widest machine Opts can ask for (sim's core-bitmask
+	// limit); ShapeFor never draws past 8, so paper-machine sweeps are
+	// untouched by the ceiling.
+	g.Threads = clampRange(g.Threads, 1, 64)
 	g.Slots = clampRange(g.Slots, 1, 1<<16)
 	if g.Stride < 8 || g.Stride%8 != 0 {
 		g.Stride = 8
@@ -216,6 +219,21 @@ func ShapeFor(seed int64) GenConfig {
 	}
 	if seed%2 == 1 {
 		g.StorePct = 40
+	}
+	return g
+}
+
+// ShapeForTopology is ShapeFor with the thread draw widened (or narrowed)
+// to a machine that runs maxThreads simulated threads. At the paper
+// machine's 8 it is ShapeFor exactly — byte-for-byte the same sweep — so
+// default output never moves; any other width redraws only the thread
+// count, from its own rng stream, leaving footprint/contention/store mix
+// identical to the paper-machine shape for the same seed.
+func ShapeForTopology(seed int64, maxThreads int) GenConfig {
+	g := ShapeFor(seed)
+	if maxThreads != 8 {
+		rng := rand.New(rand.NewSource(seed*0x9E3779B9 + 17))
+		g.Threads = 1 + rng.Intn(maxThreads)
 	}
 	return g
 }

@@ -68,7 +68,7 @@ func TestGenerateClampsHostileShapes(t *testing.T) {
 			g.Slots = 16
 		}
 		w := Generate(int64(i), g)
-		if w.Threads < 1 || w.Threads > 8 {
+		if w.Threads < 1 || w.Threads > 64 {
 			t.Fatalf("case %d: threads = %d", i, w.Threads)
 		}
 		if w.Slots < 1 || w.Stride < 8 || w.Stride%8 != 0 {

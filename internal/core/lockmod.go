@@ -6,6 +6,7 @@ import (
 	"tsxhpc/internal/htm"
 	"tsxhpc/internal/sim"
 	"tsxhpc/internal/ssync"
+	"tsxhpc/internal/stm"
 )
 
 // LockMode selects the locking-module implementation for a large-scale
@@ -31,6 +32,13 @@ const (
 	// ModeTSXBusyWait combines RTM lock elision with busy-waiting: the
 	// transaction commits partial results and immediately retries.
 	ModeTSXBusyWait
+	// ModeTL2 runs every critical section as a TL2 software transaction —
+	// the STM baseline of Figures 2/4 applied to a whole software system.
+	// There is no lock at all: conflicting sections retry under TL2's
+	// commit-time validation, and a section that must wait for a monitor
+	// condition restarts its (buffered, not yet visible) body after a poll
+	// gap, like the busy-wait modes.
+	ModeTL2
 )
 
 // String names the mode as Figure 6 does.
@@ -46,6 +54,8 @@ func (m LockMode) String() string {
 		return "mutex.busywait"
 	case ModeTSXBusyWait:
 		return "tsx.busywait"
+	case ModeTL2:
+		return "tl2"
 	}
 	return fmt.Sprintf("mode(%d)", int(m))
 }
@@ -65,15 +75,21 @@ type LockModule struct {
 	M          *sim.Machine
 	Mode       LockMode
 	RT         *htm.Runtime // non-nil for eliding modes
+	STM        *stm.TL2     // non-nil for ModeTL2
 	MaxRetries int
 }
 
 // NewLockModule creates a locking module for machine m. For eliding modes it
-// installs the TSX runtime on the machine.
+// installs the TSX runtime on the machine; for ModeTL2 it creates the TL2
+// instance all the module's regions share (one global version clock and orec
+// table, as TL2 prescribes).
 func NewLockModule(m *sim.Machine, mode LockMode) *LockModule {
 	lm := &LockModule{M: m, Mode: mode, MaxRetries: DefaultMaxRetries}
 	if mode.Elides() {
 		lm.RT = htm.New(m)
+	}
+	if mode == ModeTL2 {
+		lm.STM = stm.New(m)
 	}
 	return lm
 }
@@ -302,6 +318,30 @@ func (s *txCS) Waiters(cv *CondVar) uint64 {
 	return s.t.Load(cv.nWait)
 }
 
+// tl2CS executes inside a TL2 software transaction. Monitor operations
+// follow busy-wait semantics: a Wait discards the buffered (invisible)
+// writes and restarts the body after a poll gap — TL2's lazy versioning
+// means nothing was published, so the restart is a clean re-execution —
+// and signals are unnecessary because every waiter polls.
+type tl2CS struct {
+	t *stm.Txn
+	c *sim.Context
+}
+
+func (s *tl2CS) Load(a sim.Addr) uint64     { return s.t.Load(a) }
+func (s *tl2CS) Store(a sim.Addr, v uint64) { s.t.Store(a, v) }
+func (s *tl2CS) Ctx() *sim.Context          { return s.c }
+
+func (s *tl2CS) Wait(cv *CondVar) {
+	// Unwind the attempt without committing; doTL2 polls and restarts.
+	// No orec is locked mid-body (TL2 locks only at commit), so the panic
+	// propagates cleanly through stm's recover.
+	panic(waitRequest{busy: true})
+}
+func (s *tl2CS) Signal(cv *CondVar)         {}
+func (s *tl2CS) Broadcast(cv *CondVar)      {}
+func (s *tl2CS) Waiters(cv *CondVar) uint64 { return 0 }
+
 // Do executes body as one critical section of the region under the module's
 // mode. Body must be a re-executable closure and must follow monitor
 // discipline: any predicate guarding a Wait is re-checked in a loop (or
@@ -316,9 +356,42 @@ func (r *Region) Do(c *sim.Context, body func(CS)) {
 		r.mu.Lock(c)
 		body(&plainCS{c: c, r: r, busy: true})
 		r.mu.Unlock(c)
+	case ModeTL2:
+		r.doTL2(c, body)
 	default:
 		r.doElided(c, body)
 	}
+}
+
+// doTL2 runs body as a TL2 transaction, restarting after a poll gap whenever
+// the body asks to wait for a monitor condition.
+func (r *Region) doTL2(c *sim.Context, body func(CS)) {
+	costs := r.lm.M.Costs
+	for {
+		if r.tryTL2(c, body) {
+			return
+		}
+		c.Compute(costs.PollGap)
+	}
+}
+
+// tryTL2 runs one TL2 execution of body, translating a waitRequest unwind
+// into a false return (TL2 retries conflicts internally, so a return means
+// either commit or wait).
+func (r *Region) tryTL2(c *sim.Context, body func(CS)) (done bool) {
+	defer func() {
+		if p := recover(); p != nil {
+			if _, ok := p.(waitRequest); ok {
+				done = false
+				return
+			}
+			panic(p)
+		}
+	}()
+	r.lm.STM.Run(c, func(t *stm.Txn) {
+		body(&tl2CS{t: t, c: c})
+	})
+	return true
 }
 
 // conflictRetryBudget is how many conflict aborts a critical section

@@ -70,6 +70,9 @@ func AdaptiveCoarseningAblation() (*harness.Table, error) {
 }
 func LocksetAblation() (*harness.Table, error) { return Default.LocksetAblation() }
 func AbortAnatomy() (string, error)            { return Default.AbortAnatomy() }
+func ScalingCurve() (*harness.Table, *harness.Table, error) {
+	return Default.ScalingCurve()
+}
 
 // simCell is the result of an experiment-local simulation job: the headline
 // cycle count, an experiment-specific metric, and the simulated event count
@@ -723,6 +726,89 @@ func (s *Suite) LocksetAblation() (*harness.Table, error) {
 	t.Rows = append(t.Rows, []string{"two locks", fmt.Sprintf("%.0f", float64(pr.Cycles)/ops)})
 	t.Rows = append(t.Rows, []string{"lockset elision", fmt.Sprintf("%.0f", float64(er.Cycles)/ops)})
 	return t, nil
+}
+
+// The A6 scaling grid: the core sweep holds the session count at
+// scaleFixedClients while the machine grows from the paper's single socket to
+// eight 8-core sockets; the client sweep holds a mid-size machine at
+// scaleFixedCores while sessions grow 10² → 10⁵. Together they span the full
+// 1→64-core × 10²→10⁵-client space without simulating the pathological
+// global-lock 64-core/10⁵-client corner, whose convoy costs two orders of
+// magnitude more host time than every other cell combined.
+var (
+	scaleCoreAxis   = []int{1, 4, 16, 64}
+	scaleClientAxis = []int{100, 1000, 10000, 100000}
+)
+
+const (
+	scaleFixedClients = 1000
+	scaleFixedCores   = 16
+)
+
+// scaleCell submits one cell of the A6 scaling grid: one (module, cores,
+// clients) execution of the packet-streaming workload on its own machine.
+func (s *Suite) scaleCell(mod netapps.ScaleModule, cores, clients int) runner.Future[netapps.ScaleResult] {
+	key := runner.Key(fmt.Sprintf("scale/%s/%dC/%d", mod.Name, cores, clients))
+	return runner.Submit(s.E, key, func() (netapps.ScaleResult, error) {
+		return netapps.RunScale(cores, clients, mod)
+	})
+}
+
+// ScalingCurve renders the scale-out study (A6): server-side read bandwidth
+// of the packet-streaming workload for the four synchronization schemes, as
+// the machine grows 1 → 64 cores (at a fixed client population) and as the
+// client population grows 10² → 10⁵ (on a fixed 16-core machine). The
+// single-global-lock stack collapses as cores grow while the sharded, TL2,
+// and TSX-elision stacks keep scaling — the Section 6 argument extended past
+// the paper's 8-thread machine.
+func (s *Suite) ScalingCurve() (*harness.Table, *harness.Table, error) {
+	coreFuts := make([][]runner.Future[netapps.ScaleResult], len(netapps.ScaleModules))
+	clientFuts := make([][]runner.Future[netapps.ScaleResult], len(netapps.ScaleModules))
+	for i, mod := range netapps.ScaleModules {
+		for _, cores := range scaleCoreAxis {
+			coreFuts[i] = append(coreFuts[i], s.scaleCell(mod, cores, scaleFixedClients))
+		}
+		for _, clients := range scaleClientAxis {
+			clientFuts[i] = append(clientFuts[i], s.scaleCell(mod, scaleFixedCores, clients))
+		}
+	}
+	coresT := &harness.Table{
+		Title: fmt.Sprintf("Scaling curve — read bandwidth (bytes/kcycle) vs cores @%d clients", scaleFixedClients),
+		Head:  []string{"module"},
+	}
+	for _, cores := range scaleCoreAxis {
+		coresT.Head = append(coresT.Head, fmt.Sprintf("%dC", cores))
+	}
+	for i, mod := range netapps.ScaleModules {
+		row := []string{mod.Name}
+		for _, f := range coreFuts[i] {
+			r, err := f.Wait()
+			if err != nil {
+				return nil, nil, err
+			}
+			row = append(row, fmt.Sprintf("%.1f", r.Bandwidth()))
+		}
+		coresT.Rows = append(coresT.Rows, row)
+	}
+	clientsT := &harness.Table{
+		Title: fmt.Sprintf("Scaling curve — read bandwidth (bytes/kcycle) vs clients @%d cores", scaleFixedCores),
+		Head:  []string{"module"},
+	}
+	for _, clients := range scaleClientAxis {
+		clientsT.Head = append(clientsT.Head, fmt.Sprint(clients))
+	}
+	for i, mod := range netapps.ScaleModules {
+		row := []string{mod.Name}
+		for _, f := range clientFuts[i] {
+			r, err := f.Wait()
+			if err != nil {
+				return nil, nil, err
+			}
+			row = append(row, fmt.Sprintf("%.1f", r.Bandwidth()))
+		}
+		clientsT.Rows = append(clientsT.Rows, row)
+	}
+	return coresT, clientsT, nil
 }
 
 // anatomyWorkloads are the contended STAMP workloads the abort-anatomy

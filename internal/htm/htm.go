@@ -116,22 +116,42 @@ func (s *Stats) AbortRate() float64 {
 // Reset zeroes the counters.
 func (s *Stats) Reset() { *s = Stats{} }
 
-// The conflict directory (Runtime.lines) records which in-flight
-// transactions (by thread id bit) hold each line in their read set and write
-// set: reader bits occupy the low 16 bits of the packed tracking word,
-// writer bits the high 16 (see dirReaderBit/dirWriterBit).
-func dirReaderBit(id int) uint32 { return 1 << uint(id) }
-func dirWriterBit(id int) uint32 { return 1 << (16 + uint(id)) }
+// htmMaxThreads bounds the thread ids the conflict directory can track: a
+// dirMask holds one reader and one writer bit per thread. 128 covers the
+// scale-out grid's largest machine (64 cores × 2 hardware threads); raising
+// it only widens dirMask.
+const htmMaxThreads = 128
+
+// dirWords is the number of uint64 words in each of the reader and writer
+// planes of a dirMask.
+const dirWords = htmMaxThreads / 64
+
+// dirMask is one conflict-directory entry: which in-flight transactions (by
+// thread id bit) hold the line in their read set (words [0, dirWords)) and
+// write set (words [dirWords, 2*dirWords)). dirReaderBit/dirWriterBit return
+// the (word, bit) coordinates of a thread's marks.
+type dirMask [2 * dirWords]uint64
+
+func (m *dirMask) empty() bool {
+	var or uint64
+	for _, w := range m {
+		or |= w
+	}
+	return or == 0
+}
+
+func dirReaderBit(id int) (int, uint64) { return id >> 6, 1 << uint(id&63) }
+func dirWriterBit(id int) (int, uint64) { return dirWords + id>>6, 1 << uint(id&63) }
 
 // Runtime is the per-machine TSX emulation state. Creating a Runtime
 // installs the machine hooks; only one Runtime may be active per Machine.
 type Runtime struct {
 	m      *sim.Machine
-	active []*Txn // indexed by thread id
+	active []*Txn // indexed by thread id; grown on demand up to htmMaxThreads
 	pool   []*Txn // recycled per-thread Txn objects (Begin is hot; see Begin)
 	nTxns  int
-	lines  lineDir // conflict directory: line → packed reader/writer bits
-	ovf    uint16  // bitmask of thread ids whose read set overflowed to Bloom
+	lines  lineDir          // conflict directory: line → reader/writer masks
+	ovf    [dirWords]uint64 // thread ids whose read set overflowed to Bloom
 	Stats  Stats
 
 	// CommitHook, when set, is invoked once per successful Commit, after the
@@ -227,6 +247,23 @@ type pendingFree struct {
 // Begin starts a transaction on c (XBEGIN). Transactions do not nest; the
 // caller (package tm) flattens nested atomic regions.
 func (r *Runtime) Begin(c *sim.Context) *Txn {
+	if id := c.ID(); id >= len(r.active) {
+		// Grow the per-thread slots for large machines; the paper topology
+		// (8 threads) never takes this branch.
+		if id >= htmMaxThreads {
+			panic(fmt.Sprintf("htm: thread id %d exceeds the %d-thread conflict-directory limit", id, htmMaxThreads))
+		}
+		n := len(r.active)
+		for n <= id {
+			n *= 2
+		}
+		active := make([]*Txn, n)
+		copy(active, r.active)
+		r.active = active
+		pool := make([]*Txn, n)
+		copy(pool, r.pool)
+		r.pool = pool
+	}
 	if r.active[c.ID()] != nil {
 		panic("htm: nested hardware transaction")
 	}
@@ -312,10 +349,10 @@ func (t *Txn) Load(a sim.Addr) uint64 {
 		}
 	}
 	line := sim.LineOf(a)
-	bit := dirReaderBit(t.ctx.ID())
-	if i := t.rt.lines.find(line); i < 0 || t.rt.lines.vals[i]&bit == 0 {
+	w, bit := dirReaderBit(t.ctx.ID())
+	if i := t.rt.lines.find(line); i < 0 || t.rt.lines.vals[i][w]&bit == 0 {
 		if !t.bloom.has(line) {
-			t.rt.lines.vals[t.rt.lines.place(line)] |= bit
+			t.rt.lines.vals[t.rt.lines.place(line)][w] |= bit
 			t.readLines = append(t.readLines, line)
 		}
 	}
@@ -331,9 +368,9 @@ func (t *Txn) Load(a sim.Addr) uint64 {
 func (t *Txn) Store(a sim.Addr, v uint64) {
 	t.check()
 	line := sim.LineOf(a)
-	bit := dirWriterBit(t.ctx.ID())
-	if i := t.rt.lines.find(line); i < 0 || t.rt.lines.vals[i]&bit == 0 {
-		t.rt.lines.vals[t.rt.lines.place(line)] |= bit
+	w, bit := dirWriterBit(t.ctx.ID())
+	if i := t.rt.lines.find(line); i < 0 || t.rt.lines.vals[i][w]&bit == 0 {
+		t.rt.lines.vals[t.rt.lines.place(line)][w] |= bit
 		t.writeLines = append(t.writeLines, line)
 	}
 	t.ctx.TxAccess(a, true)
@@ -361,9 +398,9 @@ func (t *Txn) Commit() {
 		// conflict hook (the model's defined conflict instant) has not run
 		// yet, and this commit wins the race (requester-wins semantics are
 		// decided at the hook, see sim.Context.access).
-		bit := dirWriterBit(t.ctx.ID())
+		w, bit := dirWriterBit(t.ctx.ID())
 		for _, line := range t.writeLines {
-			if i := t.rt.lines.find(line); i < 0 || t.rt.lines.vals[i]&bit == 0 {
+			if i := t.rt.lines.find(line); i < 0 || t.rt.lines.vals[i][w]&bit == 0 {
 				panic(&sim.InvariantError{Point: "htm-writeset", Thread: t.ctx.ID(), Clock: t.ctx.Now(),
 					Detail: fmt.Sprintf("committing with write-set line %#x missing from the conflict directory", line)})
 			}
@@ -421,11 +458,13 @@ func (t *Txn) Ctx() *sim.Context { return t.ctx }
 func (t *Txn) cleanup() {
 	r := t.rt
 	id := t.ctx.ID()
-	rbit, wbit := dirReaderBit(id), dirWriterBit(id)
+	rw, rbit := dirReaderBit(id)
+	ww, wbit := dirWriterBit(id)
 	for _, line := range t.readLines {
 		r.m.ClearTxMarks(t.ctx, line)
 		if i := r.lines.find(line); i >= 0 {
-			if r.lines.vals[i] &^= rbit; r.lines.vals[i] == 0 {
+			v := &r.lines.vals[i]
+			if v[rw] &^= rbit; v.empty() {
 				r.lines.remove(i)
 			}
 		}
@@ -433,12 +472,13 @@ func (t *Txn) cleanup() {
 	for _, line := range t.writeLines {
 		r.m.ClearTxMarks(t.ctx, line)
 		if i := r.lines.find(line); i >= 0 {
-			if r.lines.vals[i] &^= wbit; r.lines.vals[i] == 0 {
+			v := &r.lines.vals[i]
+			if v[ww] &^= wbit; v.empty() {
 				r.lines.remove(i)
 			}
 		}
 	}
-	r.ovf &^= uint16(1) << uint(id)
+	r.ovf[id>>6] &^= 1 << uint(id&63)
 	r.active[id] = nil
 	t.ctx.SetPhase(t.prevPhase)
 	if r.nTxns--; r.nTxns == 0 {
@@ -468,33 +508,40 @@ func (r *Runtime) conflictHook(c *sim.Context, line sim.Addr, write bool) {
 	if r.nTxns == 0 || (r.nTxns == 1 && c.InTxn) {
 		return
 	}
-	self := uint16(1) << uint(c.ID())
+	selfW, selfBit := c.ID()>>6, uint64(1)<<uint(c.ID()&63)
 	if i := r.lines.find(line); i >= 0 {
-		v := r.lines.vals[i]
-		readers, writers := uint16(v), uint16(v>>16)
-		var victims uint16
-		if write {
-			victims = (readers | writers) &^ self
-		} else {
-			victims = writers &^ self
-		}
-		for victims != 0 {
-			id := trailingZeros16(victims)
-			victims &^= 1 << uint(id)
-			if t := r.active[id]; t != nil {
-				r.doom(t, Conflict, false)
+		v := &r.lines.vals[i]
+		for w := 0; w < dirWords; w++ {
+			victims := v[dirWords+w] // writers
+			if write {
+				victims |= v[w] // a write conflicts with readers too
+			}
+			if w == selfW {
+				victims &^= selfBit
+			}
+			for victims != 0 {
+				id := w<<6 | bits.TrailingZeros64(victims)
+				victims &= victims - 1
+				if t := r.active[id]; t != nil {
+					r.doom(t, Conflict, false)
+				}
 			}
 		}
 	}
 	// Lines demoted to the secondary (Bloom) tracker are checked on writes
 	// only; reads cannot conflict with a read set.
-	if write && r.ovf != 0 {
-		ovf := r.ovf &^ self
-		for ovf != 0 {
-			id := trailingZeros16(ovf)
-			ovf &^= 1 << uint(id)
-			if t := r.active[id]; t != nil && !t.doomed && t.bloom.has(line) {
-				r.doom(t, Conflict, false)
+	if write && r.ovf != ([dirWords]uint64{}) {
+		for w := 0; w < dirWords; w++ {
+			ovf := r.ovf[w]
+			if w == selfW {
+				ovf &^= selfBit
+			}
+			for ovf != 0 {
+				id := w<<6 | bits.TrailingZeros64(ovf)
+				ovf &= ovf - 1
+				if t := r.active[id]; t != nil && !t.doomed && t.bloom.has(line) {
+					r.doom(t, Conflict, false)
+				}
 			}
 		}
 	}
@@ -504,7 +551,7 @@ func (r *Runtime) conflictHook(c *sim.Context, line sim.Addr, write bool) {
 // line is fatal (capacity abort); a read line demotes to the Bloom-filter
 // secondary structure and may abort the transaction later.
 func (r *Runtime) evictHook(owner *sim.Context, line sim.Addr, wasWrite bool) {
-	t := r.active[owner.ID()]
+	t := r.txn(owner.ID())
 	if t == nil {
 		return // stale mark from an already-finished transaction
 	}
@@ -519,9 +566,10 @@ func (r *Runtime) evictHook(owner *sim.Context, line sim.Addr, wasWrite bool) {
 		r.doom(t, Capacity, false)
 		return
 	}
-	rbit := dirReaderBit(owner.ID())
-	if i := r.lines.find(line); i >= 0 && r.lines.vals[i]&rbit != 0 {
-		if r.lines.vals[i] &^= rbit; r.lines.vals[i] == 0 {
+	rw, rbit := dirReaderBit(owner.ID())
+	if i := r.lines.find(line); i >= 0 && r.lines.vals[i][rw]&rbit != 0 {
+		v := &r.lines.vals[i]
+		if v[rw] &^= rbit; v.empty() {
 			r.lines.remove(i)
 		}
 		// Drop the line from the cleanup list; the order of readLines is
@@ -535,7 +583,7 @@ func (r *Runtime) evictHook(owner *sim.Context, line sim.Addr, wasWrite bool) {
 			}
 		}
 		t.bloom.add(line)
-		r.ovf |= 1 << uint(owner.ID())
+		r.ovf[owner.ID()>>6] |= 1 << uint(owner.ID()&63)
 	}
 }
 
@@ -543,7 +591,7 @@ func (r *Runtime) evictHook(owner *sim.Context, line sim.Addr, wasWrite bool) {
 // may-retry Spurious cause — the model of an interrupt or TLB shootdown.
 // Fault injection invokes it through the machine's SpuriousAbortHook.
 func (r *Runtime) spuriousHook(c *sim.Context) {
-	if t := r.active[c.ID()]; t != nil {
+	if t := r.txn(c.ID()); t != nil {
 		r.doom(t, Spurious, false)
 	}
 }
@@ -552,7 +600,7 @@ func (r *Runtime) spuriousHook(c *sim.Context) {
 // hint: system calls can never succeed transactionally, so the elision
 // wrapper should acquire the lock without further retries.
 func (r *Runtime) syscallHook(c *sim.Context) {
-	if t := r.active[c.ID()]; t != nil {
+	if t := r.txn(c.ID()); t != nil {
 		r.doom(t, SyscallAbort, true)
 	}
 }
@@ -583,6 +631,14 @@ func (r *Runtime) Try(c *sim.Context, body func(*Txn)) (cause AbortCause, noRetr
 }
 
 // Active returns c's in-flight transaction, or nil.
-func (r *Runtime) Active(c *sim.Context) *Txn { return r.active[c.ID()] }
+func (r *Runtime) Active(c *sim.Context) *Txn { return r.txn(c.ID()) }
 
-func trailingZeros16(v uint16) int { return bits.TrailingZeros16(v) }
+// txn is the bounds-safe active-transaction lookup: the machine hooks fire
+// for every thread, including ones whose id is past the lazily-grown slot
+// arrays because they never began a transaction.
+func (r *Runtime) txn(id int) *Txn {
+	if id < len(r.active) {
+		return r.active[id]
+	}
+	return nil
+}

@@ -17,9 +17,10 @@ func poolCheckTxn(r *Runtime, t *Txn) {
 		return
 	}
 	id := t.ctx.ID()
-	bits := dirReaderBit(id) | dirWriterBit(id)
+	rw, rbit := dirReaderBit(id)
+	ww, wbit := dirWriterBit(id)
 	for i, k := range r.lines.keys {
-		if k != 0 && r.lines.vals[i]&bits != 0 {
+		if k != 0 && (r.lines.vals[i][rw]&rbit != 0 || r.lines.vals[i][ww]&wbit != 0) {
 			panic(fmt.Sprintf("htm: recycled txn for thread %d still tracked on line %#x in the conflict directory", id, k))
 		}
 	}

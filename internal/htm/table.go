@@ -18,15 +18,14 @@ func hashAddr(a sim.Addr) uint64 {
 	return uint64(a) * 0x9e3779b97f4a7c15
 }
 
-// lineDir is the conflict directory: line address → packed tracking word
-// (reader thread-id bits in the low 16, writer bits in the high 16). It is
-// the model's stand-in for the coherence directory state the hardware
-// consults, replacing the former map[Addr]*lineTrack + free-list — the
-// tracking words live inline in the table, so a directory hit costs no
-// pointer chase and entry recycling is free.
+// lineDir is the conflict directory: line address → per-thread reader/writer
+// mask (see dirMask). It is the model's stand-in for the coherence directory
+// state the hardware consults, replacing the former map[Addr]*lineTrack +
+// free-list — the tracking masks live inline in the table, so a directory
+// hit costs no pointer chase and entry recycling is free.
 type lineDir struct {
 	keys  []sim.Addr
-	vals  []uint32
+	vals  []dirMask
 	n     int
 	shift uint // 64 - log2(len(keys))
 }
@@ -35,7 +34,7 @@ const lineDirMinSize = 256
 
 func (d *lineDir) init(size int) {
 	d.keys = make([]sim.Addr, size)
-	d.vals = make([]uint32, size)
+	d.vals = make([]dirMask, size)
 	d.n = 0
 	d.shift = 64
 	for s := size; s > 1; s >>= 1 {
@@ -104,7 +103,7 @@ func (d *lineDir) remove(i int) {
 			i = j
 		}
 	}
-	d.keys[i], d.vals[i] = 0, 0
+	d.keys[i], d.vals[i] = 0, dirMask{}
 }
 
 // wordMap is the speculative write buffer: word address → buffered value.

@@ -132,6 +132,191 @@ func Run(name string, mode core.LockMode) (Result, error) {
 	return out, nil
 }
 
+// ScaleModule is one synchronization scheme of the scaling-curve experiment
+// (A6): the locking-module mode plus whether the stack's lock domains are
+// sharded per connection (fine-grained locking) or left as the single
+// global domain of the PARSEC port.
+type ScaleModule struct {
+	Name  string
+	Mode  core.LockMode
+	Shard bool // one lock domain per connection instead of one global
+}
+
+// ScaleModules lists the A6 schemes: where does each one collapse as cores
+// and clients grow?
+var ScaleModules = []ScaleModule{
+	{Name: "global-lock", Mode: core.ModeMutex},
+	{Name: "fine-grained", Mode: core.ModeMutex, Shard: true},
+	{Name: "tl2", Mode: core.ModeTL2},
+	{Name: "tsx", Mode: core.ModeTSXCond},
+}
+
+// ScaleResult is one cell of the scaling grid.
+type ScaleResult struct {
+	Cores   int
+	Clients int
+	Module  string
+	Bytes   uint64 // server-side payload bytes received
+	// ReadCycles is the virtual time at which the last server finished
+	// reading its input (the bandwidth denominator, as in Run).
+	ReadCycles uint64
+	Cycles     uint64
+	Events     uint64
+}
+
+// SimEvents reports the simulated event count (runner.Eventer).
+func (r ScaleResult) SimEvents() uint64 { return r.Events }
+
+// Bandwidth returns server-side read bandwidth in bytes per kilocycle.
+func (r ScaleResult) Bandwidth() float64 {
+	if r.ReadCycles == 0 {
+		return 0
+	}
+	return 1000 * float64(r.Bytes) / float64(r.ReadCycles)
+}
+
+// Scaling-workload shape: a packet-streaming echo-less server (the
+// netstreamcluster pattern) with short client sessions multiplexed over one
+// connection per core pair.
+const (
+	scalePacketBytes = 256
+	scaleRingCap     = 64
+	scaleBatchMax    = 32
+	scaleServerWork  = 250 // per-packet application work on the server
+	scaleTotalPkts   = 16384
+)
+
+// scaleTopology maps a simulated core count onto sockets × cores-per-socket:
+// up to 8 cores fit one socket (the paper's part, widened); beyond that the
+// machine grows in 8-core sockets with NUMA costs between them.
+func scaleTopology(cores int) (sockets, perSocket int) {
+	if cores <= 8 {
+		return 1, cores
+	}
+	return cores / 8, 8
+}
+
+// RunScale executes the scaling workload on a machine with the given core
+// count, simulating `clients` client sessions spread over one connection per
+// core pair, under the given synchronization scheme. Each session sends a
+// fixed quota of packets (scaled so the grid's total work stays bounded:
+// max(1, scaleTotalPkts/clients) packets per session); servers drain their
+// connection with batched receives and validate stream continuity.
+func RunScale(cores, clients int, mod ScaleModule) (ScaleResult, error) {
+	if cores < 1 || cores > 64 || cores%8 != 0 && cores > 8 {
+		return ScaleResult{}, fmt.Errorf("netapps: unsupported core count %d (1-8 or a multiple of 8 up to 64)", cores)
+	}
+	if clients < cores {
+		return ScaleResult{}, fmt.Errorf("netapps: %d clients cannot cover %d connections", clients, cores)
+	}
+	cfg := sim.DefaultConfig()
+	cfg.Sockets, cfg.Cores = scaleTopology(cores)
+	cfg.ThreadsPerCore = 2
+	m, err := sim.NewE(cfg)
+	if err != nil {
+		return ScaleResult{}, fmt.Errorf("netapps: scale topology: %w", err)
+	}
+	domains := 1
+	if mod.Shard {
+		domains = cores
+	}
+	st := netstack.NewSharded(m, mod.Mode, domains)
+	cs := make([]*netstack.Conn, cores)
+	for i := range cs {
+		cs[i] = st.NewConnOn(i, scaleRingCap)
+	}
+	// Client i multiplexes its share of the sessions over connection i;
+	// sequence numbers run contiguously across a connection's sessions, so
+	// servers can check continuity with batched receives.
+	ppc := scaleTotalPkts / clients
+	if ppc < 1 {
+		ppc = 1
+	}
+	sessions := make([]int, cores)
+	for i := range sessions {
+		sessions[i] = clients / cores
+		if i < clients%cores {
+			sessions[i]++
+		}
+	}
+	errs := make([]error, 2*cores)
+	readDone := make([]uint64, cores)
+	bytesRead := make([]uint64, cores)
+
+	res := m.Run(2*cores, func(c *sim.Context) {
+		if c.ID() < cores {
+			i := c.ID()
+			errs[i] = scaleServer(c, cs[i], sessions[i]*ppc, &readDone[i], &bytesRead[i])
+		} else {
+			i := c.ID() - cores
+			errs[c.ID()] = scaleClient(c, cs[i], sessions[i], ppc)
+		}
+	})
+
+	out := ScaleResult{Cores: cores, Clients: clients, Module: mod.Name,
+		Cycles: res.Cycles, Events: res.Events}
+	for i := 0; i < cores; i++ {
+		out.Bytes += bytesRead[i]
+		if readDone[i] > out.ReadCycles {
+			out.ReadCycles = readDone[i]
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return ScaleResult{}, fmt.Errorf("netapps: scale %dC/%d/%s: %w", cores, clients, mod.Name, err)
+		}
+	}
+	total := uint64(0)
+	for i := range sessions {
+		total += uint64(sessions[i] * ppc * scalePacketBytes)
+	}
+	if out.Bytes != total {
+		return ScaleResult{}, fmt.Errorf("netapps: scale %dC/%d/%s: received %d of %d bytes", cores, clients, mod.Name, out.Bytes, total)
+	}
+	for i, cn := range cs {
+		if err := cn.C2S.CheckDrained(); err != nil {
+			return ScaleResult{}, fmt.Errorf("netapps: scale %dC/%d/%s conn %d: %w", cores, clients, mod.Name, i, err)
+		}
+	}
+	return out, nil
+}
+
+// scaleClient drives `sessions` client sessions over one connection: each
+// session sets up, then streams its packet quota with batched sends.
+func scaleClient(c *sim.Context, cn *netstack.Conn, sessions, ppc int) error {
+	seq := uint64(0)
+	for s := 0; s < sessions; s++ {
+		c.Compute(200) // connection setup / input generation
+		cn.C2S.SendBatch(c, scalePacketBytes, seq, ppc)
+		seq += uint64(ppc)
+	}
+	cn.C2S.Close(c)
+	return nil
+}
+
+// scaleServer drains one connection with batched receives, checking
+// sequence continuity, and records when its input was fully read.
+func scaleServer(c *sim.Context, cn *netstack.Conn, wantPkts int, readDone, bytes *uint64) error {
+	next := uint64(0)
+	for {
+		n, nb, first, ok := cn.C2S.RecvBatch(c, scaleBatchMax)
+		if !ok {
+			break
+		}
+		if first != next {
+			return fmt.Errorf("scale server: batch starts at seq %d, want %d", first, next)
+		}
+		next += uint64(n)
+		*bytes += uint64(nb)
+		c.Compute(uint64(n) * scaleServerWork)
+	}
+	*readDone = c.Now()
+	if next != uint64(wantPkts) {
+		return fmt.Errorf("scale server: received %d of %d packets", next, wantPkts)
+	}
+	return nil
+}
+
 func client(c *sim.Context, a app, cn *netstack.Conn) error {
 	for i := 0; i < a.packets; i++ {
 		c.Compute(300) // input generation / file read

@@ -49,16 +49,42 @@ const (
 // their data does not overlap — unless something explicitly acquires the
 // lock, which aborts every in-flight elided section stack-wide.
 type Stack struct {
-	M      *sim.Machine
-	LM     *core.LockModule
-	region *core.Region
+	M  *sim.Machine
+	LM *core.LockModule
+	// domains are the stack's lock domains. The paper configuration is one
+	// global domain (domains[0], what New builds); NewSharded splits
+	// synchronization across several domains so connection groups contend
+	// only within their shard — the fine-grained-locking point of the
+	// Section 6 scaling story.
+	domains []*core.Region
+	region  *core.Region // domains[0], the default for NewConn
 }
 
-// New creates a stack over machine m using the given locking-module mode.
+// New creates a stack over machine m using the given locking-module mode,
+// with the single global lock domain of the PARSEC port.
 func New(m *sim.Machine, mode core.LockMode) *Stack {
-	lm := core.NewLockModule(m, mode)
-	return &Stack{M: m, LM: lm, region: lm.NewRegion()}
+	return NewSharded(m, mode, 1)
 }
+
+// NewSharded creates a stack whose synchronization is split across `domains`
+// independent lock domains (each its own mutex or elision region under the
+// module's mode). NewConnOn places a connection in a specific domain;
+// NewConn keeps using domain 0. domains < 1 is treated as 1.
+func NewSharded(m *sim.Machine, mode core.LockMode, domains int) *Stack {
+	if domains < 1 {
+		domains = 1
+	}
+	lm := core.NewLockModule(m, mode)
+	st := &Stack{M: m, LM: lm, domains: make([]*core.Region, domains)}
+	for i := range st.domains {
+		st.domains[i] = lm.NewRegion()
+	}
+	st.region = st.domains[0]
+	return st
+}
+
+// Domains reports the stack's lock-domain count.
+func (st *Stack) Domains() int { return len(st.domains) }
 
 // Endpoint is the receive side of a one-way channel: a socket buffer, its
 // lock region, and its monitor conditions.
@@ -75,11 +101,12 @@ func (e *Endpoint) slot(i uint64) sim.Addr {
 	return e.base + sbRing + sim.Addr((i%uint64(e.cap))*16)
 }
 
-// newEndpoint allocates a socket with the given ring capacity.
-func (st *Stack) newEndpoint(capacity int) *Endpoint {
+// newEndpoint allocates a socket with the given ring capacity in the given
+// lock domain.
+func (st *Stack) newEndpoint(r *core.Region, capacity int) *Endpoint {
 	e := &Endpoint{
 		st:       st,
-		region:   st.region, // the stack-wide lock domain
+		region:   r,
 		notEmpty: st.LM.NewCond(),
 		notFull:  st.LM.NewCond(),
 		base:     st.M.Mem.AllocLine(sbRing + 16*capacity),
@@ -96,9 +123,17 @@ type Conn struct {
 }
 
 // NewConn creates a connected socket pair with the given per-direction ring
-// capacity (packets).
+// capacity (packets) in the stack's default lock domain.
 func (st *Stack) NewConn(capacity int) *Conn {
-	return &Conn{C2S: st.newEndpoint(capacity), S2C: st.newEndpoint(capacity)}
+	return st.NewConnOn(0, capacity)
+}
+
+// NewConnOn creates a connection whose endpoints both live in lock domain
+// `domain` (mod the stack's domain count), so connection groups can be
+// sharded across domains.
+func (st *Stack) NewConnOn(domain, capacity int) *Conn {
+	r := st.domains[domain%len(st.domains)]
+	return &Conn{C2S: st.newEndpoint(r, capacity), S2C: st.newEndpoint(r, capacity)}
 }
 
 // Send enqueues one packet of the given payload size, blocking while the
@@ -152,6 +187,90 @@ func (e *Endpoint) Recv(c *sim.Context) (bytes int, seq uint64, ok bool) {
 		c.Compute(headerCost)
 	}
 	return bytes, seq, ok
+}
+
+// SendBatch enqueues n packets of the given payload size with consecutive
+// sequence numbers starting at seq0, filling as much free ring space as it
+// can per critical section instead of entering the lock domain once per
+// packet. Per-packet protocol work (headerCost) is still charged per packet,
+// outside the critical section: batching amortizes synchronization, not
+// protocol processing.
+func (e *Endpoint) SendBatch(c *sim.Context, bytes int, seq0 uint64, n int) {
+	done := 0
+	for done < n {
+		burst := 0
+		e.region.Do(c, func(cs core.CS) {
+			burst = 0 // the body may restart under transactional modes
+			cnt := cs.Load(e.base + sbCount)
+			for cnt >= uint64(e.cap) {
+				cs.Wait(e.notFull)
+				cnt = cs.Load(e.base + sbCount)
+			}
+			free := int(uint64(e.cap) - cnt)
+			if left := n - done; free > left {
+				free = left
+			}
+			tail := cs.Load(e.base + sbTail)
+			for i := 0; i < free; i++ {
+				cs.Store(e.slot(tail), uint64(bytes))
+				cs.Store(e.slot(tail)+8, seq0+uint64(done+i))
+				tail++
+			}
+			total := free * bytes
+			cs.Store(e.base+sbTail, tail)
+			cs.Store(e.base+sbCount, cnt+uint64(free))
+			cs.Store(e.base+sbBytes, cs.Load(e.base+sbBytes)+uint64(total))
+			// One batched sbappend copy under the lock.
+			cs.Ctx().Compute(uint64(total >> perByteShift))
+			burst = free
+			if cs.Waiters(e.notEmpty) > 0 {
+				cs.Signal(e.notEmpty)
+			}
+		})
+		c.Compute(uint64(burst) * headerCost)
+		done += burst
+	}
+}
+
+// RecvBatch dequeues up to max queued packets in one critical section,
+// returning how many were taken, their total payload bytes, and the sequence
+// number of the first. ok=false means the channel is closed and drained.
+func (e *Endpoint) RecvBatch(c *sim.Context, max int) (n, totalBytes int, firstSeq uint64, ok bool) {
+	e.region.Do(c, func(cs core.CS) {
+		n, totalBytes, firstSeq, ok = 0, 0, 0, false
+		cnt := cs.Load(e.base + sbCount)
+		for cnt == 0 {
+			if cs.Load(e.base+sbClosed) != 0 {
+				return
+			}
+			cs.Wait(e.notEmpty)
+			cnt = cs.Load(e.base + sbCount)
+		}
+		take := int(cnt)
+		if take > max {
+			take = max
+		}
+		head := cs.Load(e.base + sbHead)
+		for i := 0; i < take; i++ {
+			totalBytes += int(cs.Load(e.slot(head)))
+			if i == 0 {
+				firstSeq = cs.Load(e.slot(head) + 8)
+			}
+			head++
+		}
+		n, ok = take, true
+		cs.Store(e.base+sbHead, head)
+		cs.Store(e.base+sbCount, cnt-uint64(take))
+		// One batched copy-out to the application buffer under the lock.
+		cs.Ctx().Compute(uint64(totalBytes >> perByteShift))
+		if cs.Waiters(e.notFull) > 0 {
+			cs.Signal(e.notFull)
+		}
+	})
+	if ok {
+		c.Compute(uint64(n) * headerCost)
+	}
+	return n, totalBytes, firstSeq, ok
 }
 
 // Close marks the channel closed and wakes all parked readers.

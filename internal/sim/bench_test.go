@@ -89,3 +89,91 @@ func benchHotPath(b *testing.B, metrics bool) {
 
 func BenchmarkHotPathProbesOff(b *testing.B) { benchHotPath(b, false) }
 func BenchmarkHotPathProbesOn(b *testing.B)  { benchHotPath(b, true) }
+
+// benchScaleConfig maps a runnable-context count onto the smallest topology
+// that carries it: the paper machine up to 8 threads, then 8-core sockets,
+// then 8-way hardware threading for the 512-context extreme.
+func benchScaleConfig(n int) Config {
+	cfg := Config{Sockets: 1, Cores: 4, ThreadsPerCore: 2, Costs: DefaultCosts(), Seed: 1}
+	switch {
+	case n <= 8:
+	case n <= 64:
+		cfg.Sockets, cfg.Cores = 4, 8
+	default:
+		cfg.Sockets, cfg.Cores, cfg.ThreadsPerCore = 8, 8, 8
+	}
+	return cfg
+}
+
+// BenchmarkRunQueueN8/N64/N512: full-machine events/s with N runnable
+// contexts at staggered event costs, so nearly every scheduling point is a
+// real handoff through the run queue. N=8 is the paper machine, N=64 a
+// NUMA scale-out, N=512 the scheduler's stress ceiling; together they show
+// how per-event cost grows with occupancy (O(log N) on the 4-ary heap,
+// where the flat rescan it replaced was O(N) — see the SchedHeap /
+// SchedFlatRescan pair for the isolated data-structure comparison).
+func benchRunQueueN(b *testing.B, n int) {
+	m := New(benchScaleConfig(n))
+	per := b.N/n + 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	m.Run(n, func(c *Context) {
+		cyc := uint64(1 + c.ID()%7)
+		for i := 0; i < per; i++ {
+			c.Compute(cyc)
+		}
+	})
+}
+
+func BenchmarkRunQueueN8(b *testing.B)   { benchRunQueueN(b, 8) }
+func BenchmarkRunQueueN64(b *testing.B)  { benchRunQueueN(b, 64) }
+func BenchmarkRunQueueN512(b *testing.B) { benchRunQueueN(b, 512) }
+
+// The SchedHeap/SchedFlatRescan pair isolates the run-queue data structure
+// from coroutine switching: one op is one handoff's queue work — take the
+// minimum-key context, advance its key, reinsert. SchedHeap drives the
+// machine's real qpush/popMin; SchedFlatRescan replays the pre-heap
+// scheduler's algorithm (scan every runnable entry for the minimum).
+// scripts/bench_ratchet.sh gates on the N=512 pair staying >=5x apart.
+func benchSchedHeap(b *testing.B, n int) {
+	m := New(benchConfig(1, 1))
+	for i := 0; i < n; i++ {
+		c := &Context{m: m, id: i, key: uint64(i)}
+		m.qpush(c)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := m.popMin()
+		c.key += uint64(1+c.id%7) << keyIDBits
+		m.qpush(c)
+	}
+}
+
+func benchSchedFlatRescan(b *testing.B, n int) {
+	m := New(benchConfig(1, 1))
+	q := make([]runqEnt, n)
+	for i := range q {
+		q[i] = runqEnt{key: uint64(i), ctx: &Context{m: m, id: i}}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		min := 0
+		for j := 1; j < n; j++ {
+			if q[j].key < q[min].key {
+				min = j
+			}
+		}
+		c := q[min].ctx
+		c.key = q[min].key + uint64(1+c.id%7)<<keyIDBits
+		q[min].key = c.key
+	}
+}
+
+func BenchmarkSchedHeapN8(b *testing.B)         { benchSchedHeap(b, 8) }
+func BenchmarkSchedHeapN64(b *testing.B)        { benchSchedHeap(b, 64) }
+func BenchmarkSchedHeapN512(b *testing.B)       { benchSchedHeap(b, 512) }
+func BenchmarkSchedFlatRescanN8(b *testing.B)   { benchSchedFlatRescan(b, 8) }
+func BenchmarkSchedFlatRescanN64(b *testing.B)  { benchSchedFlatRescan(b, 64) }
+func BenchmarkSchedFlatRescanN512(b *testing.B) { benchSchedFlatRescan(b, 512) }

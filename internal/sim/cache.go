@@ -51,6 +51,12 @@ type CacheStats struct {
 	// the coherence traffic behind both lock-line ping-pong and
 	// conflict-induced transactional aborts.
 	Invalidations uint64
+	// RemoteTransfers counts the subset of Transfers served from a cache on
+	// another socket; RemoteMisses counts misses whose home memory
+	// controller is on another socket. Both stay zero on single-socket
+	// machines.
+	RemoteTransfers uint64
+	RemoteMisses    uint64
 }
 
 // Cache is one core's L1 data cache model. The per-line state is kept in
@@ -60,8 +66,9 @@ type CacheStats struct {
 // mark/excl updates hit one meta word, and only LRU victim selection reads
 // the lru plane.
 type Cache struct {
-	m  *Machine
-	id int
+	m      *Machine
+	id     int
+	socket int // which package this core sits in (id / Cfg.Cores)
 	// tags is authoritative: the line base address held by each way, or 0
 	// for an invalid way. Line address 0 never occurs — simulated memory
 	// reserves the first line (Alloc starts at 64) — so tag 0 unambiguously
@@ -77,9 +84,14 @@ type Cache struct {
 	stats CacheStats
 }
 
-func newCache(m *Machine, id int) *Cache { return &Cache{m: m, id: id} }
-
 func setOf(line Addr) int { return int((line >> 6) % cacheSets) }
+
+// homeSocket maps a line to the socket owning its memory-controller home:
+// lines interleave across sockets at line granularity, the hardware default
+// for the interleaved-memory configurations the NUMA cost sources measure.
+func (m *Machine) homeSocket(line Addr) int {
+	return int(uint64(line>>6) % uint64(m.nSockets))
+}
 
 // lookup returns the way index holding line, or -1. The set's
 // most-recently-hit way is probed first: accesses exhibit strong temporal
@@ -118,7 +130,7 @@ func (c *Cache) invalidate(line Addr) bool {
 // ctxFor maps a HyperThread slot of this cache's core to its context, if a
 // thread is running there in the current region.
 func (m *Machine) ctxFor(core, slot int) *Context {
-	id := slot*m.Cfg.Cores + core
+	id := slot*m.nCores + core
 	if id < len(m.ctxs) {
 		return m.ctxs[id]
 	}
@@ -137,6 +149,7 @@ func (c *Cache) access(ctx *Context, line Addr, write, tx bool) uint64 {
 
 	var cost uint64
 	remote := false
+	remoteSock := false // some holder sat on another socket
 	probed := false
 	if (write || w < 0) && !(write && w >= 0 && c.meta[set][w]&metaExcl != 0) {
 		// A write needs exclusive ownership; a read miss may be served by a
@@ -155,9 +168,11 @@ func (c *Cache) access(ctx *Context, line Addr, write, tx bool) uint64 {
 			if write {
 				if other.invalidate(line) {
 					remote = true
+					remoteSock = remoteSock || other.socket != c.socket
 				}
 			} else if ow := other.lookup(line); ow >= 0 {
 				remote = true
+				remoteSock = remoteSock || other.socket != c.socket
 				// The remote copy is no longer the only one.
 				other.meta[set][ow] &^= metaExcl
 			}
@@ -171,11 +186,22 @@ func (c *Cache) access(ctx *Context, line Addr, write, tx bool) uint64 {
 			cost = m.Costs.L1Hit
 		}
 		c.stats.Hits++
+	case remoteSock:
+		// Served across the socket interconnect: directory lookup at the
+		// home node plus the remote cache-to-cache forward.
+		cost = m.Costs.RemoteTransfer + m.Costs.DirHop
+		c.stats.Transfers++
+		c.stats.RemoteTransfers++
 	case remote:
 		cost = m.Costs.Transfer
 		c.stats.Transfers++
 	default:
 		cost = m.Costs.Miss
+		if m.nSockets > 1 && m.homeSocket(line) != c.socket {
+			// Miss filled by a remote socket's memory controller.
+			cost = m.Costs.RemoteMiss
+			c.stats.RemoteMisses++
+		}
 		c.stats.Misses++
 	}
 
@@ -316,6 +342,8 @@ func (m *Machine) CacheStats() CacheStats {
 		out.Transfers += c.stats.Transfers
 		out.Evictions += c.stats.Evictions
 		out.Invalidations += c.stats.Invalidations
+		out.RemoteTransfers += c.stats.RemoteTransfers
+		out.RemoteMisses += c.stats.RemoteMisses
 	}
 	return out
 }

@@ -1,0 +1,222 @@
+package sim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestConfigValidateTypedErrors: every structural limit produces a typed
+// *ConfigError naming the offending field — callers building machines from
+// topology flags or sweep grids branch on the field, not on panic text.
+func TestConfigValidateTypedErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		mut   func(*Config)
+		field string
+	}{
+		{"negative sockets", func(c *Config) { c.Sockets = -1 }, "Sockets"},
+		{"negative cores", func(c *Config) { c.Cores = -2 }, "Cores"},
+		{"negative tpc", func(c *Config) { c.ThreadsPerCore = -1 }, "ThreadsPerCore"},
+		{"tpc over L1 mark width", func(c *Config) { c.ThreadsPerCore = 9 }, "ThreadsPerCore"},
+		{"sockets alone over core mask", func(c *Config) { c.Sockets = 65; c.Cores = 1 }, "Sockets"},
+		{"cores alone over core mask", func(c *Config) { c.Cores = 65 }, "Cores"},
+		{"product over core mask", func(c *Config) { c.Sockets = 4; c.Cores = 32 }, "Sockets"},
+		{"ht without denominator", func(c *Config) { c.Costs.HTFactorDen = 0 }, "Costs.HTFactorDen"},
+		// Overflow guard: factors so large their product wraps must still be
+		// rejected on the individual bounds, not accepted via a wrapped total.
+		{"overflowing product", func(c *Config) { c.Sockets = 1 << 31; c.Cores = 1 << 31 }, "Sockets"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := Config{Sockets: 1, Cores: 4, ThreadsPerCore: 2, Costs: DefaultCosts(), Seed: 1}
+			tc.mut(&cfg)
+			_, err := NewE(cfg)
+			if err == nil {
+				t.Fatalf("NewE accepted %+v", cfg)
+			}
+			var ce *ConfigError
+			if !errors.As(err, &ce) {
+				t.Fatalf("error is %T, want *ConfigError", err)
+			}
+			if ce.Field != tc.field {
+				t.Fatalf("Field = %q, want %q (err: %v)", ce.Field, tc.field, err)
+			}
+			if !strings.Contains(err.Error(), "invalid config") {
+				t.Fatalf("error text %q lacks the invalid-config prefix", err)
+			}
+		})
+	}
+}
+
+// TestNewPanicsWithConfigError: the panicking constructor must carry the
+// same typed value NewE returns.
+func TestNewPanicsWithConfigError(t *testing.T) {
+	defer func() {
+		p := recover()
+		ce, ok := p.(*ConfigError)
+		if !ok {
+			t.Fatalf("recovered %T (%v), want *ConfigError", p, p)
+		}
+		if ce.Field != "Cores" {
+			t.Fatalf("Field = %q, want Cores", ce.Field)
+		}
+	}()
+	New(Config{Cores: 1000})
+}
+
+// TestConfigZeroValueNormalizes: the zero Config means the paper machine —
+// one socket, 4 cores, 2 HyperThreads.
+func TestConfigZeroValueNormalizes(t *testing.T) {
+	m, err := NewE(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Sockets() != 1 || m.TotalCores() != 4 || m.MaxThreads() != 8 {
+		t.Fatalf("zero config built %dS/%dC/%dT, want 1S/4C/8T",
+			m.Sockets(), m.TotalCores(), m.MaxThreads())
+	}
+	if err := (Config{}).Validate(); err != nil {
+		t.Fatalf("zero config Validate: %v", err)
+	}
+}
+
+// TestMultiSocketTopologyWiring: on a 2-socket machine, breadth-first
+// placement spreads threads over all cores before doubling up, socket
+// membership follows core id, and HyperThread sibling pointers pair thread i
+// with thread i+totalCores on the same core.
+func TestMultiSocketTopologyWiring(t *testing.T) {
+	cfg := Config{Sockets: 2, Cores: 4, ThreadsPerCore: 2, Costs: DefaultCosts(), Seed: 1}
+	m, err := NewE(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.MaxThreads() != 16 || m.TotalCores() != 8 {
+		t.Fatalf("topology = %dT/%dC, want 16T/8C", m.MaxThreads(), m.TotalCores())
+	}
+	for core := 0; core < 8; core++ {
+		want := core / 4
+		if got := m.SocketOf(core); got != want {
+			t.Fatalf("SocketOf(%d) = %d, want %d", core, got, want)
+		}
+	}
+	m.Run(16, func(c *Context) { c.Compute(1) })
+	for i, c := range m.ctxs {
+		if c.core != i%8 || c.slot != i/8 {
+			t.Fatalf("thread %d placed at core %d slot %d, want core %d slot %d",
+				i, c.core, c.slot, i%8, i/8)
+		}
+		switch {
+		case i < 8:
+			if c.sibling != m.ctxs[i+8] {
+				t.Fatalf("thread %d sibling != thread %d", i, i+8)
+			}
+		default:
+			if c.sibling != m.ctxs[i-8] {
+				t.Fatalf("thread %d sibling != thread %d", i, i-8)
+			}
+		}
+	}
+}
+
+// TestMultiSocketDisableHT: DisableHT restricts placement to one thread per
+// core on multi-socket machines too, and no sibling pairs form.
+func TestMultiSocketDisableHT(t *testing.T) {
+	cfg := Config{Sockets: 2, Cores: 4, ThreadsPerCore: 2, DisableHT: true, Costs: DefaultCosts(), Seed: 1}
+	m, err := NewE(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.MaxThreads() != 8 {
+		t.Fatalf("MaxThreads = %d, want 8 (one per core)", m.MaxThreads())
+	}
+	m.Run(8, func(c *Context) { c.Compute(1) })
+	for i, c := range m.ctxs {
+		if c.slot != 0 || c.sibling != nil {
+			t.Fatalf("thread %d: slot %d sibling %v under DisableHT", i, c.slot, c.sibling)
+		}
+	}
+}
+
+// TestRunDefaultsRoundTrip: SetRunDefaults folds into DefaultConfig and
+// GetRunDefaults reports exactly what was installed; the zero value restores
+// the no-faults, no-budget baseline.
+func TestRunDefaultsRoundTrip(t *testing.T) {
+	orig := GetRunDefaults()
+	defer SetRunDefaults(orig)
+
+	d := RunDefaults{MaxCycles: 12345, StallCycles: 678, Metrics: true, TraceEvents: 9}
+	SetRunDefaults(d)
+	if got := GetRunDefaults(); got != d {
+		t.Fatalf("GetRunDefaults = %+v, want %+v", got, d)
+	}
+	cfg := DefaultConfig()
+	if cfg.MaxCycles != d.MaxCycles || cfg.StallCycles != d.StallCycles ||
+		!cfg.Metrics || cfg.TraceEvents != d.TraceEvents {
+		t.Fatalf("DefaultConfig did not fold defaults: %+v", cfg)
+	}
+	if cfg.Sockets != 1 || cfg.Cores != 4 || cfg.ThreadsPerCore != 2 {
+		t.Fatalf("DefaultConfig topology drifted: %dS/%dC/%dTPC",
+			cfg.Sockets, cfg.Cores, cfg.ThreadsPerCore)
+	}
+
+	SetRunDefaults(RunDefaults{})
+	if got := GetRunDefaults(); got != (RunDefaults{}) {
+		t.Fatalf("zero restore left %+v", got)
+	}
+	cfg = DefaultConfig()
+	if cfg.MaxCycles != 0 || cfg.Metrics || cfg.TraceEvents != 0 || cfg.Faults != nil {
+		t.Fatalf("zero defaults still folded: %+v", cfg)
+	}
+}
+
+// TestNUMARemoteTransferCost: a cross-socket dirty-line transfer charges
+// RemoteTransfer+DirHop instead of Transfer, and the remote-traffic counters
+// move; the same sharing pattern within one socket charges Transfer and
+// leaves them at zero.
+func TestNUMARemoteTransferCost(t *testing.T) {
+	run := func(sockets, cores int) (CacheStats, uint64) {
+		cfg := Config{Sockets: sockets, Cores: cores, ThreadsPerCore: 1, Costs: DefaultCosts(), Seed: 1}
+		m, err := NewE(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// One word, written by thread 0, then read by the thread on the
+		// machine's last core (cross-socket when sockets > 1).
+		addr := m.Mem.AllocLine(8)
+		last := m.TotalCores() - 1
+		var readCost uint64
+		m.Run(m.TotalCores(), func(c *Context) {
+			if c.ID() == 0 {
+				c.Store(addr, 7)
+			}
+			c.Compute(1000) // let the write land before anyone reads
+			if c.ID() == last {
+				before := c.Now()
+				_ = c.Load(addr)
+				readCost = c.Now() - before
+			}
+		})
+		return m.CacheStats(), readCost
+	}
+
+	costs := DefaultCosts()
+	oneSock, localCost := run(1, 4)
+	if oneSock.RemoteTransfers != 0 || oneSock.RemoteMisses != 0 {
+		t.Fatalf("single socket recorded remote traffic: %+v", oneSock)
+	}
+	if localCost != costs.Transfer {
+		t.Fatalf("local transfer cost = %d, want Transfer = %d", localCost, costs.Transfer)
+	}
+	twoSock, remoteCost := run(2, 2)
+	if twoSock.RemoteTransfers == 0 {
+		t.Fatalf("cross-socket run recorded no remote transfers: %+v", twoSock)
+	}
+	if remoteCost != costs.RemoteTransfer+costs.DirHop {
+		t.Fatalf("remote transfer cost = %d, want RemoteTransfer+DirHop = %d",
+			remoteCost, costs.RemoteTransfer+costs.DirHop)
+	}
+	if remoteCost <= localCost {
+		t.Fatalf("remote transfer (%d) not dearer than local (%d)", remoteCost, localCost)
+	}
+}

@@ -16,6 +16,23 @@ type Costs struct {
 	// write. This is the dominant cost of communicating through shared data.
 	Transfer uint64
 
+	// NUMA costs, consulted only on machines configured with more than one
+	// socket (Config.Sockets > 1); the magnitudes follow the local/remote
+	// atomic and cache-line latency ratios measured in "Evaluating the Cost
+	// of Atomic Operations on Modern Architectures" (roughly 2–3.5× local).
+	//
+	// RemoteTransfer replaces Transfer when the line is served from a cache
+	// on another socket (one interconnect crossing).
+	RemoteTransfer uint64
+	// RemoteMiss replaces Miss when no cache holds the line and its home
+	// memory controller is on another socket; lines interleave across
+	// sockets at line granularity.
+	RemoteMiss uint64
+	// DirHop is the directory-lookup surcharge added to every cross-socket
+	// line service (the home node's directory must be consulted before the
+	// owning cache forwards the line).
+	DirHop uint64
+
 	// Atomic is the extra cost of a LOCK-prefixed read-modify-write beyond
 	// the plain access (full fence + RMW latency).
 	Atomic uint64
@@ -94,6 +111,10 @@ func DefaultCosts() Costs {
 		L1Hit:    1,
 		Miss:     24,
 		Transfer: 48,
+
+		RemoteTransfer: 110,
+		RemoteMiss:     84,
+		DirHop:         24,
 
 		Atomic: 19,
 

@@ -201,5 +201,16 @@ func (m *Machine) ProbeSnapshot() probe.Snapshot {
 	derived.AddCounter("l1/transfers", cs.Transfers)
 	derived.AddCounter("l1/evictions", cs.Evictions)
 	derived.AddCounter("l1/invalidations", cs.Invalidations)
+	if m.nSockets > 1 {
+		// Per-socket traffic split, only on NUMA machines so single-socket
+		// snapshots (everything the paper reproduces) are unchanged.
+		derived.AddCounter("l1/remote-transfers", cs.RemoteTransfers)
+		derived.AddCounter("l1/remote-misses", cs.RemoteMisses)
+		for _, c := range m.caches {
+			derived.AddCounter(fmt.Sprintf("l1/s%d/hits", c.socket), c.stats.Hits)
+			derived.AddCounter(fmt.Sprintf("l1/s%d/transfers", c.socket), c.stats.Transfers)
+			derived.AddCounter(fmt.Sprintf("l1/s%d/misses", c.socket), c.stats.Misses)
+		}
+	}
 	return probe.Merge(pr.set.Snapshot(), derived)
 }

@@ -46,9 +46,19 @@ func LineOf(a Addr) Addr { return a &^ (LineSize - 1) }
 
 // Config describes the simulated machine.
 type Config struct {
-	// Cores is the number of physical cores (paper: 4).
+	// Sockets is the number of CPU packages. 0 means 1 — the paper's
+	// single-socket part. The machine's total core count is Sockets × Cores;
+	// line transfers that cross a socket boundary and misses served by a
+	// remote socket's memory controller use the NUMA entries of Costs
+	// (RemoteTransfer, RemoteMiss, DirHop). At one socket those entries are
+	// never consulted, so single-socket schedules are unchanged.
+	Sockets int
+	// Cores is the number of physical cores per socket (paper: 4, one
+	// socket).
 	Cores int
 	// ThreadsPerCore is the number of hardware threads per core (paper: 2).
+	// The L1 model packs per-way thread marks into 8-bit masks, so at most 8
+	// threads can share a core.
 	ThreadsPerCore int
 	// Costs is the cycle-cost profile. Zero value means DefaultCosts().
 	Costs Costs
@@ -135,11 +145,11 @@ func GetRunDefaults() RunDefaults {
 	return RunDefaults{}
 }
 
-// DefaultConfig returns the machine used throughout the paper: 4 cores x
-// 2 HyperThreads, 32 KB 8-way L1D — plus any process-wide RunDefaults
-// (fault plan, cycle budgets).
+// DefaultConfig returns the machine used throughout the paper: one socket,
+// 4 cores x 2 HyperThreads, 32 KB 8-way L1D — plus any process-wide
+// RunDefaults (fault plan, cycle budgets).
 func DefaultConfig() Config {
-	cfg := Config{Cores: 4, ThreadsPerCore: 2, Costs: DefaultCosts(), Seed: 1}
+	cfg := Config{Sockets: 1, Cores: 4, ThreadsPerCore: 2, Costs: DefaultCosts(), Seed: 1}
 	if d := runDefaults.Load(); d != nil {
 		cfg.Faults = d.Faults
 		cfg.MaxCycles = d.MaxCycles
@@ -172,25 +182,30 @@ type Machine struct {
 	Mem   *Memory
 	Costs *Costs
 
-	caches []*Cache // one per core
+	caches []*Cache // one per core, backed by one contiguous slab
 	// pres is the machine-level line-presence directory (which cores hold
 	// each line); the coherence probe in Cache.access consults it to visit
-	// only caches that actually hold the line.
-	pres    presenceTab
-	ctxs    []*Context
-	ctxSlab []*Context // Context records recycled across Run calls (slab)
+	// only caches that actually hold the line. It is sharded by line so
+	// large topologies neither pay one huge up-front table nor rehash
+	// everything on growth (presence.go).
+	pres presenceDir
+	// nCores and nSockets cache the resolved topology: nCores is the total
+	// core count (Sockets × per-socket Cores); the socket of core k is
+	// k / Cfg.Cores.
+	nCores   int
+	nSockets int
+	ctxs     []*Context
+	ctxSlab  []*Context // Context records recycled across Run calls (slab)
 	// runq holds the runnable (not running) contexts as compact value
 	// entries (the scheduling key snapshot plus the context pointer),
-	// unordered; qtopIdx caches the index of the (clock, id) minimum so the
-	// batching fast path in maybeYield is one comparison. With at most
-	// MaxThreads entries, an argmin rescan over the packed entries on each
-	// handoff beats both a heap and chasing Context pointers.
+	// arranged as an implicit 4-ary min-heap on the key: the minimum is
+	// always runq[0], so a handoff is one replace-root + sift-down —
+	// O(log₄ N) compares — instead of the O(N) argmin rescan the flat
+	// layout needed, which matters once regions run hundreds of contexts.
 	runq []runqEnt
-	// qtopKey/qtopIdx cache the queue minimum: the key for the one-compare
-	// fast path (MaxUint64 when empty, so the compare needs no emptiness
-	// branch), the index for O(1) extraction.
+	// qtopKey mirrors runq[0].key (MaxUint64 when empty, so the batching
+	// fast path in maybeYield is one comparison with no emptiness branch).
 	qtopKey uint64
-	qtopIdx int
 	nLive   int // contexts that have not finished their body
 	// htNum/htDen/htMagic cache the HyperThread co-residency factor for
 	// charge, with ⌊2^64/den⌋+1 as the reciprocal for divide-free scaling
@@ -263,46 +278,68 @@ type Machine struct {
 	HoldStretchHook func(c *Context) uint64
 }
 
-// New creates a machine with the given configuration.
+// New creates a machine with the given configuration, panicking on an
+// invalid topology. NewE is the error-returning variant; the panic value is
+// the same typed *ConfigError it would return.
 func New(cfg Config) *Machine {
-	if cfg.Cores <= 0 {
-		cfg.Cores = 4
+	m, err := NewE(cfg)
+	if err != nil {
+		panic(err)
 	}
-	if cfg.ThreadsPerCore <= 0 {
-		cfg.ThreadsPerCore = 2
+	return m
+}
+
+// NewE creates a machine with the given configuration. Zero-valued topology
+// fields take the paper defaults (1 socket × 4 cores × 2 HyperThreads);
+// invalid combinations return a typed *ConfigError (config.go) instead of
+// panicking deep in construction.
+func NewE(cfg Config) (*Machine, error) {
+	cfg = cfg.normalized()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
-	if cfg.Costs == (Costs{}) {
-		cfg.Costs = DefaultCosts()
+	m := &Machine{
+		Cfg:      cfg,
+		Mem:      NewMemory(),
+		nCores:   cfg.Sockets * cfg.Cores,
+		nSockets: cfg.Sockets,
 	}
-	m := &Machine{Cfg: cfg, Mem: NewMemory()}
 	m.Costs = &m.Cfg.Costs
-	m.caches = make([]*Cache, cfg.Cores)
+	// The Cache structs themselves come from one contiguous slab so a
+	// 64-core machine is a single allocation, not 64 pointer-chased ones.
+	m.caches = make([]*Cache, m.nCores)
+	cslab := make([]Cache, m.nCores)
 	for i := range m.caches {
-		m.caches[i] = newCache(m, i)
+		cslab[i].m = m
+		cslab[i].id = i
+		cslab[i].socket = i / cfg.Cores
+		m.caches[i] = &cslab[i]
 	}
-	// Size the presence directory so the worst case (every way of every
-	// cache valid, all lines distinct) stays under 25% load — no growth on
-	// the hot path.
-	presSize := 1024
-	for presSize < cfg.Cores*cacheSets*cacheWays*4 {
-		presSize *= 2
-	}
-	m.pres.init(presSize)
+	m.pres.init(m.nCores)
 	m.deadline = ^uint64(0)
 	m.armProbes()
 	if cfg.Faults != nil {
 		cfg.Faults.Attach(m)
 	}
-	return m
+	return m, nil
 }
 
 // MaxThreads reports the number of hardware threads the machine exposes.
 func (m *Machine) MaxThreads() int {
 	if m.Cfg.DisableHT {
-		return m.Cfg.Cores
+		return m.nCores
 	}
-	return m.Cfg.Cores * m.Cfg.ThreadsPerCore
+	return m.nCores * m.Cfg.ThreadsPerCore
 }
+
+// TotalCores reports the machine's total core count across all sockets.
+func (m *Machine) TotalCores() int { return m.nCores }
+
+// Sockets reports the machine's socket count.
+func (m *Machine) Sockets() int { return m.nSockets }
+
+// SocketOf reports which socket a core belongs to.
+func (m *Machine) SocketOf(core int) int { return core / m.Cfg.Cores }
 
 // Context is one simulated hardware thread executing a workload body.
 // Context records live in a per-machine slab and are recycled across Run
@@ -428,8 +465,16 @@ func (m *Machine) Run(n int, body func(*Context)) Result {
 // initial state, pushed on the run queue, and given a fresh coroutine
 // carrier for the body.
 func (m *Machine) attach(n int) {
-	for len(m.ctxSlab) < n {
-		m.ctxSlab = append(m.ctxSlab, &Context{m: m})
+	if need := n - len(m.ctxSlab); need > 0 {
+		// Grow the slab with one contiguous block: a 512-thread region is a
+		// single allocation plus pointer appends, so large machines
+		// construct in microseconds rather than one Context heap object at
+		// a time.
+		blk := make([]Context, need)
+		for i := range blk {
+			blk[i].m = m
+			m.ctxSlab = append(m.ctxSlab, &blk[i])
+		}
 	}
 	if n > 1<<keyIDBits {
 		panic(fmt.Sprintf("sim: %d threads exceed the packed scheduling key's %d-id capacity", n, 1<<keyIDBits))
@@ -437,7 +482,6 @@ func (m *Machine) attach(n int) {
 	m.ctxs = m.ctxSlab[:n]
 	m.runq = m.runq[:0]
 	m.qtopKey = ^uint64(0)
-	m.qtopIdx = -1
 	m.htNum = uint64(m.Costs.HTFactorNum)
 	m.htDen = uint64(m.Costs.HTFactorDen)
 	if m.htDen > 1 {
@@ -449,8 +493,8 @@ func (m *Machine) attach(n int) {
 	for i, c := range m.ctxs {
 		slabCheckContext(c)
 		c.id = i
-		c.core = i % m.Cfg.Cores
-		c.slot = i / m.Cfg.Cores
+		c.core = i % m.nCores
+		c.slot = i / m.nCores
 		c.cache = m.caches[c.core]
 		c.sibling = nil
 		c.clock = 0
@@ -474,7 +518,13 @@ func (m *Machine) attach(n int) {
 	}
 	for _, c := range m.ctxs {
 		if c.slot > 0 {
-			c.sibling = m.ctxs[c.id-m.Cfg.Cores]
+			// Thread i shares its core with thread i−nCores, the previous
+			// placement round on the same core. With ThreadsPerCore > 2 the
+			// sibling pointers chain pairwise (each thread points at its
+			// predecessor round, the predecessor points back), a deterministic
+			// pairwise approximation of full co-residency that keeps the
+			// charge fast path a single pointer test.
+			c.sibling = m.ctxs[c.id-m.nCores]
 			c.sibling.sibling = c
 		}
 	}
@@ -698,9 +748,9 @@ func (m *Machine) onDeadline(c *Context) {
 //
 // The fast path — the current context still holds the minimum — costs one
 // comparison against the cached queue minimum and no coroutine switch. The
-// handover path replaces the departing minimum with c in place and rescans
-// for the new minimum; the successor depends only on the (clock, id) key
-// set, so the schedule is unchanged.
+// handover path replaces the departing minimum (the heap root) with c in
+// place and sifts it down; the successor depends only on the (clock, id)
+// key set, so the schedule is unchanged.
 func (c *Context) maybeYield() {
 	m := c.m
 	if c.key < m.qtopKey {
@@ -710,10 +760,10 @@ func (c *Context) maybeYield() {
 		// context is due.
 		return
 	}
-	top := &m.runq[m.qtopIdx]
-	next := top.ctx
-	*top = runqEnt{key: c.key, ctx: c}
-	m.rescanMin()
+	next := m.runq[0].ctx
+	m.runq[0] = runqEnt{key: c.key, ctx: c}
+	m.siftDown(0)
+	m.qtopKey = m.runq[0].key
 	c.parkOn(next.parkedIn)
 }
 
@@ -901,20 +951,26 @@ func (c *Context) TxAccess(a Addr, write bool) {
 	c.access(a, write, true)
 }
 
-// The runnable queue is an unordered slice with a cached minimum. Packed
-// keys are unique (unique thread ids), so the minimum is unique and
-// independent of scan order; extraction therefore depends only on the key
-// set, exactly as with the heap it replaces. With at most MaxThreads
-// (typically 8) runnable contexts, the rescan on each handoff is a short
-// loop over contiguous 16-byte entries — cheaper than heap sift-downs, and
-// the fast path (one compare against the cached minimum key) costs nothing
-// at all.
+// The runnable queue is an implicit 4-ary min-heap over contiguous 16-byte
+// entries. Packed keys are unique (unique thread ids), so the minimum is
+// unique and extraction depends only on the key set — any correct priority
+// structure yields the identical schedule, which is why swapping the flat
+// argmin rescan for the heap is byte-identical at every topology. The heap
+// wins once regions run dozens to hundreds of contexts: a handoff costs
+// O(log₄ N) sifting instead of an O(N) rescan, while the batching fast path
+// (one compare against the cached root key) is untouched. Arity 4 keeps the
+// tree shallow and lets one sift level's children share a host cache line.
+// The backing slice is recycled across regions, so the hot path never
+// allocates.
 
 // keyIDBits is the width of the thread-id field in the packed scheduling
-// key (key = clock<<keyIDBits | id). 8 bits bounds regions to 256 threads
-// and virtual clocks to 2^56 cycles; attach and the Invariants clock check
-// enforce the limits.
-const keyIDBits = 8
+// key (key = clock<<keyIDBits | id). 10 bits bounds regions to 1024 threads
+// (a 64-core × 8-HT machine plus headroom) and virtual clocks to 2^54
+// cycles; attach and the Invariants clock check enforce the limits.
+const keyIDBits = 10
+
+// heapArity is the run-queue heap's branching factor.
+const heapArity = 4
 
 // runqEnt is one runnable-queue entry: the context's packed scheduling key,
 // snapshotted at enqueue time, plus the context itself. A queued context's
@@ -925,37 +981,71 @@ type runqEnt struct {
 	ctx *Context
 }
 
-// qpush appends c to the runnable queue, updating the cached minimum.
+// qpush appends c to the runnable queue and restores heap order, updating
+// the cached minimum.
 func (m *Machine) qpush(c *Context) {
 	m.runq = append(m.runq, runqEnt{key: c.key, ctx: c})
-	if c.key < m.qtopKey {
-		m.qtopKey = c.key
-		m.qtopIdx = len(m.runq) - 1
-	}
+	m.siftUp(len(m.runq) - 1)
+	m.qtopKey = m.runq[0].key
 }
 
-// popMin removes and returns the queue minimum. The caller must ensure the
-// queue is nonempty.
+// popMin removes and returns the queue minimum (the heap root). The caller
+// must ensure the queue is nonempty.
 func (m *Machine) popMin() *Context {
-	top := m.runq[m.qtopIdx].ctx
-	last := len(m.runq) - 1
-	m.runq[m.qtopIdx] = m.runq[last]
-	m.runq = m.runq[:last]
-	m.rescanMin()
+	q := m.runq
+	top := q[0].ctx
+	last := len(q) - 1
+	q[0] = q[last]
+	m.runq = q[:last]
+	if last > 0 {
+		m.siftDown(0)
+		m.qtopKey = m.runq[0].key
+	} else {
+		m.qtopKey = ^uint64(0)
+	}
 	return top
 }
 
-// rescanMin recomputes the cached queue minimum (MaxUint64 / -1 when the
-// queue is empty).
-func (m *Machine) rescanMin() {
-	minKey := ^uint64(0)
-	minIdx := -1
-	for i := range m.runq {
-		if k := m.runq[i].key; k < minKey {
-			minKey = k
-			minIdx = i
+// siftUp restores heap order after an append at index i.
+func (m *Machine) siftUp(i int) {
+	q := m.runq
+	ent := q[i]
+	for i > 0 {
+		p := (i - 1) / heapArity
+		if q[p].key <= ent.key {
+			break
 		}
+		q[i] = q[p]
+		i = p
 	}
-	m.qtopKey = minKey
-	m.qtopIdx = minIdx
+	q[i] = ent
+}
+
+// siftDown restores heap order after the entry at index i was replaced.
+func (m *Machine) siftDown(i int) {
+	q := m.runq
+	n := len(q)
+	ent := q[i]
+	for {
+		first := heapArity*i + 1
+		if first >= n {
+			break
+		}
+		last := first + heapArity
+		if last > n {
+			last = n
+		}
+		min, minKey := first, q[first].key
+		for j := first + 1; j < last; j++ {
+			if q[j].key < minKey {
+				min, minKey = j, q[j].key
+			}
+		}
+		if ent.key <= minKey {
+			break
+		}
+		q[i] = q[min]
+		i = min
+	}
+	q[i] = ent
 }

@@ -109,6 +109,23 @@ func (l *Mutex) Unlock(c *sim.Context) {
 	l.checkHeld(c)
 	c.Compute(costs.MutexUnlock)
 	c.Store(l.Addr, 0)
+	if len(l.waiters) > 0 {
+		// Lost-wakeup window: a spinner can exhaust its spin budget and
+		// enqueue itself between the waiter check above and the
+		// word-clearing store — both sides of the store's scheduling
+		// point — and then park after the word is already clear, so the
+		// wake it is owed never comes (a real futex closes this window
+		// by re-testing the word inside futex_wait). Hand ownership
+		// straight to the late arriver: the word returns to 1 within
+		// this same scheduling quantum, so no third thread can have
+		// observed the transient 0, and schedules without the race are
+		// bit-for-bit unchanged.
+		c.Machine().Mem.WriteRaw(l.Addr, 1)
+		w := l.waiters[0]
+		l.waiters = l.waiters[1:]
+		c.Compute(costs.FutexWakeCall)
+		c.Wake(w, c.Now()+costs.FutexWake)
+	}
 }
 
 // checkHeld panics with an *sim.InvariantError if the lock word is clear:

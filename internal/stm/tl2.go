@@ -335,6 +335,13 @@ func (s *TL2) try(c *sim.Context, body func(*Txn)) (committed bool) {
 	// Attempts restart on abort, so the per-thread Txn and its write-set map
 	// are recycled rather than reallocated; a thread runs at most one
 	// transaction at a time.
+	if id := c.ID(); id >= len(s.pool) {
+		// Large-topology machines run more threads than the initial pool;
+		// grow to the thread id (host-side, outside virtual time).
+		grown := make([]*Txn, id+1)
+		copy(grown, s.pool)
+		s.pool = grown
+	}
 	t := s.pool[c.ID()]
 	if t == nil {
 		t = &Txn{s: s}

@@ -64,4 +64,26 @@ if awk -v f="$fresh" -v fl="$floor" 'BEGIN { exit !(f < fl) }'; then
   echo " regenerate it with: go run ./cmd/reproduce -cache off)" >&2
   exit 1
 fi
+
+# Large-N scheduler floor: at 512 runnable contexts the 4-ary-heap run queue
+# must hold at least a 5x per-handoff lead over the flat rescan-min baseline
+# it replaced (the scale-out PR's acceptance bar; ~6.5x on the reference
+# host). The full-catalog events/s gate above cannot see this — catalog
+# machines run at most 16 threads, where heap and rescan are comparable.
+MIN_HEAP_SPEEDUP=${MIN_HEAP_SPEEDUP:-5.0}
+sched=$(go test ./internal/sim/ -run '^$' \
+  -bench 'SchedHeapN512$|SchedFlatRescanN512$' -benchtime 500000x 2>/dev/null)
+heap_ns=$(echo "$sched" | awk '/BenchmarkSchedHeapN512/ {print $3}')
+flat_ns=$(echo "$sched" | awk '/BenchmarkSchedFlatRescanN512/ {print $3}')
+if [ -z "$heap_ns" ] || [ -z "$flat_ns" ]; then
+  echo "bench ratchet: FAILED — could not read the N=512 scheduler benchmarks" >&2
+  echo "$sched" >&2
+  exit 1
+fi
+printf 'bench ratchet: sched@512 heap %.0f ns/op, flat rescan %.0f ns/op (%.1fx, floor %sx)\n' \
+  "$heap_ns" "$flat_ns" "$(awk -v h="$heap_ns" -v f="$flat_ns" 'BEGIN { print f/h }')" "$MIN_HEAP_SPEEDUP"
+if awk -v h="$heap_ns" -v f="$flat_ns" -v m="$MIN_HEAP_SPEEDUP" 'BEGIN { exit !(f < h * m) }'; then
+  echo "bench ratchet: FAILED — heap scheduler lead at 512 contexts fell below ${MIN_HEAP_SPEEDUP}x" >&2
+  exit 1
+fi
 echo "bench ratchet: OK"
