@@ -190,6 +190,13 @@ var catalog = []experiment{
 	{"abort anatomy", "A5", func(s *experiments.Suite) (string, error) {
 		return s.AbortAnatomy()
 	}},
+	{"model anatomy", "A7", func(s *experiments.Suite) (string, error) {
+		t, err := s.ModelAnatomy()
+		if err != nil {
+			return "", err
+		}
+		return t.Render(), nil
+	}},
 	{"scaling curves", "A6", func(s *experiments.Suite) (string, error) {
 		coresT, clientsT, err := s.ScalingCurve()
 		if err != nil {
@@ -266,7 +273,7 @@ func main() {
 	}
 	var o options
 	runopts.Register(flag.CommandLine, &o.Options)
-	flag.StringVar(&o.only, "only", "", "comma-separated experiment ids to run (E1..E9, A1..A6); empty runs all")
+	flag.StringVar(&o.only, "only", "", "comma-separated experiment ids to run (E1..E9, A1..A7); empty runs all")
 	flag.StringVar(&o.benchPath, "bench", "BENCH_reproduce.json", "path for the host-performance JSON report (empty disables; written only for full-catalog runs unless -benchforce)")
 	flag.BoolVar(&o.benchForce, "benchforce", false, "write the bench report even for partial (-only) runs")
 	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile to this file (also the PGO input; see cmd/reproduce/default.pgo)")

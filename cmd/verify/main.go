@@ -175,6 +175,17 @@ func run(o options, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "verify: %v\n", err)
 		return exitUsage
 	}
+	// Flag parsing already screens -htmmodel/-layout, but in-process callers
+	// (tests) set the fields directly; keep a bad axis a usage error either
+	// way rather than an ERROR on every seed.
+	if err := runopts.ValidateHTMModel(o.HTMModel); err != nil {
+		fmt.Fprintf(stderr, "verify: %v\n", err)
+		return exitUsage
+	}
+	if err := runopts.ValidateLayout(o.Layout); err != nil {
+		fmt.Fprintf(stderr, "verify: %v\n", err)
+		return exitUsage
+	}
 	maxThreads := sockets * cores * tpc
 	opts := check.Opts{
 		Faults:         o.Plan(),
@@ -183,11 +194,19 @@ func run(o options, stdout, stderr io.Writer) int {
 		Sockets:        sockets,
 		Cores:          cores,
 		ThreadsPerCore: tpc,
+		Model:          o.HTMModel,
+		Layout:         o.Layout,
 	}
 	o.Banner(stdout)
 	if o.topology != "" {
 		fmt.Fprintf(stdout, "verify: topology %d sockets x %d cores x %d threads (%d simulated threads)\n",
 			sockets, cores, tpc, maxThreads)
+	}
+	if o.HTMModel != "" {
+		fmt.Fprintf(stdout, "verify: htm model %s\n", o.HTMModel)
+	}
+	if o.Layout != "" {
+		fmt.Fprintf(stdout, "verify: memory layout %s\n", o.Layout)
 	}
 
 	workers := o.Parallel
@@ -205,9 +224,9 @@ func run(o options, stdout, stderr io.Writer) int {
 	// Unlike reproduce, verify configures its machines explicitly (no
 	// process-wide run defaults), so the journal identity must carry every
 	// output-affecting flag alongside the model fingerprint.
-	extra := fmt.Sprintf("engines=%s|v=%t|chaos=%t:%d|max=%d|stall=%d|topo=%dx%dx%d",
+	extra := fmt.Sprintf("engines=%s|v=%t|chaos=%t:%d|max=%d|stall=%d|topo=%dx%dx%d|model=%s|layout=%s",
 		o.engines, o.verbose, o.ChaosSet, o.ChaosSeed, o.MaxCycles, o.EffectiveStallCycles(),
-		sockets, cores, tpc)
+		sockets, cores, tpc, o.HTMModel, o.Layout)
 	jnl, done := o.OpenJournal("verify", extra, stderr)
 	jnlOpen := jnl != nil
 	closeJournal := func() {

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"tsxhpc/internal/htm"
+	"tsxhpc/internal/runopts"
+	"tsxhpc/internal/sim"
+)
+
+// TestVerifyModelUsageErrors: unknown -htmmodel / -layout values are usage
+// errors even for in-process callers that bypass flag parsing — exit 2,
+// stderr naming the valid spellings, nothing on stdout.
+func TestVerifyModelUsageErrors(t *testing.T) {
+	badModel := options{seeds: 5, engines: "tsx"}
+	badModel.HTMModel = "hle"
+	badLayout := options{seeds: 5, engines: "tsx"}
+	badLayout.Layout = "striped"
+	cases := []struct {
+		name string
+		o    options
+		want string
+	}{
+		{"bad model", badModel, `unknown capacity model "hle" (valid: l1bloom, strict, victim, reqloses)`},
+		{"bad layout", badLayout, `unknown memory layout "striped" (valid: packed, randomized, colliding)`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, out, errOut := drive(t, tc.o)
+			if code != 2 {
+				t.Fatalf("exit = %d, want 2\nstderr: %s", code, errOut)
+			}
+			if !strings.Contains(errOut, tc.want) {
+				t.Fatalf("stderr %q does not mention %q", errOut, tc.want)
+			}
+			if out != "" {
+				t.Fatalf("usage error wrote to stdout: %q", out)
+			}
+		})
+	}
+}
+
+// TestVerifyModelSweeps drives the full differential sweep once per capacity
+// model, faults off and under chaos: every model must agree with the
+// lock-based reference engines on every seed. This is the
+// equivalent-or-explained guarantee in bulk — the models differ in which
+// transactions abort, never in the committed outcome.
+func TestVerifyModelSweeps(t *testing.T) {
+	seeds := 100
+	if testing.Short() {
+		seeds = 12
+	}
+	for _, model := range htm.ModelNames() {
+		for _, chaos := range []bool{false, true} {
+			name := fmt.Sprintf("%s/chaos=%v", model, chaos)
+			t.Run(name, func(t *testing.T) {
+				o := options{seeds: seeds, engines: "tsx,tl2,coarse,fine"}
+				o.Options = runopts.Options{Parallel: 4}
+				o.HTMModel = model
+				if chaos {
+					o.ChaosSet = true
+					o.ChaosSeed = 1
+				}
+				code, out, errOut := drive(t, o)
+				if code != 0 {
+					t.Fatalf("exit = %d\nstdout:\n%s\nstderr:\n%s", code, out, errOut)
+				}
+				if !strings.Contains(out, fmt.Sprintf("verify: htm model %s\n", model)) {
+					t.Fatalf("missing model banner:\n%s", out)
+				}
+				if !strings.Contains(out, "verify: OK") {
+					t.Fatalf("missing OK footer:\n%s", out)
+				}
+			})
+		}
+	}
+}
+
+// TestVerifyLayoutSweeps sweeps the allocator-placement axis on the default
+// model: placement moves which lines collide, not what the workload
+// computes, so the oracle must stay clean on every layout.
+func TestVerifyLayoutSweeps(t *testing.T) {
+	seeds := 100
+	if testing.Short() {
+		seeds = 12
+	}
+	for _, layout := range sim.LayoutNames() {
+		t.Run(layout, func(t *testing.T) {
+			o := options{seeds: seeds, engines: "tsx,tl2,coarse,fine"}
+			o.Options = runopts.Options{Parallel: 4}
+			o.Layout = layout
+			code, out, errOut := drive(t, o)
+			if code != 0 {
+				t.Fatalf("exit = %d\nstdout:\n%s\nstderr:\n%s", code, out, errOut)
+			}
+			if !strings.Contains(out, "verify: OK") {
+				t.Fatalf("missing OK footer:\n%s", out)
+			}
+		})
+	}
+}
+
+// TestParseTopology pins the -topology decoder: the SxCxT form, the
+// paper-machine default, and the rejection paths (shape, numbers, and the
+// simulator's own structural limits).
+func TestParseTopology(t *testing.T) {
+	if s, c, p, err := parseTopology(""); err != nil || s != 1 || c != 4 || p != 2 {
+		t.Errorf(`parseTopology("") = %dx%dx%d, %v; want the paper machine 1x4x2`, s, c, p, err)
+	}
+	if s, c, p, err := parseTopology("2x8x2"); err != nil || s != 2 || c != 8 || p != 2 {
+		t.Errorf(`parseTopology("2x8x2") = %dx%dx%d, %v`, s, c, p, err)
+	}
+	for _, tc := range []struct{ in, want string }{
+		{"2x8", "want SOCKETSxCORESxTHREADS"},
+		{"2x8xq", `"q" is not a number`},
+		{"2x8x9", "threads per core"},
+		{"16x8x2", "presence directory"},
+	} {
+		if _, _, _, err := parseTopology(tc.in); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("parseTopology(%q) err = %v, want mention of %q", tc.in, err, tc.want)
+		}
+	}
+}

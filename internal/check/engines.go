@@ -94,6 +94,16 @@ type Opts struct {
 	// differential sweep also cross-checks the engines where remote
 	// transfers, directory hops, and wider conflict masks are in play.
 	Sockets, Cores, ThreadsPerCore int
+	// Model selects the HTM capacity/conflict model (sim.Config.HTMModel)
+	// for the TSX engine's machine; "" is the default l1bloom design. The
+	// agreement obligations are model-independent — that is the point of
+	// sweeping the axis through the oracle.
+	Model string
+	// Layout selects the allocator-placement policy (sim.Config.Layout) on
+	// every engine's machine. Non-default layouts switch the slot array from
+	// one dense allocation to per-slot allocations so the policy actually
+	// redistributes the workload's lines across cache sets.
+	Layout string
 }
 
 // EngineResult is one engine's execution of a workload.
@@ -185,6 +195,8 @@ func RunEngine(w *Workload, e Engine, o Opts) (*EngineResult, error) {
 		Faults:         o.Faults,
 		MaxCycles:      o.MaxCycles,
 		StallCycles:    o.StallCycles,
+		HTMModel:       o.Model,
+		Layout:         o.Layout,
 	}
 	m, err := sim.NewE(cfg)
 	if err != nil {
@@ -193,8 +205,7 @@ func RunEngine(w *Workload, e Engine, o Opts) (*EngineResult, error) {
 	if w.Threads > m.MaxThreads() {
 		return nil, fmt.Errorf("%s: workload wants %d threads, machine has %d", e, w.Threads, m.MaxThreads())
 	}
-	base := m.Mem.AllocArray(w.Slots, w.Stride)
-	slotAddr := func(s int) sim.Addr { return base + sim.Addr(s*w.Stride) }
+	slotAddr := slotAllocator(m, w, o.Layout)
 	rec := newRecorder(w.Threads, w.TotalTxns())
 
 	var body func(c *sim.Context)
@@ -285,6 +296,25 @@ func RunEngine(w *Workload, e Engine, o Opts) (*EngineResult, error) {
 		}
 	}
 	return res, nil
+}
+
+// slotAllocator places the workload's slot array. Under the default packed
+// layout it is one dense allocation (the historical shape, kept bit-for-bit);
+// under randomized/colliding layouts each slot is allocated separately so the
+// placement policy decides where every slot's line lands — that is what turns
+// allocator layout into a cache-set-distribution experiment. Addresses depend
+// only on (machine config, workload shape), so every engine sees the same
+// layout and the differential comparison stays apples-to-apples.
+func slotAllocator(m *sim.Machine, w *Workload, layout string) func(int) sim.Addr {
+	if layout == "" || layout == "packed" {
+		base := m.Mem.AllocArray(w.Slots, w.Stride)
+		return func(s int) sim.Addr { return base + sim.Addr(s*w.Stride) }
+	}
+	addrs := make([]sim.Addr, w.Slots)
+	for s := range addrs {
+		addrs[s] = m.Mem.Alloc(w.Stride)
+	}
+	return func(s int) sim.Addr { return addrs[s] }
 }
 
 // applyOps executes one transaction's operations through tx, recording the

@@ -4,6 +4,8 @@ import (
 	"testing"
 
 	"tsxhpc/internal/faults"
+	"tsxhpc/internal/htm"
+	"tsxhpc/internal/sim"
 )
 
 // Fuzz parameters are all int64 and mapped into valid ranges here (rather
@@ -17,6 +19,13 @@ func pick(v, lo, hi int64) int {
 		m += span
 	}
 	return int(lo + m)
+}
+
+// pickName maps a fuzz draw onto one of the registered axis names, so the
+// existing targets cover the model/layout axes without changing their
+// parameter arity (which would orphan the committed corpus).
+func pickName(v int64, names []string) string {
+	return names[pick(v, 0, int64(len(names)-1))]
 }
 
 // fuzzBudget bounds every fuzz-driven run so a pathological input surfaces
@@ -49,13 +58,21 @@ func FuzzDifferential(f *testing.F) {
 			g.Stride = 64
 		}
 		w := Generate(seed, g)
-		o := Opts{MaxCycles: fuzzMaxCycles, StallCycles: fuzzStallCycles}
+		o := Opts{
+			MaxCycles:   fuzzMaxCycles,
+			StallCycles: fuzzStallCycles,
+			// Seed-derived axis picks: every shape also exercises one of the
+			// HTM capacity models and one allocator placement, so the oracle
+			// covers the full model x layout grid as the corpus grows.
+			Model:  pickName(seed^txs, htm.ModelNames()),
+			Layout: pickName(seed^ops, sim.LayoutNames()),
+		}
 		if chaos%2 != 0 {
 			o.Faults = faults.Chaos(seed)
 		}
 		rep := Differential(w, AllEngines, o)
 		for _, v := range rep.Violations {
-			t.Errorf("seed %d shape %+v: %s", seed, g, v)
+			t.Errorf("seed %d shape %+v model %s layout %s: %s", seed, g, o.Model, o.Layout, v)
 		}
 	})
 }
@@ -84,20 +101,72 @@ func FuzzHTMAbortPaths(f *testing.F) {
 			StorePct:    50,
 		}
 		w := Generate(seed, g)
-		o := Opts{MaxCycles: fuzzMaxCycles, StallCycles: fuzzStallCycles}
+		o := Opts{
+			MaxCycles:   fuzzMaxCycles,
+			StallCycles: fuzzStallCycles,
+			// The abort machinery differs per capacity model (strict caps,
+			// victim-buffer spill, requester-loses dooming) — draw both axes
+			// so each shape stresses one combination's abort paths.
+			Model:  pickName(seed^lines, htm.ModelNames()),
+			Layout: pickName(seed^ops, sim.LayoutNames()),
+		}
 		if spurious%2 != 0 {
 			o.Faults = faults.Chaos(seed)
 		}
 		res, err := RunEngine(w, TSX, o)
 		if err != nil {
-			t.Fatalf("seed %d shape %+v: %v", seed, g, err)
+			t.Fatalf("seed %d shape %+v model %s layout %s: %v", seed, g, o.Model, o.Layout, err)
 		}
 		if err := CheckHistory(w, res.Hist, res.Final); err != nil {
-			t.Fatalf("seed %d shape %+v: %v", seed, g, err)
+			t.Fatalf("seed %d shape %+v model %s layout %s: %v", seed, g, o.Model, o.Layout, err)
 		}
 		hw := uint64(w.TotalTxns()) - res.Fallbacks
 		if res.Starts != hw+res.Aborts {
 			t.Fatalf("stats incoherent: starts %d != hardware commits %d + aborts %d", res.Starts, hw, res.Aborts)
+		}
+	})
+}
+
+// FuzzDifferentialLayout is the model x layout grid's own fuzz target: the
+// capacity model and allocator placement are explicit fuzz parameters (not
+// seed-derived), so the fuzzer can hold a workload shape fixed and move only
+// along the new axes — the committed corpus entries under
+// testdata/fuzz/FuzzDifferentialLayout name the model-specific differences
+// they pin down (see TestCorpusModelDivergence for the quantified versions).
+func FuzzDifferentialLayout(f *testing.F) {
+	// One seed per model on distinct layouts, plus a chaos draw.
+	f.Add(int64(1), int64(4), int64(32), int64(6), int64(4), int64(50), int64(0), int64(0), int64(0))
+	f.Add(int64(2), int64(8), int64(16), int64(8), int64(8), int64(60), int64(0), int64(1), int64(2))
+	f.Add(int64(3), int64(6), int64(64), int64(6), int64(10), int64(80), int64(1), int64(2), int64(2))
+	f.Add(int64(4), int64(2), int64(128), int64(4), int64(6), int64(30), int64(0), int64(3), int64(1))
+	f.Add(int64(5), int64(8), int64(8), int64(10), int64(5), int64(100), int64(1), int64(3), int64(0))
+	f.Fuzz(func(t *testing.T, seed, threads, slots, txs, ops, storePct, chaos, modelPick, layoutPick int64) {
+		g := GenConfig{
+			Threads: pick(threads, 1, 8),
+			Slots:   pick(slots, 1, 256),
+			// Line-granular so placement and per-line capacity tracking both
+			// see every slot as a distinct cache line.
+			Stride:      64,
+			TxPerThread: pick(txs, 1, 10),
+			// Up to 24 ops: past the strict model's 16-entry write cap, so
+			// capacity aborts on that model are reachable, not just possible.
+			OpsPerTx: pick(ops, 1, 24),
+			HotPct:   pick(seed, 0, 100),
+			StorePct: pick(storePct, 0, 100),
+		}
+		w := Generate(seed, g)
+		o := Opts{
+			MaxCycles:   fuzzMaxCycles,
+			StallCycles: fuzzStallCycles,
+			Model:       pickName(modelPick, htm.ModelNames()),
+			Layout:      pickName(layoutPick, sim.LayoutNames()),
+		}
+		if chaos%2 != 0 {
+			o.Faults = faults.Chaos(seed)
+		}
+		rep := Differential(w, AllEngines, o)
+		for _, v := range rep.Violations {
+			t.Errorf("seed %d shape %+v model %s layout %s: %s", seed, g, o.Model, o.Layout, v)
 		}
 	})
 }

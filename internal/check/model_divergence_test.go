@@ -1,0 +1,131 @@
+package check
+
+import (
+	"reflect"
+	"testing"
+)
+
+// These tests quantify the model-specific differences the committed corpus
+// entries under testdata/fuzz/FuzzDifferentialLayout pin down by name: each
+// corpus entry is one point where two capacity models behave mechanistically
+// differently, and the test here asserts both the difference (abort/commit
+// profile) and the equivalence (identical final state under the oracle) on
+// the same workload.
+
+// runModel executes the TSX engine on w under one model/layout pair and
+// checks the committed history against the oracle before returning.
+func runModel(t *testing.T, w *Workload, model, layout string) *EngineResult {
+	t.Helper()
+	res, err := RunEngine(w, TSX, Opts{Model: model, Layout: layout})
+	if err != nil {
+		t.Fatalf("model %s layout %s: %v", model, layout, err)
+	}
+	if err := CheckHistory(w, res.Hist, res.Final); err != nil {
+		t.Fatalf("model %s layout %s: history violation: %v", model, layout, err)
+	}
+	return res
+}
+
+// TestStrictCapacityWhereL1BloomCommits mirrors the corpus entry
+// seed-strict-capacity-where-l1bloom-commits: a single-threaded workload of
+// 24-op store transactions stays well inside the L1's set-associative
+// geometry (l1bloom commits everything in hardware) but exceeds the strict
+// model's 16-entry write cap, so strict aborts by capacity on the same
+// schedule. The final state must be identical — the fallback path preserves
+// the outcome, only the speculation profile differs.
+func TestStrictCapacityWhereL1BloomCommits(t *testing.T) {
+	w := Generate(11, GenConfig{
+		Threads: 1, Slots: 64, Stride: 64,
+		TxPerThread: 4, OpsPerTx: 24, HotPct: 11, StorePct: 100,
+	})
+	bloom := runModel(t, w, "l1bloom", "packed")
+	strict := runModel(t, w, "strict", "packed")
+	if bloom.Aborts != 0 {
+		t.Errorf("l1bloom: %d aborts; 24 lines spread over 64 sets should all commit in hardware", bloom.Aborts)
+	}
+	if strict.Aborts == 0 {
+		t.Errorf("strict: no aborts; 24-op write sets exceed the 16-entry write cap")
+	}
+	if strict.Fallbacks == 0 {
+		t.Errorf("strict: no fallbacks; capacity aborts are deterministic, retries cannot succeed")
+	}
+	if !reflect.DeepEqual(bloom.Final, strict.Final) {
+		t.Errorf("final states diverge: l1bloom %v vs strict %v", bloom.Final, strict.Final)
+	}
+}
+
+// TestVictimAbsorbsCollidingSpill mirrors seed-victim-absorbs-colliding-spill:
+// under the colliding layout every slot lands in cache set 0, so a ~12-line
+// write set overflows the 8-way L1 and l1bloom aborts by capacity on the
+// first eviction; the victim model spills the evicted speculative lines into
+// its 8-entry victim buffer and commits in hardware. 48 ops over 12 slots
+// make the per-transaction distinct-line count land reliably in (8, 16] —
+// past the L1 ways, within the victim buffer's headroom.
+func TestVictimAbsorbsCollidingSpill(t *testing.T) {
+	w := Generate(22, GenConfig{
+		Threads: 1, Slots: 12, Stride: 64,
+		TxPerThread: 3, OpsPerTx: 48, HotPct: 0, StorePct: 100,
+	})
+	bloom := runModel(t, w, "l1bloom", "colliding")
+	victim := runModel(t, w, "victim", "colliding")
+	if bloom.Aborts == 0 {
+		t.Errorf("l1bloom: no aborts; 12 colliding write lines must overflow the 8-way set")
+	}
+	if victim.Aborts >= bloom.Aborts {
+		t.Errorf("victim absorbed nothing: %d aborts vs l1bloom's %d", victim.Aborts, bloom.Aborts)
+	}
+	if victim.Fallbacks > bloom.Fallbacks {
+		t.Errorf("victim fell back more (%d) than l1bloom (%d)", victim.Fallbacks, bloom.Fallbacks)
+	}
+	if !reflect.DeepEqual(bloom.Final, victim.Final) {
+		t.Errorf("final states diverge: l1bloom %v vs victim %v", bloom.Final, victim.Final)
+	}
+}
+
+// TestReqLosesEquivalentOnCommutative mirrors
+// seed-reqloses-holder-survives-hot-adds: on a contended commutative
+// workload (adds only), requester-wins and requester-loses conflict
+// resolution take different abort paths but must both land on the unique
+// predicted final state — the differential oracle's definition of
+// equivalent-or-explained.
+func TestReqLosesEquivalentOnCommutative(t *testing.T) {
+	w := Generate(33, GenConfig{
+		Threads: 8, Slots: 8, Stride: 64,
+		TxPerThread: 6, OpsPerTx: 6, HotPct: 33, StorePct: 0,
+	})
+	if !w.Commutative() {
+		t.Fatalf("shape regressed: StorePct 0 must generate a commutative workload")
+	}
+	wins := runModel(t, w, "l1bloom", "packed")
+	loses := runModel(t, w, "reqloses", "packed")
+	want := w.PredictedFinal()
+	if !reflect.DeepEqual(wins.Final, want) {
+		t.Errorf("requester-wins final diverges from prediction: %v vs %v", wins.Final, want)
+	}
+	if !reflect.DeepEqual(loses.Final, want) {
+		t.Errorf("requester-loses final diverges from prediction: %v vs %v", loses.Final, want)
+	}
+	// Same workload, same commit obligation — only the speculation profile
+	// may differ between the two conflict-resolution policies.
+	if wins.Starts+wins.Aborts+loses.Starts+loses.Aborts == 0 {
+		t.Errorf("no speculative activity recorded; the shape no longer contends")
+	}
+}
+
+// TestDifferentialAllModels runs the full four-engine differential harness
+// once per capacity model on a mixed workload: every model must produce
+// serializable histories that agree with the lock-based reference engines.
+func TestDifferentialAllModels(t *testing.T) {
+	w := Generate(7, GenConfig{
+		Threads: 6, Slots: 32, Stride: 64,
+		TxPerThread: 4, OpsPerTx: 8, HotPct: 40, StorePct: 30,
+	})
+	for _, model := range []string{"l1bloom", "strict", "victim", "reqloses"} {
+		for _, layout := range []string{"packed", "colliding"} {
+			rep := Differential(w, AllEngines, Opts{Model: model, Layout: layout})
+			for _, v := range rep.Violations {
+				t.Errorf("model %s layout %s: %s", model, layout, v)
+			}
+		}
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"tsxhpc/internal/clomp"
 	"tsxhpc/internal/core"
 	"tsxhpc/internal/harness"
+	"tsxhpc/internal/htm"
 	"tsxhpc/internal/netapps"
 	"tsxhpc/internal/probe"
 	"tsxhpc/internal/rmstm"
@@ -70,6 +71,7 @@ func AdaptiveCoarseningAblation() (*harness.Table, error) {
 }
 func LocksetAblation() (*harness.Table, error) { return Default.LocksetAblation() }
 func AbortAnatomy() (string, error)            { return Default.AbortAnatomy() }
+func ModelAnatomy() (*harness.Table, error)    { return Default.ModelAnatomy() }
 func ScalingCurve() (*harness.Table, *harness.Table, error) {
 	return Default.ScalingCurve()
 }
@@ -809,6 +811,126 @@ func (s *Suite) ScalingCurve() (*harness.Table, *harness.Table, error) {
 		clientsT.Rows = append(clientsT.Rows, row)
 	}
 	return coresT, clientsT, nil
+}
+
+// modelAnatomyCell is one (HTM model, allocator layout) execution of the
+// model-anatomy kernel: the TSX runtime's raw counters plus the simulated
+// totals, gob-friendly so warm-cache runs replay the table byte-identically.
+type modelAnatomyCell struct {
+	Starts    uint64
+	Commits   uint64
+	Fallbacks uint64
+	Aborts    [htm.NumCauses]uint64
+	Cycles    uint64
+	Events    uint64
+}
+
+// SimEvents reports the simulated event count (runner.Eventer).
+func (r modelAnatomyCell) SimEvents() uint64 { return r.Events }
+
+// modelCell submits one A7 cell: the capacity/conflict kernel on a machine
+// built with the given HTM model and allocator-placement layout.
+//
+// The kernel is engineered to straddle every model's structural limits: each
+// thread owns an arena of 24 separately allocated lines — separately, so the
+// placement policy (not the kernel) decides which cache sets they land on —
+// and cycles through transactions writing 6, 15, and 24 of them plus one
+// shared hot line. Under the packed layout the arena strides across sets and
+// everything fits; under the colliding layout all lines share set 0, so a
+// 15-line write set overflows the 8-way L1 (capacity aborts for the
+// cache-tracked models, absorbed by the victim buffer) while the strict
+// model's fixed 16-entry write set doesn't notice the cache at all — its
+// aborts depend only on the 24-line footprint. The hot line supplies the
+// conflicts that separate requester-wins from requester-loses.
+func (s *Suite) modelCell(model, layout string) runner.Future[modelAnatomyCell] {
+	key := runner.Key(fmt.Sprintf("modelanatomy/%s/%s", model, layout))
+	return runner.Submit(s.E, key, func() (modelAnatomyCell, error) {
+		cfg := sim.DefaultConfig()
+		cfg.HTMModel = model
+		cfg.Layout = layout
+		m := sim.New(cfg)
+		sys := tm.NewSystem(m, tm.TSX)
+		const (
+			threads = 8
+			blocks  = 24
+			rounds  = 30
+		)
+		arenas := make([][]sim.Addr, threads)
+		for t := range arenas {
+			arenas[t] = make([]sim.Addr, blocks)
+			for b := range arenas[t] {
+				arenas[t][b] = m.Mem.Alloc(sim.LineSize)
+			}
+		}
+		hot := m.Mem.Alloc(sim.LineSize)
+		footprints := []int{6, 15, blocks}
+		res := m.Run(threads, func(c *sim.Context) {
+			mine := arenas[c.ID()]
+			for i := 0; i < rounds; i++ {
+				fp := footprints[i%len(footprints)]
+				sys.Atomic(c, func(tx tm.Tx) {
+					for b := 0; b < fp; b++ {
+						a := mine[b]
+						tx.Store(a, tx.Load(a)+1)
+					}
+					tx.Store(hot, tx.Load(hot)+1)
+				})
+				c.Compute(200)
+			}
+		})
+		st := &sys.HTM.Stats
+		return modelAnatomyCell{
+			Starts:    st.Starts,
+			Commits:   st.Commits,
+			Fallbacks: st.Fallback,
+			Aborts:    st.Aborts,
+			Cycles:    res.Cycles,
+			Events:    res.Events,
+		}, nil
+	})
+}
+
+// ModelAnatomy renders the A7 study: the abort-cause anatomy of the same
+// kernel under every HTM capacity/conflict model crossed with every
+// allocator-placement layout. The table is the mechanism check for the whole
+// model axis — each design must fail for its own structural reason (L1
+// associativity vs fixed set caps vs victim-buffer overflow, requester-wins
+// vs requester-loses conflict accounting), and the layout column shows
+// placement alone moving capacity aborts for the cache-tracked designs while
+// leaving the strict model untouched.
+func (s *Suite) ModelAnatomy() (*harness.Table, error) {
+	models := htm.ModelNames()
+	layouts := sim.LayoutNames()
+	futs := make([]runner.Future[modelAnatomyCell], 0, len(models)*len(layouts))
+	for _, mo := range models {
+		for _, la := range layouts {
+			futs = append(futs, s.modelCell(mo, la))
+		}
+	}
+	t := &harness.Table{
+		Title: "Model anatomy — abort causes by HTM model x allocator layout @8T",
+		Head:  []string{"model", "layout", "commits", "conflict", "capacity", "lock-busy", "spurious", "fallbacks"},
+	}
+	i := 0
+	for _, mo := range models {
+		for _, la := range layouts {
+			r, err := futs[i].Wait()
+			if err != nil {
+				return nil, err
+			}
+			i++
+			t.Rows = append(t.Rows, []string{
+				mo, la,
+				fmt.Sprintf("%d", r.Commits),
+				fmt.Sprintf("%d", r.Aborts[htm.Conflict]),
+				fmt.Sprintf("%d", r.Aborts[htm.Capacity]),
+				fmt.Sprintf("%d", r.Aborts[htm.LockBusy]),
+				fmt.Sprintf("%d", r.Aborts[htm.Spurious]),
+				fmt.Sprintf("%d", r.Fallbacks),
+			})
+		}
+	}
+	return t, nil
 }
 
 // anatomyWorkloads are the contended STAMP workloads the abort-anatomy

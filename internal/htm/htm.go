@@ -24,6 +24,10 @@
 // Aborted transactions unwind via a typed panic that Runtime.Try recovers;
 // transaction bodies must therefore be written as re-executable closures,
 // exactly like RTM fallback paths in real software.
+//
+// The tracking structures and the conflict-resolution policy described above
+// are the *default* capacity model (l1bloom); the design is pluggable via
+// sim.Config.HTMModel — see CapacityModel in model.go for the alternatives.
 package htm
 
 import (
@@ -154,6 +158,13 @@ type Runtime struct {
 	ovf    [dirWords]uint64 // thread ids whose read set overflowed to Bloom
 	Stats  Stats
 
+	// model is the capacity/conflict design resolved from sim.Config.HTMModel
+	// at construction; conflict is the matching coherence-conflict hook
+	// (requester-wins or requester-loses), precomputed so Begin arms a direct
+	// function value.
+	model    CapacityModel
+	conflict func(c *sim.Context, line sim.Addr, write bool)
+
 	// CommitHook, when set, is invoked once per successful Commit, after the
 	// buffered writes became architecturally visible but still inside the
 	// indivisible commit instant (no scheduling points have passed). The
@@ -180,10 +191,21 @@ type htmProbes struct {
 // New creates the TSX runtime for m and installs its conflict, eviction and
 // syscall hooks.
 func New(m *sim.Machine) *Runtime {
+	model, err := ParseModel(m.Cfg.HTMModel)
+	if err != nil {
+		// Flag parsing and cmd/verify screen model names before any machine
+		// is built, so reaching this is a programming error, not user input.
+		panic(err)
+	}
 	r := &Runtime{
 		m:      m,
 		active: make([]*Txn, 64),
 		pool:   make([]*Txn, 64),
+		model:  model,
+	}
+	r.conflict = r.conflictHook
+	if !model.RequesterWins() {
+		r.conflict = r.conflictLoses
 	}
 	r.lines.init(lineDirMinSize)
 	// ConflictHook is toggled by Begin/cleanup so it is installed only while
@@ -194,17 +216,28 @@ func New(m *sim.Machine) *Runtime {
 	m.SyscallHook = r.syscallHook
 	m.SpuriousAbortHook = r.spuriousHook
 	if ps := m.ProbeSet(); ps != nil {
+		// The default model keeps the historical htm/ probe names (the
+		// abort-anatomy experiment and the metrics sidecar read them);
+		// alternate models get their own namespace so a sweep across models
+		// never merges counters from different designs.
+		prefix := "htm/"
+		if model.Name() != "l1bloom" {
+			prefix = "htm/" + model.Name() + "/"
+		}
 		pc := &htmProbes{
-			starts:  ps.Counter("htm/starts"),
-			commits: ps.Counter("htm/commits"),
+			starts:  ps.Counter(prefix + "starts"),
+			commits: ps.Counter(prefix + "commits"),
 		}
 		for cause := AbortCause(0); cause < NumCauses; cause++ {
-			pc.aborts[cause] = ps.Counter("htm/abort/" + cause.String())
+			pc.aborts[cause] = ps.Counter(prefix + "abort/" + cause.String())
 		}
 		r.pc = pc
 	}
 	return r
 }
+
+// ModelName reports the capacity model the runtime was constructed with.
+func (r *Runtime) ModelName() string { return r.model.Name() }
 
 // Txn is one in-flight emulated hardware transaction.
 type Txn struct {
@@ -220,6 +253,7 @@ type Txn struct {
 	writeBuf   wordMap // word address -> speculative value
 	bloom      bloom
 	frees      []pendingFree // deferred until commit (TM_FREE discipline)
+	victim     []sim.Addr    // victim-buffer model: spilled written lines (unused otherwise)
 
 	doomed  bool
 	cause   AbortCause
@@ -287,6 +321,7 @@ func (r *Runtime) Begin(c *sim.Context) *Txn {
 		t.writeLines = t.writeLines[:0]
 		t.writeBuf.reset()
 		t.frees = t.frees[:0]
+		t.victim = t.victim[:0]
 		t.bloom = bloom{}
 		t.doomed = false
 		t.cause = NoAbort
@@ -298,8 +333,9 @@ func (r *Runtime) Begin(c *sim.Context) *Txn {
 	t.txnCyc0 = txnCyc0
 	r.active[c.ID()] = t
 	if r.nTxns == 0 {
-		// First in-flight transaction: arm coherence conflict detection.
-		r.m.ConflictHook = r.conflictHook
+		// First in-flight transaction: arm coherence conflict detection with
+		// the model's resolution policy.
+		r.m.ConflictHook = r.conflict
 	}
 	r.nTxns++
 	c.InTxn = true
@@ -354,6 +390,7 @@ func (t *Txn) Load(a sim.Addr) uint64 {
 		if !t.bloom.has(line) {
 			t.rt.lines.vals[t.rt.lines.place(line)][w] |= bit
 			t.readLines = append(t.readLines, line)
+			t.rt.model.Track(t, line, false)
 		}
 	}
 	t.ctx.TxAccess(a, false)
@@ -372,6 +409,7 @@ func (t *Txn) Store(a sim.Addr, v uint64) {
 	if i := t.rt.lines.find(line); i < 0 || t.rt.lines.vals[i][w]&bit == 0 {
 		t.rt.lines.vals[t.rt.lines.place(line)][w] |= bit
 		t.writeLines = append(t.writeLines, line)
+		t.rt.model.Track(t, line, true)
 	}
 	t.ctx.TxAccess(a, true)
 	t.check()
@@ -390,25 +428,13 @@ func (t *Txn) Commit() {
 	t.check()
 	if t.rt.m.Cfg.Invariants {
 		// No committed transaction may have a torn write set: every written
-		// line must still be registered in the runtime's directory, and must
-		// still carry this thread's L1 write mark — losing the line was
-		// obliged to deliver a capacity abort (eviction) or a conflict doom
-		// (remote write). The one legitimate exception is a conflicting
-		// access currently in flight: its cache mutation has landed but its
-		// conflict hook (the model's defined conflict instant) has not run
-		// yet, and this commit wins the race (requester-wins semantics are
-		// decided at the hook, see sim.Context.access).
-		w, bit := dirWriterBit(t.ctx.ID())
-		for _, line := range t.writeLines {
-			if i := t.rt.lines.find(line); i < 0 || t.rt.lines.vals[i][w]&bit == 0 {
-				panic(&sim.InvariantError{Point: "htm-writeset", Thread: t.ctx.ID(), Clock: t.ctx.Now(),
-					Detail: fmt.Sprintf("committing with write-set line %#x missing from the conflict directory", line)})
-			}
-			if !t.rt.m.TxMarked(t.ctx, line, true) && !t.rt.m.AccessInFlight(t.ctx, line) {
-				panic(&sim.InvariantError{Point: "htm-writeset", Thread: t.ctx.ID(), Clock: t.ctx.Now(),
-					Detail: fmt.Sprintf("committing with write-set line %#x no longer write-marked in L1 (torn write set)", line)})
-			}
-		}
+		// line must still be held by the model's tracking structures. What
+		// "held" means is the model's CheckCommit contract — directory
+		// membership plus the L1 write mark for the cache-backed designs
+		// (with the victim buffer as an alternate home), directory membership
+		// alone where marks can be legitimately stripped (requester-loses) or
+		// are not cache-backed at all (strict).
+		t.rt.model.CheckCommit(t)
 	}
 	for i, a := range t.writeBuf.keys {
 		if a != 0 {
@@ -547,44 +573,86 @@ func (r *Runtime) conflictHook(c *sim.Context, line sim.Addr, write bool) {
 	}
 }
 
-// evictHook implements the L1-as-transactional-buffer rule: losing a written
-// line is fatal (capacity abort); a read line demotes to the Bloom-filter
-// secondary structure and may abort the transaction later.
+// conflictLoses is the requester-loses resolution policy (the reqloses
+// model): a *transactional* access that conflicts with another live
+// transaction's speculative state dooms the requester itself, letting the
+// established holders run on. A non-transactional access cannot be refused —
+// coherence must serve it — so it falls through to the requester-wins sweep;
+// that is what keeps the fallback lock acquirable and the elision wrappers
+// live. A requester already doomed loses nothing further, and never takes
+// holders down with it: its buffered writes will be discarded, so the
+// invalidations its accesses caused carry no data conflict.
+func (r *Runtime) conflictLoses(c *sim.Context, line sim.Addr, write bool) {
+	if r.nTxns == 0 || (r.nTxns == 1 && c.InTxn) {
+		return
+	}
+	if c.InTxn {
+		if t := r.txn(c.ID()); t != nil {
+			if !t.doomed && r.lineHeld(c.ID(), line, write) {
+				r.doom(t, Conflict, false)
+			}
+			return
+		}
+	}
+	r.conflictHook(c, line, write)
+}
+
+// lineHeld reports whether any live transaction other than self holds line
+// in a conflicting set: a write conflicts with readers and writers, a read
+// with writers only. It consults the precise directory and, for writes, the
+// Bloom-demoted read sets — the same structures the requester-wins sweep
+// dooms from, so the two policies agree on what constitutes a conflict and
+// differ only in who aborts.
+func (r *Runtime) lineHeld(self int, line sim.Addr, write bool) bool {
+	selfW, selfBit := self>>6, uint64(1)<<uint(self&63)
+	if i := r.lines.find(line); i >= 0 {
+		v := &r.lines.vals[i]
+		for w := 0; w < dirWords; w++ {
+			holders := v[dirWords+w] // writers
+			if write {
+				holders |= v[w] // a write conflicts with readers too
+			}
+			if w == selfW {
+				holders &^= selfBit
+			}
+			for holders != 0 {
+				id := w<<6 | bits.TrailingZeros64(holders)
+				holders &= holders - 1
+				if t := r.active[id]; t != nil && !t.doomed {
+					return true
+				}
+			}
+		}
+	}
+	if write && r.ovf != ([dirWords]uint64{}) {
+		for w := 0; w < dirWords; w++ {
+			ovf := r.ovf[w]
+			if w == selfW {
+				ovf &^= selfBit
+			}
+			for ovf != 0 {
+				id := w<<6 | bits.TrailingZeros64(ovf)
+				ovf &= ovf - 1
+				if t := r.active[id]; t != nil && !t.doomed && t.bloom.has(line) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// evictHook routes the L1 eviction of a line carrying speculative marks to
+// the capacity model: under the default design losing a written line is
+// fatal (capacity abort) and a read line demotes to the Bloom-filter
+// secondary structure; other models spill to a victim buffer or ignore the
+// eviction entirely (tracking decoupled from the cache).
 func (r *Runtime) evictHook(owner *sim.Context, line sim.Addr, wasWrite bool) {
 	t := r.txn(owner.ID())
 	if t == nil {
 		return // stale mark from an already-finished transaction
 	}
-	if wasWrite {
-		r.doom(t, Capacity, false)
-		return
-	}
-	// Demoting a read line to the secondary structure is usually clean, but
-	// the imprecise overflow tracking occasionally costs the transaction
-	// (see Costs.ReadEvictAbortPerMille).
-	if pm := r.m.Costs.ReadEvictAbortPerMille; pm > 0 && owner.Rand.Int63n(1000) < int64(pm) {
-		r.doom(t, Capacity, false)
-		return
-	}
-	rw, rbit := dirReaderBit(owner.ID())
-	if i := r.lines.find(line); i >= 0 && r.lines.vals[i][rw]&rbit != 0 {
-		v := &r.lines.vals[i]
-		if v[rw] &^= rbit; v.empty() {
-			r.lines.remove(i)
-		}
-		// Drop the line from the cleanup list; the order of readLines is
-		// never observable, so a swap-remove suffices.
-		for k, l := range t.readLines {
-			if l == line {
-				last := len(t.readLines) - 1
-				t.readLines[k] = t.readLines[last]
-				t.readLines = t.readLines[:last]
-				break
-			}
-		}
-		t.bloom.add(line)
-		r.ovf[owner.ID()>>6] |= 1 << uint(owner.ID()&63)
-	}
+	r.model.Evict(t, line, wasWrite)
 }
 
 // spuriousHook dooms the caller's in-flight transaction (if any) with the

@@ -19,6 +19,7 @@ import (
 
 	"tsxhpc/internal/experiments"
 	"tsxhpc/internal/faults"
+	"tsxhpc/internal/htm"
 	"tsxhpc/internal/journal"
 	"tsxhpc/internal/memo"
 	"tsxhpc/internal/probe"
@@ -112,6 +113,14 @@ type Options struct {
 	// TracePath, when non-empty, attaches bounded span buffers to every
 	// machine and writes a Chrome trace-event JSON file there after the run.
 	TracePath string
+
+	// HTMModel selects the HTM capacity/conflict model on every simulated
+	// machine ("" keeps the default l1bloom design; see htm.ModelNames).
+	HTMModel string
+	// Layout selects the memory allocator's placement policy on every
+	// simulated machine ("" keeps the default packed bump allocator; see
+	// sim.LayoutNames).
+	Layout string
 }
 
 // Register binds the shared flags into fs. Call Finish after fs.Parse to
@@ -131,6 +140,47 @@ func Register(fs *flag.FlagSet, o *Options) {
 	fs.BoolVar(&o.Metrics, "metrics", false, "arm the probe layer (abort anatomy, virtual-time phases, L1 events) and write a metrics sidecar after the run")
 	fs.StringVar(&o.MetricsOut, "metricsout", "", "metrics sidecar path (implies -metrics; default METRICS_<tool>.json)")
 	fs.StringVar(&o.TracePath, "trace", "", "write a Chrome trace-event JSON file of per-thread transactional spans to this path")
+	fs.Var(validated{&o.HTMModel, ValidateHTMModel}, "htmmodel",
+		"HTM capacity/conflict model for every simulated machine (l1bloom, strict, victim, reqloses; default l1bloom)")
+	fs.Var(validated{&o.Layout, ValidateLayout}, "layout",
+		"memory allocator placement policy for every simulated machine (packed, randomized, colliding; default packed)")
+}
+
+// validated is a flag.Value that rejects invalid spellings at parse time, so
+// a typo in -htmmodel/-layout is a usage error with the valid names listed,
+// never a panic inside machine construction mid-sweep.
+type validated struct {
+	s     *string
+	check func(string) error
+}
+
+func (v validated) String() string {
+	if v.s == nil {
+		return ""
+	}
+	return *v.s
+}
+
+func (v validated) Set(val string) error {
+	if err := v.check(val); err != nil {
+		return err
+	}
+	*v.s = val
+	return nil
+}
+
+// ValidateHTMModel screens a -htmmodel value ("" is the default and valid).
+// Exposed so tools that build machines from in-process options structs
+// (cmd/verify's tests) can validate without a FlagSet.
+func ValidateHTMModel(name string) error {
+	_, err := htm.ParseModel(name)
+	return err
+}
+
+// ValidateLayout screens a -layout value ("" is the default and valid).
+func ValidateLayout(name string) error {
+	_, err := sim.ParseLayout(name)
+	return err
 }
 
 // Finish records flag presence (seed flags where 0 is a valid seed) and
@@ -296,8 +346,9 @@ func (o *Options) EffectiveStallCycles() uint64 {
 func (o *Options) Setup(warn io.Writer) (suite *experiments.Suite, store *memo.Store, cleanup func()) {
 	stall := o.EffectiveStallCycles()
 	cleanup = func() {}
-	if o.ChaosSet || o.MaxCycles > 0 || stall > 0 || o.ProbesArmed() {
-		d := sim.RunDefaults{MaxCycles: o.MaxCycles, StallCycles: stall, Faults: o.Plan()}
+	if o.ChaosSet || o.MaxCycles > 0 || stall > 0 || o.ProbesArmed() || o.HTMModel != "" || o.Layout != "" {
+		d := sim.RunDefaults{MaxCycles: o.MaxCycles, StallCycles: stall, Faults: o.Plan(),
+			HTMModel: o.HTMModel, Layout: o.Layout}
 		if o.ProbesArmed() {
 			d.Metrics = o.Metrics
 			if o.TracePath != "" {

@@ -276,3 +276,42 @@ func TestMetricsDefaultPath(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestModelLayoutFlags: the -htmmodel/-layout axis flags validate at parse
+// time (a typo is a flag error naming the valid spellings, not a panic deep
+// inside machine construction) and Setup propagates accepted values into the
+// process-wide run defaults so every machine the suite builds sees them.
+func TestModelLayoutFlags(t *testing.T) {
+	if o, err := parse(t, "-htmmodel", "strict", "-layout", "colliding"); err != nil {
+		t.Fatalf("parse: %v", err)
+	} else if o.HTMModel != "strict" || o.Layout != "colliding" {
+		t.Fatalf("parsed %q/%q, want strict/colliding", o.HTMModel, o.Layout)
+	}
+	if _, err := parse(t, "-htmmodel", "hle"); err == nil ||
+		!strings.Contains(err.Error(), "valid: l1bloom, strict, victim, reqloses") {
+		t.Fatalf("bad -htmmodel error = %v, want the valid model list", err)
+	}
+	if _, err := parse(t, "-layout", "striped"); err == nil ||
+		!strings.Contains(err.Error(), "valid: packed, randomized, colliding") {
+		t.Fatalf("bad -layout error = %v, want the valid layout list", err)
+	}
+
+	// Setup installs the axes process-wide; cleanup restores the zero value.
+	// (Not parallel: process-wide state.)
+	o := Options{Parallel: 1, Cache: CacheOff, HTMModel: "victim", Layout: "randomized"}
+	var warn strings.Builder
+	_, _, cleanup := o.Setup(&warn)
+	if d := sim.GetRunDefaults(); d.HTMModel != "victim" || d.Layout != "randomized" {
+		cleanup()
+		t.Fatalf("armed defaults = %+v, want victim/randomized", d)
+	}
+	cfg := sim.DefaultConfig()
+	if cfg.HTMModel != "victim" || cfg.Layout != "randomized" {
+		cleanup()
+		t.Fatalf("DefaultConfig() = %q/%q, want victim/randomized", cfg.HTMModel, cfg.Layout)
+	}
+	cleanup()
+	if d := sim.GetRunDefaults(); d != (sim.RunDefaults{}) {
+		t.Fatalf("defaults after cleanup = %+v, want zero", d)
+	}
+}

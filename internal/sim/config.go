@@ -80,6 +80,9 @@ func (cfg Config) Validate() error {
 	if cfg.ThreadsPerCore > 1 && !cfg.DisableHT && cfg.Costs.HTFactorDen < 1 {
 		return &ConfigError{"Costs.HTFactorDen", "HyperThread co-residency scaling needs a positive denominator"}
 	}
+	if _, err := ParseLayout(cfg.Layout); err != nil {
+		return &ConfigError{"Layout", err.Error()}
+	}
 	return nil
 }
 

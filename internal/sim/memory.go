@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"math/rand"
 )
 
 // Memory is the simulated shared memory: a flat, word-granularity store
@@ -23,16 +24,82 @@ type Memory struct {
 	brk   Addr // bump pointer, 8-aligned
 	objs  []any
 	free  map[int][]Addr // size-class free lists (bytes -> addresses)
+
+	// layout is the placement policy applied to fresh (bump-pointer)
+	// allocations; rng drives the randomized policy, seeded from the machine
+	// seed so placement is deterministic per configuration. Recycled blocks
+	// keep their original placement — only where the bump pointer lands is a
+	// policy decision, exactly like a real allocator's arena layout.
+	layout layoutKind
+	rng    *rand.Rand
 }
 
-// NewMemory creates an empty memory. Address 0 is reserved as the nil
-// address: allocations never return it.
-func NewMemory() *Memory {
-	return &Memory{
-		words: make([]uint64, 64),
-		brk:   64, // keep the first line unused so 0 is never a valid address
-		objs:  make([]any, 1),
-		free:  make(map[int][]Addr),
+// The allocator-placement axis, after Dice et al.'s malloc-placement study:
+// address layout alone redistributes lines over cache sets, and with an
+// L1-tracked HTM that redistribution converts directly into capacity aborts.
+// packed is today's bump allocator (dense, naturally striding across sets);
+// randomized starts every fresh allocation on a random set, modeling an
+// allocator with per-size arenas at arbitrary offsets; colliding starts
+// every fresh allocation on set 0, the worst-case index imbalance.
+type layoutKind uint8
+
+const (
+	layoutPacked layoutKind = iota
+	layoutRandomized
+	layoutColliding
+)
+
+// LayoutNames lists the valid Config.Layout spellings, default first.
+func LayoutNames() []string { return []string{"packed", "randomized", "colliding"} }
+
+// ParseLayout resolves a placement-policy name; "" selects packed.
+func ParseLayout(name string) (layoutKind, error) {
+	switch name {
+	case "", "packed":
+		return layoutPacked, nil
+	case "randomized":
+		return layoutRandomized, nil
+	case "colliding":
+		return layoutColliding, nil
+	}
+	return 0, fmt.Errorf("sim: unknown memory layout %q (valid: packed, randomized, colliding)", name)
+}
+
+// NewMemory creates an empty memory with the default packed layout. Address 0
+// is reserved as the nil address: allocations never return it.
+func NewMemory() *Memory { return newMemory("", 0) }
+
+// newMemory creates an empty memory with the given placement policy; the
+// layout name must already have passed Config.Validate.
+func newMemory(layout string, seed int64) *Memory {
+	kind, err := ParseLayout(layout)
+	if err != nil {
+		panic(err) // Config.Validate screens layout names before construction
+	}
+	m := &Memory{
+		words:  make([]uint64, 64),
+		brk:    64, // keep the first line unused so 0 is never a valid address
+		objs:   make([]any, 1),
+		free:   make(map[int][]Addr),
+		layout: kind,
+	}
+	if kind == layoutRandomized {
+		m.rng = rand.New(rand.NewSource(seed ^ 0x6c61796f7574)) // "layout"
+	}
+	return m
+}
+
+// placeFresh applies the placement policy to the bump pointer before a fresh
+// allocation. packed does nothing — the default layout is byte-for-byte the
+// historical allocator.
+func (m *Memory) placeFresh() {
+	switch m.layout {
+	case layoutRandomized:
+		m.brk = (m.brk + LineSize - 1) &^ (LineSize - 1)
+		m.brk += Addr(m.rng.Intn(cacheSets)) * LineSize
+	case layoutColliding:
+		const setStride = cacheSets * LineSize
+		m.brk = (m.brk + setStride - 1) &^ (setStride - 1)
 	}
 }
 
@@ -101,6 +168,7 @@ func (m *Memory) Alloc(nBytes int) Addr {
 		}
 		return a
 	}
+	m.placeFresh()
 	a := m.brk
 	m.brk += Addr(nBytes)
 	m.grow(uint64(m.brk >> 3))
@@ -110,6 +178,7 @@ func (m *Memory) Alloc(nBytes int) Addr {
 // AllocLine reserves nBytes starting on a fresh cache line, preventing false
 // sharing with previously allocated data.
 func (m *Memory) AllocLine(nBytes int) Addr {
+	m.placeFresh()
 	m.brk = (m.brk + LineSize - 1) &^ (LineSize - 1)
 	a := m.brk
 	nBytes = (nBytes + 7) &^ 7

@@ -69,6 +69,21 @@ type Config struct {
 	// paper runs with Hyper-Threading disabled).
 	DisableHT bool
 
+	// HTMModel selects the speculation-tracking/conflict-resolution design
+	// package htm builds on this machine: "" or "l1bloom" (the paper
+	// hardware, the default), "strict" (fixed-entry read/write sets),
+	// "victim" (evicted speculative writes spill to a victim buffer), or
+	// "reqloses" (requester-loses conflict resolution). The string lives
+	// here, not in htm, so one knob reaches every construction path; htm
+	// owns the names and rejects unknown ones at runtime construction.
+	HTMModel string
+	// Layout selects the memory allocator's placement policy (memory.go):
+	// "" or "packed" (bump allocation, the default), "randomized" (fresh
+	// allocations start on a seeded-random cache set), or "colliding"
+	// (fresh allocations all start on set 0, manufacturing set-index
+	// imbalance and with it capacity aborts). Validate rejects other names.
+	Layout string
+
 	// Invariants, when true, arms the machine's inline self-checks: L1 set
 	// integrity (occupancy bounded by associativity, no duplicate tags, tag
 	// mirror coherent) verified on every line install, virtual-clock
@@ -128,6 +143,8 @@ type RunDefaults struct {
 	StallCycles uint64
 	Metrics     bool
 	TraceEvents int
+	HTMModel    string
+	Layout      string
 }
 
 var runDefaults atomic.Pointer[RunDefaults]
@@ -157,6 +174,12 @@ func DefaultConfig() Config {
 		cfg.Metrics = cfg.Metrics || d.Metrics
 		if cfg.TraceEvents == 0 {
 			cfg.TraceEvents = d.TraceEvents
+		}
+		if cfg.HTMModel == "" {
+			cfg.HTMModel = d.HTMModel
+		}
+		if cfg.Layout == "" {
+			cfg.Layout = d.Layout
 		}
 	}
 	return cfg
@@ -300,7 +323,7 @@ func NewE(cfg Config) (*Machine, error) {
 	}
 	m := &Machine{
 		Cfg:      cfg,
-		Mem:      NewMemory(),
+		Mem:      newMemory(cfg.Layout, cfg.Seed),
 		nCores:   cfg.Sockets * cfg.Cores,
 		nSockets: cfg.Sockets,
 	}

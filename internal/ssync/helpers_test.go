@@ -1,0 +1,118 @@
+package ssync
+
+import (
+	"testing"
+
+	"tsxhpc/internal/sim"
+)
+
+// TestMutexAtAndLocked: lock words placed by the caller (lock arrays sharing
+// a line) behave exactly like privately allocated ones, and Locked reads the
+// word as a timed load.
+func TestMutexAtAndLocked(t *testing.T) {
+	m := mach()
+	word := m.Mem.AllocLine(8)
+	l := NewMutexAt(word)
+	var mid, after bool
+	m.Run(1, func(c *sim.Context) {
+		if l.Locked(c) {
+			t.Error("fresh mutex reports locked")
+		}
+		l.Lock(c)
+		mid = l.Locked(c)
+		l.Unlock(c)
+		after = l.Locked(c)
+	})
+	if !mid || after {
+		t.Fatalf("Locked() = %v held, %v released; want true, false", mid, after)
+	}
+	if l.Addr != word {
+		t.Fatalf("NewMutexAt moved the lock word: %v != %v", l.Addr, word)
+	}
+}
+
+// TestSpinLockTryLock: the non-blocking spinlock acquisition succeeds on a
+// free lock and fails — without spinning — on a held one.
+func TestSpinLockTryLock(t *testing.T) {
+	m := mach()
+	l := NewSpinLock(m.Mem)
+	results := make([]bool, 3)
+	m.Run(2, func(c *sim.Context) {
+		if c.ID() == 0 {
+			results[0] = l.TryLock(c)
+			c.Compute(1000)
+			l.Unlock(c)
+			return
+		}
+		c.Compute(100)
+		before := c.Now()
+		results[1] = l.TryLock(c)
+		if c.Now()-before > 100 {
+			t.Errorf("failed TryLock burned %d cycles; it must not spin", c.Now()-before)
+		}
+		c.Compute(2000)
+		results[2] = l.TryLock(c) // released by now
+		l.Unlock(c)
+	})
+	if !results[0] || results[1] || !results[2] {
+		t.Fatalf("TryLock results = %v, want [true false true]", results)
+	}
+}
+
+// TestCondWaitNoLock: the lock-free park used by the transaction-aware
+// condition variable registers the waiter (visible through HasWaiters) and
+// wakes on Signal with no mutex involved.
+func TestCondWaitNoLock(t *testing.T) {
+	m := mach()
+	cv := NewCond()
+	var woke uint64
+	m.Run(2, func(c *sim.Context) {
+		if c.ID() == 0 {
+			cv.WaitNoLock(c)
+			woke = c.Now()
+			return
+		}
+		for !cv.HasWaiters() {
+			c.Compute(100)
+		}
+		c.Compute(5000)
+		cv.Signal(c)
+	})
+	if woke < 5000 {
+		t.Fatalf("waiter woke at %d, before the signal existed", woke)
+	}
+	if cv.HasWaiters() {
+		t.Fatal("signaled waiter still registered")
+	}
+}
+
+// TestAtomicStoreFlavors pins the signed-add helper and both store
+// orderings: the release store is a plain timed store, the seq-cst store is
+// a full-fence RMW (XCHG) and costs the atomic premium.
+func TestAtomicStoreFlavors(t *testing.T) {
+	m := mach()
+	a := m.Mem.AllocLine(8)
+	b := m.Mem.AllocLine(8)
+	var down int64
+	var plain, fenced uint64
+	m.Run(1, func(c *sim.Context) {
+		AtomicAddI(c, a, 10)
+		down = AtomicAddI(c, a, -3)
+		c.Load(b) // warm the line so both stores hit in L1
+		t0 := c.Now()
+		AtomicStore(c, b, 41)
+		plain = c.Now() - t0
+		t0 = c.Now()
+		AtomicStoreSeqCst(c, b, 42)
+		fenced = c.Now() - t0
+	})
+	if down != 7 || m.Mem.ReadRaw(a) != 7 {
+		t.Fatalf("AtomicAddI: got %d (mem %d), want 7", down, m.Mem.ReadRaw(a))
+	}
+	if m.Mem.ReadRaw(b) != 42 {
+		t.Fatalf("stores left %d, want 42", m.Mem.ReadRaw(b))
+	}
+	if fenced <= plain {
+		t.Fatalf("seq-cst store cost %d <= release store cost %d; the fence premium is missing", fenced, plain)
+	}
+}
